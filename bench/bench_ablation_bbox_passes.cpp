@@ -1,0 +1,58 @@
+// A-2 ablation: the bounding-box doubling retries of Task 1.
+//
+// Section 5.1 fixes the retry policy: a 1 x 1 nm box, then exactly two
+// doubling passes (2 x 2 then 4 x 4) for still-unmatched radars. This
+// bench sweeps the retry count and the radar noise level and reports what
+// each pass buys: correlation rate, ambiguity, and the modeled Titan X
+// cost of the extra passes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/airfield/setup.hpp"
+#include "src/atm/cuda_backend.hpp"
+#include "src/core/table.hpp"
+
+int main() {
+  using namespace atm;
+  constexpr std::size_t kAircraft = 2000;
+
+  for (const double noise : {0.2, 0.4, 0.8}) {
+    core::TextTable table({"retries", "passes run", "matched", "unmatched",
+                           "discarded", "ambiguous", "correct",
+                           "Titan X t1 [ms]"});
+    for (int retries = 0; retries <= 3; ++retries) {
+      tasks::CudaBackend card(simt::titan_x_pascal());
+      card.load(airfield::make_airfield(kAircraft, 42));
+      core::Rng rng(7);
+      airfield::RadarParams radar;
+      radar.noise_nm = noise;
+      airfield::RadarFrame frame = card.generate_radar(rng, radar, nullptr);
+      tasks::Task1Params params;
+      params.retries = retries;
+      const tasks::Task1Result result = card.run_task1(frame, params);
+      table.begin_row();
+      table.add_cell(static_cast<long long>(retries));
+      table.add_cell(static_cast<long long>(result.stats.passes));
+      table.add_cell(static_cast<long long>(result.stats.matched));
+      table.add_cell(static_cast<long long>(result.stats.unmatched_radars));
+      table.add_cell(static_cast<long long>(result.stats.discarded_radars));
+      table.add_cell(
+          static_cast<long long>(result.stats.ambiguous_aircraft));
+      table.add_cell(static_cast<long long>(
+          airfield::count_correct_matches(frame)));
+      table.add_cell(result.modeled_ms, 4);
+    }
+    std::printf("\n== Bounding-box retry ablation (%zu aircraft, "
+                "noise %.1f nm) ==\n",
+                kAircraft, noise);
+    std::cout << table;
+  }
+  std::cout
+      << "\nObservation: with the paper's noise regime almost everything "
+         "correlates in pass 1\nand the retries are cheap insurance; as "
+         "noise approaches the box size the retries\nrecover a substantial "
+         "fraction of returns, at growing ambiguity and cost — which is\n"
+         "why the paper stops doubling after two retries.\n";
+  return 0;
+}

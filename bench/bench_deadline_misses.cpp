@@ -1,0 +1,57 @@
+// T-D reproduction: the paper's deadline claims (Section 6.2).
+//
+// "The NVIDIA-CUDA devices never miss a deadline, nor do they come close
+// to it" while the multi-core "regularly missed a large number of
+// deadlines". We run full major cycles under the real-time executive on
+// every platform and count met/missed/skipped task instances.
+//
+// Expected: zero misses for the three NVIDIA cards, STARAN, and
+// ClearSpeed at every swept size; a growing miss+skip count for the Xeon
+// from the mid-thousands on.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/core/table.hpp"
+
+int main() {
+  using namespace atm;
+  const std::vector<std::size_t> sweep = {1000, 2000, 4000, 8000};
+
+  core::TextTable table({"platform", "aircraft", "task1 met", "task1 miss",
+                         "task1 skip", "task23 met", "task23 miss",
+                         "task23 skip", "verdict"});
+  for (const std::size_t n : sweep) {
+    for (auto& backend :
+         tasks::make_platforms(tasks::PlatformSet::kAllPlatforms)) {
+      tasks::PipelineConfig cfg;
+      cfg.aircraft = n;
+      cfg.major_cycles = 1;
+      cfg.seed = 42 + n;
+      const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
+      const rt::TaskRecord& t1 = result.monitor.task("task1");
+      const rt::TaskRecord& t23 = result.monitor.task("task23");
+      table.begin_row();
+      table.add_cell(backend->name());
+      table.add_cell(n);
+      table.add_cell(static_cast<long long>(t1.met));
+      table.add_cell(static_cast<long long>(t1.missed));
+      table.add_cell(static_cast<long long>(t1.skipped));
+      table.add_cell(static_cast<long long>(t23.met));
+      table.add_cell(static_cast<long long>(t23.missed));
+      table.add_cell(static_cast<long long>(t23.skipped));
+      const std::uint64_t bad = result.monitor.total_missed() +
+                                result.monitor.total_skipped();
+      table.add_cell(bad == 0 ? std::string("all deadlines met")
+                              : std::to_string(bad) + " missed/skipped");
+    }
+  }
+  std::cout << "\n== Deadline accounting over one 8 s major cycle "
+               "(16 x 0.5 s periods) ==\n"
+            << table;
+  std::cout << "\nPASS criteria: NVIDIA/STARAN/ClearSpeed rows read 'all "
+               "deadlines met' at every n;\nthe Xeon accumulates misses "
+               "and skips as n grows.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 4 reproduction: Task 1 (tracking & correlation) timings on all
+// six platforms across aircraft counts.
+//
+// Expected shape (paper Section 6.2): the three NVIDIA cards sit lowest
+// with near-linear curves; STARAN and the ClearSpeed emulation are linear
+// with steeper slopes; the 16-core Xeon grows super-linearly and sits far
+// above everyone at scale.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/atm/platforms.hpp"
+
+int main() {
+  using namespace atm;
+  const auto sweep = bench::default_sweep();
+  std::vector<bench::Series> series;
+  for (auto& backend :
+       tasks::make_platforms(tasks::PlatformSet::kAllPlatforms)) {
+    series.push_back(
+        bench::measure_series(*backend, bench::Task::kTask1, sweep));
+  }
+  bench::print_figure_table(
+      "Figure 4: Task 1 (tracking & correlation), all platforms", series);
+  bench::print_curve_fits(series);
+  std::cout << "\nPASS criteria: every NVIDIA column < STARAN/ClearSpeed/"
+               "Xeon at every n;\nXeon grows fastest and dominates at large "
+               "n.\n";
+  return 0;
+}

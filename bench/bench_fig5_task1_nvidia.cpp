@@ -1,0 +1,24 @@
+// Figure 5 reproduction: Task 1 timings on the three NVIDIA cards only.
+//
+// Expected shape: Titan X (Pascal) < GTX 880M < GeForce 9800 GT at every
+// aircraft count; all three near-linear.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/atm/platforms.hpp"
+
+int main() {
+  using namespace atm;
+  const auto sweep = bench::default_sweep();
+  std::vector<bench::Series> series;
+  for (auto& backend :
+       tasks::make_platforms(tasks::PlatformSet::kNvidiaOnly)) {
+    series.push_back(
+        bench::measure_series(*backend, bench::Task::kTask1, sweep));
+  }
+  bench::print_figure_table("Figure 5: Task 1, NVIDIA cards", series);
+  bench::print_curve_fits(series);
+  std::cout << "\nPASS criteria: Titan X < 880M < 9800 GT at every n; all "
+               "near-linear.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 6 reproduction: Tasks 2+3 (collision detection & resolution)
+// timings on all six platforms across aircraft counts.
+//
+// Expected shape: NVIDIA cards lowest; STARAN/ClearSpeed in the middle
+// (linear-ish); Xeon far above with the steepest growth.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/atm/platforms.hpp"
+
+int main() {
+  using namespace atm;
+  const auto sweep = bench::default_sweep();
+  std::vector<bench::Series> series;
+  for (auto& backend :
+       tasks::make_platforms(tasks::PlatformSet::kAllPlatforms)) {
+    series.push_back(
+        bench::measure_series(*backend, bench::Task::kTask23, sweep));
+  }
+  bench::print_figure_table(
+      "Figure 6: Tasks 2+3 (collision detection & resolution), all "
+      "platforms",
+      series);
+  bench::print_curve_fits(series);
+  std::cout << "\nPASS criteria: every NVIDIA column < STARAN/ClearSpeed/"
+               "Xeon at every n;\nXeon grows fastest and dominates at large "
+               "n.\n";
+  return 0;
+}

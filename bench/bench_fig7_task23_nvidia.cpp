@@ -1,0 +1,23 @@
+// Figure 7 reproduction: Tasks 2+3 timings on the three NVIDIA cards.
+//
+// Expected shape: Titan X < 880M < 9800 GT; curves near-linear (quadratic
+// with a very small coefficient on the narrow 9800 GT — see Figure 9).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/atm/platforms.hpp"
+
+int main() {
+  using namespace atm;
+  const auto sweep = bench::default_sweep();
+  std::vector<bench::Series> series;
+  for (auto& backend :
+       tasks::make_platforms(tasks::PlatformSet::kNvidiaOnly)) {
+    series.push_back(
+        bench::measure_series(*backend, bench::Task::kTask23, sweep));
+  }
+  bench::print_figure_table("Figure 7: Tasks 2+3, NVIDIA cards", series);
+  bench::print_curve_fits(series);
+  std::cout << "\nPASS criteria: Titan X < 880M < 9800 GT at every n.\n";
+  return 0;
+}

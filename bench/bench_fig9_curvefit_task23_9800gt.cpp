@@ -1,0 +1,31 @@
+// Figure 9 reproduction: curve fit of Tasks 2+3 timings on the GeForce
+// 9800 GT.
+//
+// The paper: "The curve for the GeForce 9800 GT's performance with
+// collision detection and resolution shows a curve that seems to fit
+// quadratic better than linear based on the 'goodness of fit' numbers.
+// However, the quadratic coefficient is very small compared to the linear
+// coefficient, which means that this curve is closer to linear than
+// quadratic."
+//
+// Expected: quadratic model preferred by adjusted R-square, quadratic
+// coefficient orders of magnitude below the linear coefficient.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/atm/platforms.hpp"
+
+int main() {
+  using namespace atm;
+  const std::vector<std::size_t> sweep = {250,  500,  750,  1000, 1500,
+                                          2000, 3000, 4000, 6000, 8000};
+  auto backend = tasks::make_geforce_9800_gt();
+  const bench::Series series =
+      bench::measure_series(*backend, bench::Task::kTask23, sweep);
+  bench::print_figure_table(
+      "Figure 9: Tasks 2+3 on GeForce 9800 GT (fit input)", {series});
+  bench::print_fit_detail(series);
+  std::cout << "\nPASS criteria: quadratic preferred by adjusted R^2, with "
+               "quad/linear coefficient ratio << 1.\n";
+  return 0;
+}

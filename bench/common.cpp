@@ -1,0 +1,136 @@
+#include "bench/common.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/airfield/setup.hpp"
+#include "src/core/table.hpp"
+
+namespace atm::bench {
+
+std::vector<std::size_t> default_sweep() {
+  // Starts at 500: below that, fixed launch overheads put the platforms
+  // within noise of each other (the 192-PE ClearSpeed can even undercut
+  // the CC 1.0 card), a regime the paper's figures do not cover.
+  return {500, 1000, 2000, 4000, 8000};
+}
+
+Series measure_series(tasks::Backend& backend, Task task,
+                      const std::vector<std::size_t>& sweep,
+                      int task1_periods, std::uint64_t seed) {
+  Series series;
+  series.platform = backend.name();
+  for (const std::size_t n : sweep) {
+    backend.load(airfield::make_airfield(n, seed + n));
+    core::Rng radar_rng(seed ^ n);
+    double ms = 0.0;
+    if (task == Task::kTask1) {
+      for (int p = 0; p < task1_periods; ++p) {
+        airfield::RadarFrame frame =
+            backend.generate_radar(radar_rng, {}, nullptr);
+        ms += backend.run_task1(frame, {}).modeled_ms;
+      }
+      ms /= task1_periods;
+    } else {
+      // Advance one period first so Tasks 2+3 see post-tracking state,
+      // like the 16th period of a real major cycle.
+      airfield::RadarFrame frame =
+          backend.generate_radar(radar_rng, {}, nullptr);
+      (void)backend.run_task1(frame, {});
+      ms = backend.run_task23({}).modeled_ms;
+    }
+    series.n.push_back(static_cast<double>(n));
+    series.ms.push_back(ms);
+  }
+  return series;
+}
+
+namespace {
+
+/// Kebab-case slug of a figure title, for CSV file names.
+std::string slugify(const std::string& title) {
+  std::string out;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '-') {
+      out += '-';
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+void print_figure_table(const std::string& title,
+                        const std::vector<Series>& series) {
+  std::cout << "\n== " << title << " ==\n";
+  if (series.empty()) return;
+  std::vector<std::string> headers{"aircraft"};
+  for (const Series& s : series) headers.push_back(s.platform + " [ms]");
+  core::TextTable table(std::move(headers));
+  for (std::size_t row = 0; row < series.front().n.size(); ++row) {
+    table.begin_row();
+    table.add_cell(static_cast<long long>(series.front().n[row]));
+    for (const Series& s : series) table.add_cell(s.ms[row], 4);
+  }
+  std::cout << table;
+
+  // Optional machine-readable copy for plotting: set ATM_BENCH_CSV_DIR.
+  if (const char* dir = std::getenv("ATM_BENCH_CSV_DIR")) {
+    const std::string path =
+        std::string(dir) + "/" + slugify(title) + ".csv";
+    if (table.write_csv(path)) {
+      std::cout << "(csv written to " << path << ")\n";
+    }
+  }
+}
+
+void print_curve_fits(const std::vector<Series>& series) {
+  core::TextTable table({"platform", "shape", "lin R^2", "quad R^2",
+                         "quad/lin coeff"});
+  for (const Series& s : series) {
+    const core::CurveShapeReport report =
+        core::analyze_curve_shape(s.n, s.ms);
+    table.begin_row();
+    table.add_cell(s.platform);
+    table.add_cell(report.classification());
+    table.add_cell(report.linear.gof.r2, 6);
+    table.add_cell(report.quadratic.gof.r2, 6);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3e",
+                  report.quad_to_linear_coeff_ratio);
+    table.add_cell(std::string(buf));
+  }
+  std::cout << "\n-- curve shapes (MATLAB-style fits) --\n" << table;
+}
+
+void print_fit_detail(const Series& series) {
+  const core::PolyFit lin = core::fit_linear(series.n, series.ms);
+  const core::PolyFit quad = core::fit_quadratic(series.n, series.ms);
+  std::cout << "\n-- goodness of fit: " << series.platform << " --\n";
+  core::TextTable table({"model", "equation", "SSE", "R-square",
+                         "adj R-square", "RMSE"});
+  for (const auto* fit : {&lin, &quad}) {
+    table.begin_row();
+    table.add_cell(fit->degree() == 1 ? std::string("linear (poly1)")
+                                      : std::string("quadratic (poly2)"));
+    table.add_cell(fit->to_string());
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4e", fit->gof.sse);
+    table.add_cell(std::string(buf));
+    table.add_cell(fit->gof.r2, 6);
+    table.add_cell(fit->gof.adj_r2, 6);
+    std::snprintf(buf, sizeof buf, "%.4e", fit->gof.rmse);
+    table.add_cell(std::string(buf));
+  }
+  std::cout << table;
+  const core::CurveShapeReport report =
+      core::analyze_curve_shape(series.n, series.ms);
+  std::cout << "classification: " << report.classification() << "\n";
+}
+
+}  // namespace atm::bench

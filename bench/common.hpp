@@ -1,0 +1,55 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Every bench prints the same artifacts the paper's evaluation shows: a
+// per-platform timing series over aircraft counts (the figure's data), and
+// a MATLAB-style curve-fit summary (SSE / R-square / adjusted R-square /
+// RMSE) that classifies each curve as linear or (near-linear) quadratic.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/atm/backend.hpp"
+#include "src/core/curvefit.hpp"
+
+namespace atm::bench {
+
+/// Aircraft counts swept by the figure benches. The paper's exact sweep is
+/// not published; this range shows every relationship the figures assert
+/// (platform ordering, near-linear CUDA curves, the multi-core blow-up)
+/// while every platform except the Xeon still meets its deadlines.
+[[nodiscard]] std::vector<std::size_t> default_sweep();
+
+/// A measured (aircraft count, modeled ms) series for one platform.
+struct Series {
+  std::string platform;
+  std::vector<double> n;   ///< Aircraft counts.
+  std::vector<double> ms;  ///< Modeled task time at each count.
+};
+
+/// Which task a sweep measures.
+enum class Task { kTask1, kTask23 };
+
+/// Measure one platform across the sweep. Task 1 timings are averaged over
+/// `task1_periods` consecutive periods (the paper reports per-iteration
+/// averages); Tasks 2+3 run once per point (they run once per major cycle).
+[[nodiscard]] Series measure_series(tasks::Backend& backend, Task task,
+                                    const std::vector<std::size_t>& sweep,
+                                    int task1_periods = 4,
+                                    std::uint64_t seed = 42);
+
+/// Print the figure table: one row per aircraft count, one timing column
+/// per platform.
+void print_figure_table(const std::string& title,
+                        const std::vector<Series>& series);
+
+/// Print the MATLAB-style fit report for each platform's series: linear
+/// and quadratic goodness of fit plus the shape classification.
+void print_curve_fits(const std::vector<Series>& series);
+
+/// Print one platform's full fit detail (Figures 8 and 9).
+void print_fit_detail(const Series& series);
+
+}  // namespace atm::bench

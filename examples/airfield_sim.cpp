@@ -1,0 +1,61 @@
+// Long-running airfield simulation with live statistics.
+//
+//   $ ./airfield_sim [aircraft] [major_cycles]
+//
+// Demonstrates: driving the pipeline cycle by cycle with
+// run_pipeline_loaded, watching the airfield evolve (correlation quality,
+// conflicts, grid re-entries), and reading per-period logs.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/core/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace atm;
+
+  const std::size_t aircraft =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 800;
+  const int cycles = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  auto backend = tasks::make_gtx_880m();
+  backend->load(airfield::make_airfield(aircraft, 31));
+
+  std::cout << "simulating " << aircraft << " aircraft for " << cycles
+            << " major cycles (" << cycles * 8 << " simulated seconds) on "
+            << backend->name() << "\n\n";
+
+  core::TextTable table({"cycle", "avg task1 [ms]", "task23 [ms]",
+                         "correlated", "conflicts", "critical", "resolved",
+                         "re-entries"});
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    tasks::PipelineConfig cfg;
+    cfg.aircraft = aircraft;  // informational; state already loaded
+    cfg.major_cycles = 1;
+    cfg.seed = 31 + static_cast<std::uint64_t>(cycle);
+    const tasks::PipelineResult result =
+        tasks::run_pipeline_loaded(*backend, cfg);
+
+    std::size_t wrapped = 0;
+    for (const tasks::PeriodLog& log : result.periods) {
+      wrapped += log.wrapped;
+    }
+    table.begin_row();
+    table.add_cell(static_cast<long long>(cycle));
+    table.add_cell(result.task1_ms.mean(), 4);
+    table.add_cell(result.task23_ms.mean(), 4);
+    table.add_cell(static_cast<long long>(result.last_task1.matched));
+    table.add_cell(static_cast<long long>(result.last_task23.conflicts));
+    table.add_cell(static_cast<long long>(result.last_task23.critical));
+    table.add_cell(static_cast<long long>(result.last_task23.resolved));
+    table.add_cell(static_cast<long long>(wrapped));
+  }
+  std::cout << table
+            << "\nAircraft leaving the 256 nm field re-enter at (-x, -y) "
+               "with the same velocity\n(Section 4.1), so the population "
+               "is constant and the airfield reaches a steady\nconflict "
+               "rate after the first cycles.\n";
+  return 0;
+}

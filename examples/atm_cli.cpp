@@ -1,0 +1,163 @@
+// atm_cli — drive the whole library from the command line.
+//
+//   $ ./atm_cli --platform titanx --scenario dense-en-route --cycles 2
+//   $ ./atm_cli --platform staran --aircraft 4000 --multi-radar
+//   $ ./atm_cli --list
+//
+// Options:
+//   --list                 print platforms and scenarios, then exit
+//   --platform NAME        9800gt | 880m | titanx | staran | clearspeed |
+//                          xeon | phi | reference        (default titanx)
+//   --scenario NAME        one of the preset scenarios    (default paper-airfield)
+//   --aircraft N           override the scenario's fleet size
+//   --cycles N             major cycles to run            (default 1)
+//   --seed N               simulation seed                (default 42)
+//   --multi-radar          use the multi-tower radar environment
+//   --full                 run the complete ATM system (terrain, display,
+//                          advisory, sporadic) instead of the core tasks
+//   --retrace ID           after the run, print aircraft ID's last 16
+//                          recorded positions (core pipeline only)
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "src/airfield/history.hpp"
+#include "src/atm/extended/full_pipeline.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/atm/scenarios.hpp"
+#include "src/core/table.hpp"
+
+namespace {
+
+using namespace atm;
+
+std::unique_ptr<tasks::Backend> make_platform(const std::string& key) {
+  if (key == "9800gt") return tasks::make_geforce_9800_gt();
+  if (key == "880m") return tasks::make_gtx_880m();
+  if (key == "titanx") return tasks::make_titan_x_pascal();
+  if (key == "staran") return tasks::make_staran();
+  if (key == "clearspeed") return tasks::make_clearspeed();
+  if (key == "xeon") return tasks::make_xeon();
+  if (key == "phi") return tasks::make_xeon_phi();
+  if (key == "reference") return tasks::make_reference();
+  return nullptr;
+}
+
+void list_options() {
+  std::cout << "platforms:\n  9800gt 880m titanx staran clearspeed xeon "
+               "phi reference\n\nscenarios:\n";
+  for (const tasks::Scenario& s : tasks::all_scenarios()) {
+    std::cout << "  " << s.name << " (default " << s.default_aircraft
+              << " aircraft)\n      " << s.description << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string platform_key = "titanx";
+  std::string scenario_key = "paper-airfield";
+  std::size_t aircraft_override = 0;
+  int cycles = 1;
+  std::uint64_t seed = 42;
+  bool multi_radar = false;
+  bool full_system = false;
+  int retrace_id = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--list") {
+      list_options();
+      return 0;
+    } else if (arg == "--platform") {
+      platform_key = next();
+    } else if (arg == "--scenario") {
+      scenario_key = next();
+    } else if (arg == "--aircraft") {
+      aircraft_override = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--cycles") {
+      cycles = std::atoi(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--multi-radar") {
+      multi_radar = true;
+    } else if (arg == "--full") {
+      full_system = true;
+    } else if (arg == "--retrace") {
+      retrace_id = std::atoi(next());
+    } else {
+      std::cerr << "unknown option " << arg << " (try --list)\n";
+      return 2;
+    }
+  }
+
+  auto backend = make_platform(platform_key);
+  if (backend == nullptr) {
+    std::cerr << "unknown platform '" << platform_key << "' (try --list)\n";
+    return 2;
+  }
+  const tasks::Scenario* scenario = nullptr;
+  static const auto scenarios = tasks::all_scenarios();
+  for (const tasks::Scenario& s : scenarios) {
+    if (s.name == scenario_key) scenario = &s;
+  }
+  if (scenario == nullptr) {
+    std::cerr << "unknown scenario '" << scenario_key << "' (try --list)\n";
+    return 2;
+  }
+
+  std::cout << "platform : " << backend->name() << "\n"
+            << "scenario : " << scenario->name << "\n";
+
+  if (full_system) {
+    tasks::extended::FullSystemConfig cfg =
+        tasks::make_full_config(*scenario, cycles, seed);
+    if (aircraft_override > 0) cfg.aircraft = aircraft_override;
+    cfg.multi_radar = multi_radar;
+    std::cout << "aircraft : " << cfg.aircraft << "\nmode     : complete "
+              << "ATM system" << (multi_radar ? " + multi-tower radar" : "")
+              << "\n\n";
+    const auto result = tasks::extended::run_full_system(*backend, cfg);
+    std::cout << result.monitor.summary() << "\n";
+    const auto bad =
+        result.monitor.total_missed() + result.monitor.total_skipped();
+    std::cout << (bad == 0 ? "all deadlines met\n"
+                           : std::to_string(bad) + " missed/skipped\n");
+    return bad == 0 ? 0 : 1;
+  }
+
+  tasks::PipelineConfig cfg =
+      tasks::make_pipeline_config(*scenario, cycles, seed);
+  if (aircraft_override > 0) cfg.aircraft = aircraft_override;
+  std::cout << "aircraft : " << cfg.aircraft << "\nmode     : core tasks\n\n";
+  airfield::FlightRecorder recorder(cfg.aircraft,
+                                    16 * std::max(1, cycles));
+  cfg.recorder = &recorder;
+  const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
+  std::cout << result.monitor.summary() << "\n";
+
+  if (retrace_id >= 0) {
+    std::cout << "retrace of aircraft " << retrace_id
+              << " (last 16 periods):\n";
+    core::TextTable track({"period", "x [nm]", "y [nm]", "alt [ft]"});
+    for (const airfield::TrackPoint& p :
+         recorder.retrace(retrace_id, 16)) {
+      track.begin_row();
+      track.add_cell(static_cast<long long>(p.period));
+      track.add_cell(p.x, 3);
+      track.add_cell(p.y, 3);
+      track.add_cell(p.alt, 0);
+    }
+    std::cout << track;
+  }
+  const auto bad =
+      result.monitor.total_missed() + result.monitor.total_skipped();
+  std::cout << (bad == 0 ? "all deadlines met\n"
+                         : std::to_string(bad) + " missed/skipped\n");
+  return bad == 0 ? 0 : 1;
+}

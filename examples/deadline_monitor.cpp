@@ -1,0 +1,72 @@
+// Real-time executive demo: watch a deterministic platform hold every
+// deadline while the shared-memory multi-core misses and skips.
+//
+//   $ ./deadline_monitor [aircraft]
+//
+// Demonstrates: per-period deadline outcomes, the skip cascade when a
+// platform overruns (paper Section 3: tasks whose period already ended
+// must be skipped), and the difference between deterministic and
+// MIMD-jittered timing.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/core/table.hpp"
+
+namespace {
+
+const char* outcome_str(atm::rt::Outcome outcome) {
+  switch (outcome) {
+    case atm::rt::Outcome::kMet:
+      return "met";
+    case atm::rt::Outcome::kMissed:
+      return "MISSED";
+    case atm::rt::Outcome::kSkipped:
+      return "SKIPPED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace atm;
+
+  const std::size_t aircraft =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4000;
+
+  for (auto make : {&tasks::make_titan_x_pascal, &tasks::make_xeon}) {
+    auto backend = make();
+    tasks::PipelineConfig cfg;
+    cfg.aircraft = aircraft;
+    cfg.major_cycles = 1;
+    const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
+
+    std::cout << "\n== " << backend->name() << " — one major cycle, "
+              << aircraft << " aircraft ==\n";
+    core::TextTable table({"period", "task1 [ms]", "task1", "task23 [ms]",
+                           "task23"});
+    for (const tasks::PeriodLog& log : result.periods) {
+      table.begin_row();
+      table.add_cell(static_cast<long long>(log.period));
+      table.add_cell(log.task1_ms, 3);
+      table.add_cell(std::string(outcome_str(log.task1_outcome)));
+      if (log.period == 15) {
+        table.add_cell(log.task23_ms, 3);
+        table.add_cell(std::string(outcome_str(log.task23_outcome)));
+      } else {
+        table.add_cell(std::string("-"));
+        table.add_cell(std::string("-"));
+      }
+    }
+    std::cout << table << result.monitor.summary();
+  }
+
+  std::cout << "\nThe half-second period budget is absolute: an overrun "
+               "delays everything behind\nit, and tasks whose period has "
+               "already ended are skipped — which is how the\nXeon "
+               "accumulates the paper's 'large number of missed "
+               "deadlines'.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Compare the paper's three NVIDIA device models on one workload.
+//
+//   $ ./device_compare [aircraft]
+//
+// Demonstrates: building CUDA backends from DeviceSpecs, running single
+// tasks outside the pipeline, and reading device totals (kernel time,
+// transfer time, launch counts) from the SIMT engine.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/cuda_backend.hpp"
+#include "src/core/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace atm;
+
+  const std::size_t aircraft =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4000;
+
+  // One shared airfield: the cards must produce identical results, so any
+  // timing difference is purely the device model.
+  const airfield::FlightDb field = airfield::make_airfield(aircraft, 7);
+
+  core::TextTable table({"device", "CC", "cores", "radar [ms]", "task1 [ms]",
+                         "task2+3 [ms]", "kernel launches",
+                         "bytes moved"});
+  for (const auto& spec : simt::paper_device_catalog()) {
+    tasks::CudaBackend card(spec);
+    card.load(field);
+    core::Rng rng(99);
+    double radar_ms = 0.0;
+    airfield::RadarFrame frame = card.generate_radar(rng, {}, &radar_ms);
+    const tasks::Task1Result r1 = card.run_task1(frame, {});
+    const tasks::Task23Result r23 = card.run_task23({});
+
+    table.begin_row();
+    table.add_cell(spec.name);
+    char cc[32];
+    std::snprintf(cc, sizeof cc, "%d.%d", spec.compute_capability / 10,
+                  spec.compute_capability % 10);
+    table.add_cell(std::string(cc));
+    table.add_cell(static_cast<long long>(spec.total_cores()));
+    table.add_cell(radar_ms, 4);
+    table.add_cell(r1.modeled_ms, 4);
+    table.add_cell(r23.modeled_ms, 4);
+    table.add_cell(static_cast<long long>(card.device().totals().launches));
+    table.add_cell(
+        static_cast<long long>(card.device().totals().bytes_moved));
+  }
+  std::cout << "workload: " << aircraft << " aircraft, one period + one "
+            << "collision pass\n\n"
+            << table
+            << "\nSame program, same results — the modeled time orders by "
+               "SM count x clock,\nexactly the Section 6 observation that "
+               "'there is a difference in execution\ntime but the code is "
+               "the same'.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// The dynamic flight database: one record per tracked aircraft.
+//
+// Mirrors the paper's `drone` structure (Section 5): position (x, y),
+// per-period velocity (dx, dy), the Batcher trial path (batx, baty),
+// altitude, collision flags (col, time_till, colWith), and the
+// tracking-correlation match flag (rMatch). Stored struct-of-arrays: the
+// associative and SIMD machines operate field-parallel, and the SIMT
+// engine's coalescing model rewards it for the same reason real CUDA does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/units.hpp"
+#include "src/core/vec2.hpp"
+
+namespace atm::airfield {
+
+/// Sentinel ids used by the correlation and collision fields.
+inline constexpr std::int32_t kNone = -1;       ///< No match / no collision.
+inline constexpr std::int32_t kDiscarded = -2;  ///< Radar dropped (ambiguous).
+/// Multi-tower correlation only: the return covered exactly one aircraft
+/// but a closer return from another tower won the correlation.
+inline constexpr std::int32_t kRedundant = -3;
+
+/// rMatch states for an aircraft during Task 1 (paper Section 5.1).
+enum class MatchState : std::int8_t {
+  kUnmatched = 0,   ///< No radar correlated yet.
+  kMatched = 1,     ///< Exactly one radar correlated.
+  kAmbiguous = -1,  ///< Multiple radars hit: keep expected position.
+};
+
+/// Struct-of-arrays flight records.
+class FlightDb {
+ public:
+  FlightDb() = default;
+  explicit FlightDb(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n);
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+  [[nodiscard]] bool empty() const { return x.empty(); }
+
+  // --- persistent flight state -------------------------------------------
+  std::vector<double> x;    ///< Position east (nm).
+  std::vector<double> y;    ///< Position north (nm).
+  std::vector<double> dx;   ///< Velocity east (nm/period).
+  std::vector<double> dy;   ///< Velocity north (nm/period).
+  std::vector<double> alt;  ///< Altitude (feet).
+
+  // --- per-task working state --------------------------------------------
+  std::vector<double> batx;  ///< Trial-path velocity east (Task 3).
+  std::vector<double> baty;  ///< Trial-path velocity north (Task 3).
+  std::vector<std::int8_t> rmatch;     ///< MatchState as raw int.
+  std::vector<std::uint8_t> col;       ///< Collision anticipated this cycle.
+  std::vector<double> time_till;       ///< Periods until soonest collision.
+  std::vector<std::int32_t> col_with;  ///< Partner aircraft id or kNone.
+
+  // --- extended-system working state (complete ATM task set) -------------
+  std::vector<std::uint8_t> terrain_warn;  ///< Terrain-avoidance flag.
+  std::vector<std::int32_t> sector;        ///< Display sector id or kNone.
+
+  /// Position of aircraft i as a vector.
+  [[nodiscard]] core::Vec2 pos(std::size_t i) const {
+    return core::Vec2{x[i], y[i]};
+  }
+  /// Velocity (nm/period) of aircraft i as a vector.
+  [[nodiscard]] core::Vec2 vel(std::size_t i) const {
+    return core::Vec2{dx[i], dy[i]};
+  }
+  /// Expected position one period ahead (Task 1's prediction).
+  [[nodiscard]] core::Vec2 expected(std::size_t i) const {
+    return core::Vec2{x[i] + dx[i], y[i] + dy[i]};
+  }
+
+  /// Reset the per-task working fields to their pre-task defaults.
+  void reset_correlation_state();
+  void reset_collision_state();
+
+  /// Exact equality of persistent state (positions, velocities, altitude)
+  /// with another database — the cross-backend equivalence check.
+  [[nodiscard]] bool same_flight_state(const FlightDb& other,
+                                       double tol = 0.0) const;
+};
+
+/// Apply the paper's grid re-entry rule to aircraft i: an aircraft leaving
+/// the field at (x, y) re-enters at (-x, -y) with unchanged velocity.
+/// Returns true if the aircraft wrapped.
+bool apply_reentry(FlightDb& db, std::size_t i);
+
+/// Apply re-entry to all aircraft; returns the number wrapped.
+std::size_t apply_reentry_all(FlightDb& db);
+
+}  // namespace atm::airfield

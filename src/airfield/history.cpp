@@ -1,0 +1,84 @@
+#include "src/airfield/history.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace atm::airfield {
+
+FlightRecorder::FlightRecorder(std::size_t aircraft, int capacity_periods)
+    : aircraft_(aircraft), capacity_(capacity_periods) {
+  if (capacity_periods <= 0) {
+    throw std::invalid_argument("FlightRecorder: capacity must be positive");
+  }
+  ring_.resize(static_cast<std::size_t>(capacity_) * aircraft_);
+}
+
+int FlightRecorder::recorded() const {
+  return static_cast<int>(
+      std::min<std::int64_t>(next_, static_cast<std::int64_t>(capacity_)));
+}
+
+void FlightRecorder::record(const FlightDb& db) {
+  if (db.size() != aircraft_) {
+    throw std::invalid_argument("FlightRecorder: aircraft count mismatch");
+  }
+  const auto row =
+      static_cast<std::size_t>(next_ % capacity_) * aircraft_;
+  for (std::size_t i = 0; i < aircraft_; ++i) {
+    ring_[row + i] = TrackPoint{next_, db.x[i], db.y[i], db.alt[i]};
+  }
+  ++next_;
+}
+
+const TrackPoint& FlightRecorder::at(std::int64_t period,
+                                     std::size_t aircraft_id) const {
+  const auto row =
+      static_cast<std::size_t>(period % capacity_) * aircraft_;
+  return ring_[row + aircraft_id];
+}
+
+std::vector<TrackPoint> FlightRecorder::retrace(std::int32_t aircraft_id,
+                                                int count) const {
+  std::vector<TrackPoint> out;
+  if (aircraft_id < 0 ||
+      static_cast<std::size_t>(aircraft_id) >= aircraft_ || next_ == 0) {
+    return out;
+  }
+  const std::int64_t oldest =
+      std::max<std::int64_t>(0, next_ - recorded());
+  const std::int64_t from =
+      std::max(oldest, next_ - static_cast<std::int64_t>(count));
+  for (std::int64_t p = from; p < next_; ++p) {
+    out.push_back(at(p, static_cast<std::size_t>(aircraft_id)));
+  }
+  return out;
+}
+
+std::optional<TrackPoint> FlightRecorder::last_known(
+    std::int32_t aircraft_id) const {
+  if (aircraft_id < 0 ||
+      static_cast<std::size_t>(aircraft_id) >= aircraft_ || next_ == 0) {
+    return std::nullopt;
+  }
+  return at(next_ - 1, static_cast<std::size_t>(aircraft_id));
+}
+
+std::optional<TrackPoint> FlightRecorder::extrapolate(
+    std::int32_t aircraft_id, double periods_ahead) const {
+  if (recorded() < 2) return std::nullopt;
+  if (aircraft_id < 0 ||
+      static_cast<std::size_t>(aircraft_id) >= aircraft_) {
+    return std::nullopt;
+  }
+  const auto id = static_cast<std::size_t>(aircraft_id);
+  const TrackPoint& last = at(next_ - 1, id);
+  const TrackPoint& prev = at(next_ - 2, id);
+  TrackPoint out;
+  out.period = last.period + static_cast<std::int64_t>(periods_ahead);
+  out.x = last.x + (last.x - prev.x) * periods_ahead;
+  out.y = last.y + (last.y - prev.y) * periods_ahead;
+  out.alt = last.alt + (last.alt - prev.alt) * periods_ahead;
+  return out;
+}
+
+}  // namespace atm::airfield

@@ -1,0 +1,72 @@
+// Flight history recording and retrace.
+//
+// Paper Section 4.1: "All radar in the USA is saved and can be used to
+// retrace the flight of aircraft that has disappeared over large
+// uninhabited areas including oceans." This module provides that
+// capability for the simulation: a ring-buffer recorder snapshots every
+// aircraft's tracked position each period, and retrace queries reconstruct
+// a flight's recent trajectory — including its last known position after
+// it "disappears" (stops being tracked).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/airfield/flight_db.hpp"
+
+namespace atm::airfield {
+
+/// One recorded sample of one aircraft.
+struct TrackPoint {
+  std::int64_t period = 0;  ///< Global period index of the sample.
+  double x = 0.0;           ///< Tracked position east (nm).
+  double y = 0.0;           ///< Tracked position north (nm).
+  double alt = 0.0;         ///< Altitude (feet).
+};
+
+/// Fixed-capacity ring buffer of per-period position snapshots.
+class FlightRecorder {
+ public:
+  /// Record up to `capacity_periods` most-recent periods for `aircraft`
+  /// flights.
+  FlightRecorder(std::size_t aircraft, int capacity_periods);
+
+  [[nodiscard]] std::size_t aircraft() const { return aircraft_; }
+  [[nodiscard]] int capacity() const { return capacity_; }
+  /// Periods currently held (saturates at capacity).
+  [[nodiscard]] int recorded() const;
+  /// Global index of the latest recorded period, or -1 when empty.
+  [[nodiscard]] std::int64_t latest_period() const { return next_ - 1; }
+
+  /// Snapshot the database's current positions as the next period.
+  /// The database size must match the recorder's aircraft count.
+  void record(const FlightDb& db);
+
+  /// The last `count` recorded samples of one aircraft, oldest first.
+  /// Fewer are returned if the history is shorter.
+  [[nodiscard]] std::vector<TrackPoint> retrace(std::int32_t aircraft_id,
+                                                int count) const;
+
+  /// The most recent recorded sample of one aircraft (its "last known
+  /// position"), or nullopt when nothing is recorded.
+  [[nodiscard]] std::optional<TrackPoint> last_known(
+      std::int32_t aircraft_id) const;
+
+  /// Straight-line extrapolation from the last two samples, `periods`
+  /// ahead of the latest record — the search-planning estimate for a
+  /// disappeared flight. Requires >= 2 recorded periods.
+  [[nodiscard]] std::optional<TrackPoint> extrapolate(
+      std::int32_t aircraft_id, double periods_ahead) const;
+
+ private:
+  [[nodiscard]] const TrackPoint& at(std::int64_t period,
+                                     std::size_t aircraft_id) const;
+
+  std::size_t aircraft_;
+  int capacity_;
+  std::int64_t next_ = 0;  ///< Next global period index to write.
+  std::vector<TrackPoint> ring_;  ///< capacity x aircraft, row per period.
+};
+
+}  // namespace atm::airfield

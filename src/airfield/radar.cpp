@@ -1,0 +1,80 @@
+#include "src/airfield/radar.hpp"
+
+#include <algorithm>
+
+namespace atm::airfield {
+
+void RadarFrame::resize(std::size_t n) {
+  rx.resize(n, 0.0);
+  ry.resize(n, 0.0);
+  rmatch_with.resize(n, kNone);
+  truth.resize(n, kNone);
+}
+
+void RadarFrame::reset_matches() {
+  std::fill(rmatch_with.begin(), rmatch_with.end(), kNone);
+}
+
+RadarFrame generate_radar(const FlightDb& db, core::Rng& rng,
+                          const RadarParams& params) {
+  RadarFrame frame;
+  frame.resize(db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const core::Vec2 expected = db.expected(i);
+    const double nx = rng.uniform(-params.noise_nm, params.noise_nm);
+    const double ny = rng.uniform(-params.noise_nm, params.noise_nm);
+    bool dropped = false;
+    if (params.dropout_probability > 0.0) {
+      dropped = rng.uniform() < params.dropout_probability;
+    }
+    if (dropped) {
+      frame.rx[i] = kDropoutCoordinate;
+      frame.ry[i] = kDropoutCoordinate;
+      frame.truth[i] = kNone;
+    } else {
+      frame.rx[i] = expected.x + nx;
+      frame.ry[i] = expected.y + ny;
+      frame.truth[i] = static_cast<std::int32_t>(i);
+    }
+  }
+  quarter_reversal_shuffle(frame);
+  return frame;
+}
+
+void quarter_reversal_shuffle(RadarFrame& frame) {
+  const std::size_t n = frame.size();
+  if (n < 2) return;
+  const std::size_t quarter = n / 4;
+  auto reverse_range = [&frame](std::size_t lo, std::size_t hi) {
+    std::reverse(frame.rx.begin() + static_cast<std::ptrdiff_t>(lo),
+                 frame.rx.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::reverse(frame.ry.begin() + static_cast<std::ptrdiff_t>(lo),
+                 frame.ry.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::reverse(frame.truth.begin() + static_cast<std::ptrdiff_t>(lo),
+                 frame.truth.begin() + static_cast<std::ptrdiff_t>(hi));
+  };
+  if (quarter == 0) {
+    // Fewer than 4 returns: a single whole-array reversal still
+    // de-correlates the order.
+    reverse_range(0, n);
+    return;
+  }
+  for (int q = 0; q < 4; ++q) {
+    const std::size_t lo = static_cast<std::size_t>(q) * quarter;
+    const std::size_t hi = (q == 3) ? n : lo + quarter;
+    reverse_range(lo, hi);
+  }
+}
+
+std::size_t count_correct_matches(const RadarFrame& frame) {
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < frame.size(); ++r) {
+    if (frame.rmatch_with[r] >= 0 &&
+        frame.rmatch_with[r] == frame.truth[r]) {
+      ++correct;
+    }
+  }
+  return correct;
+}
+
+}  // namespace atm::airfield

@@ -1,0 +1,70 @@
+// GenerateRadarData: synthesize the per-period radar returns
+// (paper Sections 4.1 and 5.1).
+//
+// Each period, every aircraft produces (at most) one radar return equal to
+// its expected position plus a small random noise in both coordinates.
+// The return list is then deliberately de-correlated from the aircraft
+// order — the paper splits the array into fourths and reverses each fourth
+// on the host — so that Task 1 has real work to do.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/airfield/flight_db.hpp"
+#include "src/core/rng.hpp"
+
+namespace atm::airfield {
+
+/// One period's radar returns, struct-of-arrays like the flight records.
+struct RadarFrame {
+  std::vector<double> rx;  ///< Measured east position (nm).
+  std::vector<double> ry;  ///< Measured north position (nm).
+  /// Working field of Task 1: kNone (unmatched), kDiscarded, or the id of
+  /// the correlated aircraft.
+  std::vector<std::int32_t> rmatch_with;
+  /// Ground truth: which aircraft produced this return. Never read by the
+  /// ATM tasks; used only to score correlation quality in tests/benches.
+  std::vector<std::int32_t> truth;
+
+  [[nodiscard]] std::size_t size() const { return rx.size(); }
+  void resize(std::size_t n);
+  /// Reset the working field before a Task 1 run.
+  void reset_matches();
+};
+
+/// Radar generation parameters.
+struct RadarParams {
+  /// Maximum magnitude of the positional noise added to each coordinate
+  /// (uniform in [-noise, +noise] nm). Kept below the initial 0.5 nm
+  /// half-box so a clean return correlates on the first pass.
+  double noise_nm = 0.25;
+  /// Probability that an aircraft produces no return this period ("a radar
+  /// report may not be obtained for some aircraft during some periods").
+  /// A dropped return is represented by an off-field sentinel position so
+  /// frame size stays n (as in the paper's fixed-size arrays).
+  double dropout_probability = 0.0;
+};
+
+/// Off-field sentinel for dropped returns.
+inline constexpr double kDropoutCoordinate = 1.0e6;
+
+/// Generate one radar frame from the *expected* next-period positions of
+/// the aircraft in `db` (pos + vel), with noise from `rng`, then apply the
+/// paper's quarter-reversal shuffle. Draws exactly 2 noise values plus one
+/// dropout value (when dropout is enabled) per aircraft, in index order, so
+/// every backend consuming the same seed sees the same frame.
+[[nodiscard]] RadarFrame generate_radar(const FlightDb& db, core::Rng& rng,
+                                        const RadarParams& params = {});
+
+/// The paper's host-side shuffle: split the frame into fourths and reverse
+/// each fourth in place. Exposed separately for tests and for the CUDA
+/// backend, which models the device->host->device round trip around it.
+void quarter_reversal_shuffle(RadarFrame& frame);
+
+/// Score a correlation result against ground truth: the number of radars
+/// whose rmatch_with equals their true aircraft.
+[[nodiscard]] std::size_t count_correct_matches(const RadarFrame& frame);
+
+}  // namespace atm::airfield

@@ -1,0 +1,74 @@
+#include "src/airfield/setup.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atm::airfield {
+
+FlightInit draw_flight(core::Rng& rng, const SetupParams& params) {
+  FlightInit init;
+
+  // Position: magnitude in [0, max), sign from the paper's parity draw
+  // ("if this number is even, then the value of x will be negative"; for y
+  // the odd draw flips).
+  const double px = rng.uniform(0.0, params.position_max_nm);
+  const double py = rng.uniform(0.0, params.position_max_nm);
+  const double sx = rng.paper_sign(/*negative_on_even=*/true);
+  const double sy = rng.paper_sign(/*negative_on_even=*/false);
+  init.x = px * sx;
+  init.y = py * sy;
+
+  // Speed and direction. The paper draws |dx| from the same [30, 600]
+  // range as the speed; |dx| cannot exceed S for dy to be real, so the
+  // draw is clamped to S (the re-written CUDA program does the same).
+  const double speed =
+      rng.uniform(params.min_speed_knots, params.max_speed_knots);
+  const double dx_knots =
+      std::min(rng.uniform(params.min_speed_knots, params.max_speed_knots),
+               speed);
+  const double dy_knots =
+      std::sqrt(std::max(0.0, speed * speed - dx_knots * dx_knots));
+  const double sdx = rng.paper_sign(/*negative_on_even=*/true);
+  const double sdy = rng.paper_sign(/*negative_on_even=*/false);
+
+  init.dx = core::knots_to_nm_per_period(dx_knots * sdx);
+  init.dy = core::knots_to_nm_per_period(dy_knots * sdy);
+
+  init.alt =
+      rng.uniform(params.min_altitude_feet, params.max_altitude_feet);
+  return init;
+}
+
+void setup_flight(FlightDb& db, std::size_t i, core::Rng& rng,
+                  const SetupParams& params) {
+  const FlightInit init = draw_flight(rng, params);
+  db.x[i] = init.x;
+  db.y[i] = init.y;
+  db.dx[i] = init.dx;
+  db.dy[i] = init.dy;
+  db.alt[i] = init.alt;
+
+  db.batx[i] = db.dx[i];
+  db.baty[i] = db.dy[i];
+  db.rmatch[i] = static_cast<std::int8_t>(MatchState::kUnmatched);
+  db.col[i] = 0;
+  db.time_till[i] = core::kCriticalTimePeriods;
+  db.col_with[i] = kNone;
+}
+
+void setup_all_flights(FlightDb& db, core::Rng& rng,
+                       const SetupParams& params) {
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    setup_flight(db, i, rng, params);
+  }
+}
+
+FlightDb make_airfield(std::size_t n, std::uint64_t seed,
+                       const SetupParams& params) {
+  FlightDb db(n);
+  core::Rng rng(seed);
+  setup_all_flights(db, rng, params);
+  return db;
+}
+
+}  // namespace atm::airfield

@@ -1,0 +1,56 @@
+// SetupFlight: initialize the simulated airfield (paper Section 4.1).
+#pragma once
+
+#include <cstddef>
+
+#include "src/airfield/flight_db.hpp"
+#include "src/core/rng.hpp"
+
+namespace atm::airfield {
+
+/// Parameters of the paper's SetupFlight procedure. Defaults are exactly
+/// the values of Section 4.1.
+struct SetupParams {
+  double position_max_nm = core::kSetupPositionMaxNm;  ///< |x|,|y| draw max.
+  double min_speed_knots = core::kMinSpeedKnots;
+  double max_speed_knots = core::kMaxSpeedKnots;
+  double min_altitude_feet = core::kMinAltitudeFeet;
+  double max_altitude_feet = core::kMaxAltitudeFeet;
+};
+
+/// The values SetupFlight assigns to one aircraft.
+struct FlightInit {
+  double x = 0.0;
+  double y = 0.0;
+  double dx = 0.0;  ///< nm/period.
+  double dy = 0.0;  ///< nm/period.
+  double alt = 0.0;
+};
+
+/// Draw one aircraft's initial state from `rng` using the paper's draw
+/// sequence (shared by the host SetupFlight and the CUDA SetupFlight
+/// kernel).
+[[nodiscard]] FlightInit draw_flight(core::Rng& rng,
+                                     const SetupParams& params = {});
+
+/// Initialize aircraft record i in-place, consuming randomness from `rng`
+/// with the paper's draw sequence:
+///   1. x, y uniform in [0, position_max); each sign decided by drawing an
+///      integer in [0, 50] and testing parity,
+///   2. speed S uniform in [min_speed, max_speed] knots,
+///   3. |dx| uniform in [min_speed, max_speed] clamped to <= S, sign
+///      random; |dy| = sqrt(S^2 - dx^2), sign random,
+///   4. dx, dy converted from nm/hour to nm/period (divide by 7200),
+///   5. altitude uniform in [min_altitude, max_altitude].
+void setup_flight(FlightDb& db, std::size_t i, core::Rng& rng,
+                  const SetupParams& params = {});
+
+/// Initialize all n records (the host-reference SetupFlight kernel).
+void setup_all_flights(FlightDb& db, core::Rng& rng,
+                       const SetupParams& params = {});
+
+/// Create a ready-to-fly database of n aircraft from a seed.
+[[nodiscard]] FlightDb make_airfield(std::size_t n, std::uint64_t seed,
+                                     const SetupParams& params = {});
+
+}  // namespace atm::airfield

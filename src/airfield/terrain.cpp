@@ -1,0 +1,79 @@
+#include "src/airfield/terrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atm::airfield {
+
+TerrainMap::TerrainMap(std::uint64_t seed, const TerrainParams& params)
+    : cells_(params.grid_cells) {
+  const int corners = cells_ + 1;
+  data_.assign(static_cast<std::size_t>(corners) * corners, 0.0);
+
+  // Sum of Gaussian hills with random centres, widths, and heights.
+  core::Rng rng(seed);
+  struct Hill {
+    double cx, cy, sigma, height;
+  };
+  std::vector<Hill> hills;
+  hills.reserve(static_cast<std::size_t>(params.hill_count));
+  for (int h = 0; h < params.hill_count; ++h) {
+    hills.push_back(Hill{
+        rng.uniform(-core::kGridHalfExtentNm, core::kGridHalfExtentNm),
+        rng.uniform(-core::kGridHalfExtentNm, core::kGridHalfExtentNm),
+        rng.uniform(params.min_sigma_nm, params.max_sigma_nm),
+        rng.uniform(0.15, 1.0),
+    });
+  }
+
+  const double cell_nm = 2.0 * core::kGridHalfExtentNm / cells_;
+  double raw_peak = 0.0;
+  for (int row = 0; row < corners; ++row) {
+    const double y = -core::kGridHalfExtentNm + row * cell_nm;
+    for (int col = 0; col < corners; ++col) {
+      const double x = -core::kGridHalfExtentNm + col * cell_nm;
+      double z = 0.0;
+      for (const Hill& hill : hills) {
+        const double dx = x - hill.cx;
+        const double dy = y - hill.cy;
+        z += hill.height *
+             std::exp(-(dx * dx + dy * dy) / (2.0 * hill.sigma * hill.sigma));
+      }
+      data_[static_cast<std::size_t>(row) * corners + col] = z;
+      raw_peak = std::max(raw_peak, z);
+    }
+  }
+
+  // Normalize so the tallest point is max_peak_feet.
+  const double scale =
+      raw_peak > 0.0 ? params.max_peak_feet / raw_peak : 0.0;
+  for (double& z : data_) z *= scale;
+  peak_ = raw_peak * scale;
+}
+
+double TerrainMap::to_cell(double coord_nm) const {
+  const double clamped = std::clamp(coord_nm, -core::kGridHalfExtentNm,
+                                    core::kGridHalfExtentNm);
+  return (clamped + core::kGridHalfExtentNm) /
+         (2.0 * core::kGridHalfExtentNm) * cells_;
+}
+
+double TerrainMap::elevation_at(double x, double y) const {
+  const int corners = cells_ + 1;
+  const double fx = to_cell(x);
+  const double fy = to_cell(y);
+  const int cx = std::min(static_cast<int>(fx), cells_ - 1);
+  const int cy = std::min(static_cast<int>(fy), cells_ - 1);
+  const double tx = fx - cx;
+  const double ty = fy - cy;
+  const auto at = [&](int row, int col) {
+    return data_[static_cast<std::size_t>(row) * corners + col];
+  };
+  const double top =
+      at(cy, cx) * (1.0 - tx) + at(cy, cx + 1) * tx;
+  const double bottom =
+      at(cy + 1, cx) * (1.0 - tx) + at(cy + 1, cx + 1) * tx;
+  return top * (1.0 - ty) + bottom * ty;
+}
+
+}  // namespace atm::airfield

@@ -1,0 +1,61 @@
+// Terrain elevation model for the terrain-avoidance task.
+//
+// The paper's prior work ([13], and Thompson et al. [11], which the paper
+// contrasts itself against) includes *terrain avoidance* among the basic
+// ATM tasks: warn when an aircraft's projected path comes within a
+// clearance margin of the ground. The paper defers it to future work
+// ("implement all basic ATM tasks and create a more complete ATM
+// system"); we implement it as part of the extended system.
+//
+// The terrain is a deterministic synthetic heightmap over the airfield: a
+// seeded sum of smooth ridges/hills on a regular grid, sampled with
+// bilinear interpolation. Deterministic per seed, so every backend sees
+// the same ground.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.hpp"
+#include "src/core/units.hpp"
+
+namespace atm::airfield {
+
+/// Parameters of the synthetic terrain generator.
+struct TerrainParams {
+  int grid_cells = 128;        ///< Cells per axis over the 256 nm field.
+  int hill_count = 40;         ///< Gaussian hills summed into the map.
+  double max_peak_feet = 14000.0;   ///< Tallest terrain allowed.
+  double min_sigma_nm = 4.0;   ///< Narrowest hill footprint.
+  double max_sigma_nm = 24.0;  ///< Widest hill footprint.
+};
+
+/// A heightmap over the [-half, +half]^2 airfield, in feet.
+class TerrainMap {
+ public:
+  /// Generate from a seed (deterministic).
+  TerrainMap(std::uint64_t seed, const TerrainParams& params = {});
+
+  /// Elevation in feet at airfield coordinates (x, y) nm, bilinear
+  /// interpolation; coordinates outside the grid clamp to the edge.
+  [[nodiscard]] double elevation_at(double x, double y) const;
+
+  /// Highest cell in the map.
+  [[nodiscard]] double peak_feet() const { return peak_; }
+
+  [[nodiscard]] int grid_cells() const { return cells_; }
+
+  /// Raw cell access (row-major), for the device-resident copy the CUDA
+  /// backend keeps.
+  [[nodiscard]] const std::vector<double>& cells() const { return data_; }
+
+  /// Map airfield coordinate to fractional cell index.
+  [[nodiscard]] double to_cell(double coord_nm) const;
+
+ private:
+  int cells_;
+  double peak_ = 0.0;
+  std::vector<double> data_;  ///< (cells+1)^2 corner samples, row-major.
+};
+
+}  // namespace atm::airfield

@@ -1,0 +1,90 @@
+#include "src/airfield/towers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atm::airfield {
+
+std::vector<RadarTower> make_tower_layout(std::uint64_t seed,
+                                          const TowerLayoutParams& params) {
+  std::vector<RadarTower> towers;
+  core::Rng rng(seed);
+  const int k = std::max(1, params.grid);
+  const double spacing = 2.0 * core::kGridHalfExtentNm / k;
+  for (int row = 0; row < k; ++row) {
+    for (int col = 0; col < k; ++col) {
+      const double base_x =
+          -core::kGridHalfExtentNm + (col + 0.5) * spacing;
+      const double base_y =
+          -core::kGridHalfExtentNm + (row + 0.5) * spacing;
+      towers.push_back(RadarTower{
+          base_x + rng.uniform(-params.jitter_nm, params.jitter_nm),
+          base_y + rng.uniform(-params.jitter_nm, params.jitter_nm),
+          params.range_nm,
+      });
+    }
+  }
+  return towers;
+}
+
+MultiRadarFrame generate_multi_radar(const FlightDb& db,
+                                     const std::vector<RadarTower>& towers,
+                                     core::Rng& rng,
+                                     const RadarParams& params) {
+  MultiRadarFrame frame;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const core::Vec2 expected = db.expected(i);
+    for (std::size_t t = 0; t < towers.size(); ++t) {
+      const double dx = expected.x - towers[t].x;
+      const double dy = expected.y - towers[t].y;
+      if (dx * dx + dy * dy > towers[t].range_nm * towers[t].range_nm) {
+        continue;
+      }
+      // Each covering tower produces its own independently noised return.
+      const double nx = rng.uniform(-params.noise_nm, params.noise_nm);
+      const double ny = rng.uniform(-params.noise_nm, params.noise_nm);
+      if (params.dropout_probability > 0.0 &&
+          rng.uniform() < params.dropout_probability) {
+        continue;  // this tower's return was lost this period
+      }
+      frame.base.rx.push_back(expected.x + nx);
+      frame.base.ry.push_back(expected.y + ny);
+      frame.base.truth.push_back(static_cast<std::int32_t>(i));
+      frame.tower.push_back(static_cast<std::int32_t>(t));
+    }
+  }
+  frame.base.rmatch_with.assign(frame.base.rx.size(), kNone);
+
+  // Quarter-reversal shuffle over the whole frame, towers included.
+  const std::size_t n = frame.size();
+  if (n >= 2) {
+    const std::size_t quarter = n / 4;
+    auto reverse_range = [&frame](std::size_t lo, std::size_t hi) {
+      const auto l = static_cast<std::ptrdiff_t>(lo);
+      const auto h = static_cast<std::ptrdiff_t>(hi);
+      std::reverse(frame.base.rx.begin() + l, frame.base.rx.begin() + h);
+      std::reverse(frame.base.ry.begin() + l, frame.base.ry.begin() + h);
+      std::reverse(frame.base.truth.begin() + l,
+                   frame.base.truth.begin() + h);
+      std::reverse(frame.tower.begin() + l, frame.tower.begin() + h);
+    };
+    if (quarter == 0) {
+      reverse_range(0, n);
+    } else {
+      for (int q = 0; q < 4; ++q) {
+        const std::size_t lo = static_cast<std::size_t>(q) * quarter;
+        const std::size_t hi = (q == 3) ? n : lo + quarter;
+        reverse_range(lo, hi);
+      }
+    }
+  }
+  return frame;
+}
+
+double mean_coverage(const MultiRadarFrame& frame, std::size_t aircraft) {
+  if (aircraft == 0) return 0.0;
+  return static_cast<double>(frame.size()) /
+         static_cast<double>(aircraft);
+}
+
+}  // namespace atm::airfield

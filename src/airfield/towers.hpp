@@ -1,0 +1,67 @@
+// Multi-tower radar environment.
+//
+// The paper simplifies radar to "at most one radar [return] received for
+// each aircraft each period", while noting that "most aircraft in the US
+// are within the range of 2 to 6 radars" and that "the processing of all
+// radar ... [is] an ideal tool to use in testing the ability of different
+// architectures to handle real-time computations". This module implements
+// the unsimplified environment: a layout of radar towers with finite
+// range, each producing an independently noised return for every aircraft
+// it can see, so a period's frame carries ~2-6 returns per aircraft.
+//
+// The multi-return correlation semantics live in
+// src/atm/extended/multiradar.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/airfield/flight_db.hpp"
+#include "src/airfield/radar.hpp"
+#include "src/core/rng.hpp"
+
+namespace atm::airfield {
+
+/// One radar tower on the airfield.
+struct RadarTower {
+  double x = 0.0;       ///< Position east (nm).
+  double y = 0.0;       ///< Position north (nm).
+  double range_nm = 0;  ///< Detection radius.
+};
+
+/// Tower layout parameters: towers sit on a jittered k x k grid with a
+/// range chosen so interior aircraft are seen by several towers.
+struct TowerLayoutParams {
+  int grid = 3;               ///< k: towers per axis (k^2 towers).
+  double range_nm = 150.0;    ///< Per-tower detection radius.
+  double jitter_nm = 20.0;    ///< Random displacement off the grid point.
+};
+
+/// Build a deterministic tower layout.
+[[nodiscard]] std::vector<RadarTower> make_tower_layout(
+    std::uint64_t seed, const TowerLayoutParams& params = {});
+
+/// A multi-return radar frame: same SoA as RadarFrame plus the producing
+/// tower of each return. Frame size is the number of (tower, visible
+/// aircraft) pairs, not the aircraft count.
+struct MultiRadarFrame {
+  RadarFrame base;                  ///< rx/ry/rmatch_with/truth.
+  std::vector<std::int32_t> tower;  ///< Producing tower per return.
+
+  [[nodiscard]] std::size_t size() const { return base.size(); }
+};
+
+/// Generate one period's returns from every tower that sees each
+/// aircraft's expected position, with independent noise per return, then
+/// apply the quarter-reversal shuffle across the whole frame. Draw order
+/// is (aircraft-major, tower-minor), fixed, so identical seeds give
+/// identical frames on every backend.
+[[nodiscard]] MultiRadarFrame generate_multi_radar(
+    const FlightDb& db, const std::vector<RadarTower>& towers,
+    core::Rng& rng, const RadarParams& params = {});
+
+/// Average returns per aircraft in a frame (coverage diagnostic).
+[[nodiscard]] double mean_coverage(const MultiRadarFrame& frame,
+                                   std::size_t aircraft);
+
+}  // namespace atm::airfield

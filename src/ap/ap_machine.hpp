@@ -1,0 +1,144 @@
+// An associative processor (AP) in the STARAN tradition.
+//
+// The AP model (Potter, Baker et al. [6, 7] in the paper) is a SIMD array
+// whose hardware supports, in *constant time with respect to the number of
+// PEs*:
+//
+//   * broadcast of a scalar from the control unit to all PEs,
+//   * associative search: every PE compares its record against the
+//     broadcast value and raises a responder bit,
+//   * responder detection (wired-OR "any responders?"),
+//   * responder selection ("step": pick the first responder),
+//   * global maximum/minimum across a field (bit-serial Falkoff search).
+//
+// One aircraft record lives in one PE, so an ATM task that loops once over
+// all aircraft — performing only constant-time associative operations per
+// iteration — runs in linear time, which is exactly the [12, 13] result the
+// paper compares against.
+//
+// The machine here executes the operations on host vectors and charges each
+// operation's cost to a bit-serial cycle model. Two calibrations are
+// provided:
+//
+//   * staran_model(): the STARAN AP with its clock scaled to a modern
+//     implementation (the comparison in [13] projects the 1970s design to
+//     contemporary silicon; a literal 1972 clock would put every platform's
+//     curve off the top of the figures),
+//   * an emulated AP on the ClearSpeed parts is built separately on
+//     src/simd's LockstepMachine (see atm/clearspeed_backend), where the
+//     constant-time guarantee is lost to virtualization rounds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace atm::ap {
+
+using Cycles = std::uint64_t;
+
+/// Cost calibration for an associative processor.
+struct ApCostModel {
+  std::string name;
+  double clock_mhz = 200.0;  ///< Array clock.
+  int word_bits = 32;        ///< Field width processed bit-serially.
+  /// Cycles per bit for a bit-serial field operation across all PEs.
+  double cycles_per_bit = 4.0;
+  /// Cycles for responder logic (any/step/count) — truly constant-time
+  /// hardware paths.
+  double responder_cycles = 8.0;
+
+  /// Cycles for one full-word associative/arithmetic operation.
+  [[nodiscard]] double word_op_cycles() const {
+    return static_cast<double>(word_bits) * cycles_per_bit;
+  }
+};
+
+/// STARAN AP projected to a modern clock (see header comment).
+[[nodiscard]] ApCostModel staran_model();
+
+/// Responder mask: one byte per PE (nonzero = responding).
+using Mask = std::vector<std::uint8_t>;
+
+/// The associative machine. Record fields are caller-owned vectors (one
+/// element per PE); the machine provides the associative operations and
+/// accounts their cost.
+class ApMachine {
+ public:
+  ApMachine(std::size_t pe_records, ApCostModel model);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] const ApCostModel& model() const { return model_; }
+  [[nodiscard]] double elapsed_ms() const;
+  [[nodiscard]] Cycles charged_word_ops() const { return word_ops_; }
+  void reset();
+
+  /// Broadcast + associative search: mask[i] = pred(i) for all PEs in
+  /// parallel. Constant time (one word op) regardless of n. `word_ops` is
+  /// the number of field comparisons the search performs per PE.
+  template <typename Pred>
+  void search(Pred&& pred, Mask& mask, int word_ops = 1) {
+    mask.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      mask[i] = pred(i) ? 1 : 0;
+    }
+    charge_word_ops(word_ops);
+  }
+
+  /// Masked parallel field computation: fn(i) for every responder.
+  /// Constant time; `word_ops` is the per-PE instruction count.
+  template <typename F>
+  void parallel(const Mask& mask, F&& fn, int word_ops = 1) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (mask[i]) fn(i);
+    }
+    charge_word_ops(word_ops);
+  }
+
+  /// Unmasked parallel computation over all PEs.
+  template <typename F>
+  void parallel_all(F&& fn, int word_ops = 1) {
+    for (std::size_t i = 0; i < n_; ++i) fn(i);
+    charge_word_ops(word_ops);
+  }
+
+  /// Wired-OR responder test: is any PE responding? Constant time.
+  [[nodiscard]] bool any_responder(const Mask& mask);
+
+  /// Select the first responder (the AP "step" operation). Returns npos
+  /// when no PE responds. Constant time in hardware.
+  [[nodiscard]] std::size_t first_responder(const Mask& mask);
+
+  /// Count responders (hardware population count). Constant time.
+  [[nodiscard]] std::size_t count_responders(const Mask& mask);
+
+  /// Global minimum of `keys` over responders: index of the smallest value,
+  /// npos when none respond. Bit-serial Falkoff search: word_bits responder
+  /// rounds, independent of n.
+  [[nodiscard]] std::size_t min_index(std::span<const double> keys,
+                                      const Mask& mask);
+
+  /// Global maximum, same cost as min_index.
+  [[nodiscard]] std::size_t max_index(std::span<const double> keys,
+                                      const Mask& mask);
+
+  /// Charge for control-unit access to a single PE's record, or for a
+  /// control-unit broadcast of a scalar (both are word operations on the
+  /// common register path).
+  void host_access(int word_ops = 1) { charge_word_ops(word_ops); }
+
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+ private:
+  void charge_word_ops(int count);
+  void charge_responder_op();
+
+  std::size_t n_;
+  ApCostModel model_;
+  double cycles_ = 0.0;
+  Cycles word_ops_ = 0;
+};
+
+}  // namespace atm::ap

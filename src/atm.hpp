@@ -1,0 +1,27 @@
+// Umbrella header: the whole public API in one include.
+//
+//   #include "src/atm.hpp"
+//
+// Fine-grained headers remain available (and are what the library itself
+// uses); this is a convenience for quick experiments and downstream apps.
+#pragma once
+
+#include "src/airfield/flight_db.hpp"    // IWYU pragma: export
+#include "src/airfield/history.hpp"      // IWYU pragma: export
+#include "src/airfield/radar.hpp"        // IWYU pragma: export
+#include "src/airfield/setup.hpp"        // IWYU pragma: export
+#include "src/airfield/terrain.hpp"      // IWYU pragma: export
+#include "src/airfield/towers.hpp"       // IWYU pragma: export
+#include "src/atm/backend.hpp"           // IWYU pragma: export
+#include "src/atm/extended/full_pipeline.hpp"  // IWYU pragma: export
+#include "src/atm/pipeline.hpp"          // IWYU pragma: export
+#include "src/atm/platforms.hpp"         // IWYU pragma: export
+#include "src/atm/scenarios.hpp"         // IWYU pragma: export
+#include "src/core/curvefit.hpp"         // IWYU pragma: export
+#include "src/core/rng.hpp"              // IWYU pragma: export
+#include "src/core/stats.hpp"            // IWYU pragma: export
+#include "src/core/table.hpp"            // IWYU pragma: export
+#include "src/core/units.hpp"            // IWYU pragma: export
+#include "src/rt/clock.hpp"              // IWYU pragma: export
+#include "src/rt/deadline.hpp"           // IWYU pragma: export
+#include "src/rt/schedule.hpp"           // IWYU pragma: export

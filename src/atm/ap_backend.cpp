@@ -1,0 +1,16 @@
+#include "src/atm/ap_backend.hpp"
+
+// Header-only backend; this translation unit anchors the archive member
+// and instantiates the shared templates once for faster client builds.
+
+namespace atm::tasks {
+namespace {
+
+[[maybe_unused]] void instantiate(ApAssocMachine& m, airfield::FlightDb& db,
+                                  airfield::RadarFrame& frame) {
+  (void)assoc::assoc_task1(m, db, frame, Task1Params{});
+  (void)assoc::assoc_task23(m, db, Task23Params{});
+}
+
+}  // namespace
+}  // namespace atm::tasks

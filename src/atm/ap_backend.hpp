@@ -1,0 +1,145 @@
+// The STARAN associative-processor backend.
+#pragma once
+
+#include <memory>
+
+#include "src/ap/ap_machine.hpp"
+#include "src/atm/assoc_tasks.hpp"
+#include "src/atm/backend.hpp"
+
+namespace atm::tasks {
+
+/// Adapter exposing ap::ApMachine through the associative-machine concept
+/// used by the shared task templates (src/atm/assoc_tasks.hpp).
+class ApAssocMachine {
+ public:
+  ApAssocMachine(std::size_t n, ap::ApCostModel model)
+      : machine_(n, std::move(model)) {}
+
+  template <typename F>
+  void parallel_all(F&& fn, int word_ops) {
+    machine_.parallel_all(std::forward<F>(fn), word_ops);
+  }
+  template <typename F>
+  void parallel_masked(const assoc::Mask& mask, F&& fn, int word_ops) {
+    machine_.parallel(mask, std::forward<F>(fn), word_ops);
+  }
+  template <typename P>
+  void search(P&& pred, assoc::Mask& mask, int word_ops) {
+    machine_.search(std::forward<P>(pred), mask, word_ops);
+  }
+  [[nodiscard]] bool any(const assoc::Mask& mask) {
+    return machine_.any_responder(mask);
+  }
+  [[nodiscard]] std::size_t first(const assoc::Mask& mask) {
+    return machine_.first_responder(mask);
+  }
+  [[nodiscard]] std::size_t count(const assoc::Mask& mask) {
+    return machine_.count_responders(mask);
+  }
+  [[nodiscard]] std::size_t min_index(std::span<const double> keys,
+                                      const assoc::Mask& mask) {
+    return machine_.min_index(keys, mask);
+  }
+  void broadcast() { machine_.host_access(1); }
+  void host_access(int word_ops) { machine_.host_access(word_ops); }
+  [[nodiscard]] double elapsed_ms() const { return machine_.elapsed_ms(); }
+  void reset() { machine_.reset(); }
+
+  static constexpr std::size_t npos = ap::ApMachine::npos;
+
+ private:
+  ap::ApMachine machine_;
+};
+
+/// The paper's "AP (STARAN)" platform.
+class ApBackend final : public Backend {
+ public:
+  explicit ApBackend(ap::ApCostModel model = ap::staran_model())
+      : model_(std::move(model)) {}
+
+  [[nodiscard]] std::string name() const override { return model_.name; }
+
+  void load(const airfield::FlightDb& db) override {
+    db_ = db;
+    machine_ = std::make_unique<ApAssocMachine>(db_.size(), model_);
+  }
+
+  Task1Result run_task1(airfield::RadarFrame& frame,
+                        const Task1Params& params) override {
+    machine_->reset();
+    Task1Result result;
+    result.stats = assoc::assoc_task1(*machine_, db_, frame, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  Task23Result run_task23(const Task23Params& params) override {
+    machine_->reset();
+    Task23Result result;
+    result.stats = assoc::assoc_task23(*machine_, db_, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  [[nodiscard]] const airfield::FlightDb& state() const override {
+    return db_;
+  }
+  airfield::FlightDb& mutable_state() override { return db_; }
+
+  TerrainResult run_terrain(const TerrainTaskParams& params) override {
+    if (terrain_ == nullptr) {
+      throw std::logic_error("ApBackend::run_terrain: no terrain attached");
+    }
+    machine_->reset();
+    TerrainResult result;
+    result.stats = assoc::assoc_terrain(*machine_, db_, *terrain_, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  DisplayResult run_display(const DisplayParams& params) override {
+    machine_->reset();
+    DisplayResult result;
+    std::vector<std::int32_t> occupancy;
+    result.stats = assoc::assoc_display(*machine_, db_, occupancy, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  AdvisoryResult run_advisory(const AdvisoryParams& params) override {
+    machine_->reset();
+    AdvisoryResult result;
+    result.stats =
+        assoc::assoc_advisory(*machine_, db_, params, result.queue);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
+                                   const Task1Params& params) override {
+    machine_->reset();
+    MultiRadarResult result;
+    result.stats = assoc::assoc_multi_task1(*machine_, db_, frame, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  SporadicResult run_sporadic(std::span<const Query> queries,
+                              const SporadicParams& params) override {
+    (void)params;
+    machine_->reset();
+    SporadicResult result;
+    result.stats =
+        assoc::assoc_sporadic(*machine_, db_, queries, result.answers);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+ private:
+  ap::ApCostModel model_;
+  airfield::FlightDb db_;
+  std::unique_ptr<ApAssocMachine> machine_;
+};
+
+}  // namespace atm::tasks

@@ -1,0 +1,74 @@
+#include "src/atm/backend.hpp"
+
+#include <stdexcept>
+
+#include "src/atm/extended/advisory.hpp"
+#include "src/atm/extended/display.hpp"
+#include "src/atm/extended/multiradar.hpp"
+#include "src/atm/extended/sporadic.hpp"
+#include "src/atm/extended/terrain_task.hpp"
+#include "src/rt/clock.hpp"
+
+namespace atm::tasks {
+
+airfield::RadarFrame Backend::generate_radar(
+    core::Rng& rng, const airfield::RadarParams& params,
+    double* modeled_ms) {
+  if (modeled_ms != nullptr) *modeled_ms = 0.0;
+  return airfield::generate_radar(state(), rng, params);
+}
+
+void Backend::set_terrain(
+    std::shared_ptr<const airfield::TerrainMap> terrain) {
+  terrain_ = std::move(terrain);
+}
+
+TerrainResult Backend::run_terrain(const TerrainTaskParams& params) {
+  if (terrain_ == nullptr) {
+    throw std::logic_error("Backend::run_terrain: no terrain attached");
+  }
+  const rt::Stopwatch sw;
+  TerrainResult result;
+  result.stats =
+      extended::terrain_avoidance(mutable_state(), *terrain_, params);
+  result.modeled_ms = sw.elapsed_ms();
+  return result;
+}
+
+DisplayResult Backend::run_display(const DisplayParams& params) {
+  const rt::Stopwatch sw;
+  DisplayResult result;
+  std::vector<std::int32_t> occupancy;
+  result.stats = extended::display_update(mutable_state(), occupancy, params);
+  result.modeled_ms = sw.elapsed_ms();
+  return result;
+}
+
+AdvisoryResult Backend::run_advisory(const AdvisoryParams& params) {
+  const rt::Stopwatch sw;
+  AdvisoryResult result;
+  result.stats = extended::advisory_scan(state(), params, result.queue);
+  result.modeled_ms = sw.elapsed_ms();
+  return result;
+}
+
+MultiRadarResult Backend::run_multi_task1(airfield::MultiRadarFrame& frame,
+                                          const Task1Params& params) {
+  const rt::Stopwatch sw;
+  MultiRadarResult result;
+  result.stats = extended::correlate_multi(mutable_state(), frame, params);
+  result.modeled_ms = sw.elapsed_ms();
+  return result;
+}
+
+SporadicResult Backend::run_sporadic(std::span<const Query> queries,
+                                     const SporadicParams& params) {
+  (void)params;
+  const rt::Stopwatch sw;
+  SporadicResult result;
+  result.stats = extended::answer_queries(state(), queries, result.answers);
+  result.modeled_ms = sw.elapsed_ms();
+  return result;
+}
+
+}  // namespace atm::tasks

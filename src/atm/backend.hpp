@@ -1,0 +1,114 @@
+// The platform backend interface: one implementation per architecture the
+// paper evaluates (three NVIDIA devices via the SIMT engine, the STARAN
+// AP, the ClearSpeed emulation, and the 16-core Xeon), plus the host
+// reference golden.
+//
+// A backend owns its copy of the flight database, executes the ATM tasks
+// with its architecture's algorithm/primitives, and reports a *modeled*
+// platform time per run. All backends implement the same order-independent
+// task semantics (see src/atm/reference), so given identical inputs their
+// flight states stay identical — the cross-backend equivalence the test
+// suite enforces — while their modeled times differ the way the paper's
+// platforms differ.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/airfield/flight_db.hpp"
+#include "src/airfield/radar.hpp"
+#include "src/airfield/terrain.hpp"
+#include "src/airfield/towers.hpp"
+#include "src/atm/extended/ext_types.hpp"
+#include "src/atm/task_types.hpp"
+#include "src/core/rng.hpp"
+
+namespace atm::tasks {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Platform display name ("Titan X (Pascal)", "Intel Xeon (16 cores)"…).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Whether repeated runs of identical work yield identical modeled
+  /// times (the paper's SIMD/CUDA determinism property; false for MIMD).
+  [[nodiscard]] virtual bool deterministic() const { return true; }
+
+  /// Upload the initial flight database (models the paper's one-time
+  /// host->device copy where the platform has one).
+  virtual void load(const airfield::FlightDb& db) = 0;
+
+  /// Task 1 for one period. Fills `frame.rmatch_with` and advances the
+  /// backend's aircraft by one period.
+  virtual Task1Result run_task1(airfield::RadarFrame& frame,
+                                const Task1Params& params) = 0;
+
+  /// Tasks 2+3 for one major cycle.
+  virtual Task23Result run_task23(const Task23Params& params) = 0;
+
+  /// Host-visible view of the backend's current flight state.
+  [[nodiscard]] virtual const airfield::FlightDb& state() const = 0;
+
+  /// Mutable access for host bookkeeping between tasks (grid re-entry).
+  virtual airfield::FlightDb& mutable_state() = 0;
+
+  /// Produce this period's radar frame from the backend's current state.
+  /// Radar creation is simulation scaffolding, not an ATM task (paper
+  /// Section 4.2), so its modeled cost is returned separately through
+  /// `modeled_ms` (nullptr to ignore) and never counted against the
+  /// period deadline. The default implementation runs the host generator;
+  /// the CUDA backend overrides it to model the paper's device-generate /
+  /// host-shuffle round trip.
+  virtual airfield::RadarFrame generate_radar(
+      core::Rng& rng, const airfield::RadarParams& params,
+      double* modeled_ms);
+
+  /// Convenience: number of aircraft loaded.
+  [[nodiscard]] std::size_t aircraft_count() const { return state().size(); }
+
+  // --- Extended system: the paper's Section 7.2 "complete ATM system" ----
+  //
+  // The base-class implementations run the reference algorithms on the
+  // backend's state and report measured host wall time; every platform
+  // backend overrides them with its own execution + cost model, exactly
+  // like the core tasks. The terrain model is attached once (it is static
+  // data; the CUDA backend models its one-time upload).
+
+  /// Attach the terrain model used by run_terrain.
+  virtual void set_terrain(
+      std::shared_ptr<const airfield::TerrainMap> terrain);
+
+  /// Terrain map currently attached (may be null).
+  [[nodiscard]] const airfield::TerrainMap* terrain() const {
+    return terrain_.get();
+  }
+
+  /// Terrain avoidance: flag and climb aircraft whose projected path
+  /// violates ground clearance. Runs once per major cycle.
+  virtual TerrainResult run_terrain(const TerrainTaskParams& params);
+
+  /// Controller display update: sector binning, handoffs, occupancy.
+  /// Runs every period.
+  virtual DisplayResult run_display(const DisplayParams& params);
+
+  /// Automatic voice advisory scan. Runs every 4 seconds.
+  virtual AdvisoryResult run_advisory(const AdvisoryParams& params);
+
+  /// Multi-tower Task 1: correlation over a frame with several returns
+  /// per aircraft (the unsimplified radar environment).
+  virtual MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
+                                           const Task1Params& params);
+
+  /// Sporadic requests: answer a batch of controller queries against the
+  /// flight database.
+  virtual SporadicResult run_sporadic(std::span<const Query> queries,
+                                      const SporadicParams& params);
+
+ protected:
+  std::shared_ptr<const airfield::TerrainMap> terrain_;
+};
+
+}  // namespace atm::tasks

@@ -1,0 +1,61 @@
+#include "src/atm/batcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atm::tasks {
+namespace {
+
+/// Relative velocities below this (nm/period) are treated as parallel
+/// tracks. 1e-9 nm/period = 7.2e-6 knots: far below any physical closure.
+constexpr double kParallelEps = 1e-9;
+
+}  // namespace
+
+AxisWindow axis_band_window(double p, double v, double band) {
+  AxisWindow w;
+  if (std::fabs(v) < kParallelEps) {
+    if (std::fabs(p) <= band) {
+      w.always = true;
+    } else {
+      w.never = true;
+    }
+    return w;
+  }
+  const double t1 = (-band - p) / v;
+  const double t2 = (band - p) / v;
+  w.entry = std::min(t1, t2);
+  w.exit = std::max(t1, t2);
+  return w;
+}
+
+PairConflict batcher_pair_test(double px, double py, double vx, double vy,
+                               double band, double horizon) {
+  PairConflict out;
+
+  const AxisWindow wx = axis_band_window(px, vx, band);
+  const AxisWindow wy = axis_band_window(py, vy, band);
+  if (wx.never || wy.never) return out;
+
+  // Equations 5-6: largest entry, smallest exit; an "always" axis
+  // contributes (-inf, +inf) and drops out of the max/min.
+  double entry = 0.0;
+  double exit = horizon;
+  if (!wx.always) {
+    entry = std::max(entry, wx.entry);
+    exit = std::min(exit, wx.exit);
+  }
+  if (!wy.always) {
+    entry = std::max(entry, wy.entry);
+    exit = std::min(exit, wy.exit);
+  }
+
+  if (entry < exit) {
+    out.conflict = true;
+    out.time_min = entry;
+    out.time_max = exit;
+  }
+  return out;
+}
+
+}  // namespace atm::tasks

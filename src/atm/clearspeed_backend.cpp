@@ -1,0 +1,16 @@
+#include "src/atm/clearspeed_backend.hpp"
+
+// Anchors the archive member and pre-instantiates the shared templates.
+
+namespace atm::tasks {
+namespace {
+
+[[maybe_unused]] void instantiate(ClearSpeedAssocMachine& m,
+                                  airfield::FlightDb& db,
+                                  airfield::RadarFrame& frame) {
+  (void)assoc::assoc_task1(m, db, frame, Task1Params{});
+  (void)assoc::assoc_task23(m, db, Task23Params{});
+}
+
+}  // namespace
+}  // namespace atm::tasks

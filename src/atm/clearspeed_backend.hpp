@@ -1,0 +1,168 @@
+// The ClearSpeed CSX600 backend: the associative algorithm emulated on a
+// 96-PE-per-chip lock-step SIMD array ([12, 13] used this emulation; the
+// paper's figures label it "ClearSpeed").
+//
+// Identical algorithm to the STARAN backend, but every parallel primitive
+// pays ceil(n / PEs) virtualization rounds and responder operations become
+// reduction trees — the constant-time AP guarantees do not survive
+// emulation, which is why this platform's curve sits above the AP's.
+#pragma once
+
+#include <memory>
+#include <numeric>
+
+#include "src/atm/assoc_tasks.hpp"
+#include "src/atm/backend.hpp"
+#include "src/simd/lockstep.hpp"
+
+namespace atm::tasks {
+
+/// Adapter exposing simd::LockstepMachine through the associative-machine
+/// concept of src/atm/assoc_tasks.hpp.
+class ClearSpeedAssocMachine {
+ public:
+  ClearSpeedAssocMachine(std::size_t n, simd::MachineSpec spec)
+      : machine_(std::move(spec)), n_(n), index_keys_(n) {
+    std::iota(index_keys_.begin(), index_keys_.end(), 0.0);
+  }
+
+  template <typename F>
+  void parallel_all(F&& fn, int word_ops) {
+    machine_.poly(n_, static_cast<simd::Cycles>(word_ops),
+                  std::forward<F>(fn));
+  }
+  template <typename F>
+  void parallel_masked(const assoc::Mask& mask, F&& fn, int word_ops) {
+    // Lock-step machines execute masked steps on every PE (disabled PEs
+    // idle), so the cost is the same as an unmasked step.
+    machine_.poly(n_, static_cast<simd::Cycles>(word_ops),
+                  [&](std::size_t i) {
+                    if (mask[i]) fn(i);
+                  });
+  }
+  template <typename P>
+  void search(P&& pred, assoc::Mask& mask, int word_ops) {
+    mask.resize(n_);
+    machine_.poly(n_, static_cast<simd::Cycles>(word_ops),
+                  [&](std::size_t i) { mask[i] = pred(i) ? 1 : 0; });
+  }
+  [[nodiscard]] bool any(const assoc::Mask& mask) {
+    return machine_.reduce_count(mask) > 0;
+  }
+  [[nodiscard]] std::size_t first(const assoc::Mask& mask) {
+    return machine_.reduce_min_index(index_keys_, mask);
+  }
+  [[nodiscard]] std::size_t count(const assoc::Mask& mask) {
+    return machine_.reduce_count(mask);
+  }
+  [[nodiscard]] std::size_t min_index(std::span<const double> keys,
+                                      const assoc::Mask& mask) {
+    return machine_.reduce_min_index(keys, mask);
+  }
+  void broadcast() { machine_.broadcast(); }
+  void host_access(int word_ops) {
+    machine_.charge_scalar(static_cast<simd::Cycles>(word_ops));
+  }
+  [[nodiscard]] double elapsed_ms() const { return machine_.elapsed_ms(); }
+  void reset() { machine_.reset(); }
+
+  static constexpr std::size_t npos = simd::LockstepMachine::npos;
+
+ private:
+  simd::LockstepMachine machine_;
+  std::size_t n_;
+  std::vector<double> index_keys_;
+};
+
+/// The paper's "ClearSpeed" platform.
+class ClearSpeedBackend final : public Backend {
+ public:
+  explicit ClearSpeedBackend(simd::MachineSpec spec = simd::csx600_spec())
+      : spec_(std::move(spec)) {}
+
+  [[nodiscard]] std::string name() const override { return spec_.name; }
+
+  void load(const airfield::FlightDb& db) override {
+    db_ = db;
+    machine_ = std::make_unique<ClearSpeedAssocMachine>(db_.size(), spec_);
+  }
+
+  Task1Result run_task1(airfield::RadarFrame& frame,
+                        const Task1Params& params) override {
+    machine_->reset();
+    Task1Result result;
+    result.stats = assoc::assoc_task1(*machine_, db_, frame, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  Task23Result run_task23(const Task23Params& params) override {
+    machine_->reset();
+    Task23Result result;
+    result.stats = assoc::assoc_task23(*machine_, db_, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  [[nodiscard]] const airfield::FlightDb& state() const override {
+    return db_;
+  }
+  airfield::FlightDb& mutable_state() override { return db_; }
+
+  TerrainResult run_terrain(const TerrainTaskParams& params) override {
+    if (terrain_ == nullptr) {
+      throw std::logic_error(
+          "ClearSpeedBackend::run_terrain: no terrain attached");
+    }
+    machine_->reset();
+    TerrainResult result;
+    result.stats = assoc::assoc_terrain(*machine_, db_, *terrain_, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  DisplayResult run_display(const DisplayParams& params) override {
+    machine_->reset();
+    DisplayResult result;
+    std::vector<std::int32_t> occupancy;
+    result.stats = assoc::assoc_display(*machine_, db_, occupancy, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  AdvisoryResult run_advisory(const AdvisoryParams& params) override {
+    machine_->reset();
+    AdvisoryResult result;
+    result.stats =
+        assoc::assoc_advisory(*machine_, db_, params, result.queue);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
+                                   const Task1Params& params) override {
+    machine_->reset();
+    MultiRadarResult result;
+    result.stats = assoc::assoc_multi_task1(*machine_, db_, frame, params);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+  SporadicResult run_sporadic(std::span<const Query> queries,
+                              const SporadicParams& params) override {
+    (void)params;
+    machine_->reset();
+    SporadicResult result;
+    result.stats =
+        assoc::assoc_sporadic(*machine_, db_, queries, result.answers);
+    result.modeled_ms = machine_->elapsed_ms();
+    return result;
+  }
+
+ private:
+  simd::MachineSpec spec_;
+  airfield::FlightDb db_;
+  std::unique_ptr<ClearSpeedAssocMachine> machine_;
+};
+
+}  // namespace atm::tasks

@@ -1,0 +1,770 @@
+#include "src/atm/cuda_kernels.hpp"
+
+#include <cmath>
+
+#include <limits>
+
+#include "src/airfield/flight_db.hpp"
+#include "src/atm/batcher.hpp"
+#include "src/atm/extended/display.hpp"
+#include "src/atm/extended/terrain_task.hpp"
+#include "src/atm/reference/collision.hpp"
+#include "src/core/rng.hpp"
+#include "src/core/units.hpp"
+#include "src/core/vec2.hpp"
+#include "src/simt/cost.hpp"
+
+namespace atm::tasks::cuda {
+namespace {
+
+using airfield::kDiscarded;
+using airfield::kNone;
+using airfield::MatchState;
+namespace sc = simt::cost;
+
+// Per-operation cycle charges for the ATM kernels, composed from the SIMT
+// primitive costs. These are throughput estimates of the straightforward
+// PTX each step compiles to.
+
+/// Out-of-range guard (id computation + compare + early return).
+constexpr sc::Cycles kGuard = 3 * sc::kAlu;
+/// Per-thread fixed work: argument loads, own-record loads.
+constexpr sc::Cycles kThreadInit = 4 * sc::kGlobalAccess + 4 * sc::kAlu;
+/// Inner-loop iteration skipped by the eligibility test.
+constexpr sc::Cycles kSkipIneligible = sc::kGlobalAccess + sc::kBranch;
+/// Bounding-box membership test (2 coord loads, 4 compares, 2 abs).
+constexpr sc::Cycles kBoxTest =
+    2 * sc::kGlobalAccess + 6 * sc::kAlu + sc::kBranch;
+/// Bookkeeping when a box test hits (counter update + id store).
+constexpr sc::Cycles kHitBookkeeping = 2 * sc::kGlobalAccess + 2 * sc::kAlu;
+/// Altitude-gate iteration that fails the gate.
+constexpr sc::Cycles kGateFail =
+    sc::kGlobalAccess + 3 * sc::kAlu + sc::kBranch;
+/// Full Batcher pair test (4 loads, ~20 ALU, 2 divides, window logic).
+constexpr sc::Cycles kPairTest =
+    4 * sc::kGlobalAccess + 20 * sc::kAlu + 2 * sc::kDiv;
+/// Conflict bookkeeping (min update, partner id).
+constexpr sc::Cycles kConflictBookkeeping = 6 * sc::kAlu;
+/// Trial-path setup (sin/cos rotation of the velocity).
+constexpr sc::Cycles kTrialSetup = 2 * sc::kTrig + 6 * sc::kAlu;
+/// Commit phase per aircraft.
+constexpr sc::Cycles kCommit = 4 * sc::kGlobalAccess + 4 * sc::kAlu;
+/// SetupFlight per-thread work (RNG, sqrt, unit conversion).
+constexpr sc::Cycles kSetupWork =
+    30 * sc::kAlu + 2 * sc::kDiv + 6 * sc::kGlobalAccess;
+/// GenerateRadarData per-thread work.
+constexpr sc::Cycles kRadarWork = 6 * sc::kGlobalAccess + 6 * sc::kAlu;
+/// Pass-reset / ambiguity per-aircraft work.
+constexpr sc::Cycles kFlagWork = 2 * sc::kGlobalAccess + 2 * sc::kAlu;
+/// Radar-resolve per-radar work.
+constexpr sc::Cycles kResolveRadar = 4 * sc::kGlobalAccess + 6 * sc::kAlu;
+
+}  // namespace
+
+void setup_flight_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                         std::uint64_t seed,
+                         const airfield::SetupParams& params) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  // Independent per-thread stream: results cannot depend on the order the
+  // engine (or a real GPU) schedules threads.
+  core::Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+  const airfield::FlightInit init = airfield::draw_flight(rng, params);
+  drone.x[i] = init.x;
+  drone.y[i] = init.y;
+  drone.dx[i] = init.dx;
+  drone.dy[i] = init.dy;
+  drone.alt[i] = init.alt;
+  drone.batx[i] = init.dx;
+  drone.baty[i] = init.dy;
+  drone.rmatch[i] = static_cast<std::int8_t>(MatchState::kUnmatched);
+  drone.col[i] = 0;
+  drone.time_till[i] = core::kCriticalTimePeriods;
+  drone.col_with[i] = kNone;
+  ctx.charge(kGuard + kSetupWork);
+}
+
+void generate_radar_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                           const RadarView& radar,
+                           std::span<const double> noise) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  radar.rx[i] = drone.x[i] + drone.dx[i] + noise[2 * i];
+  radar.ry[i] = drone.y[i] + drone.dy[i] + noise[2 * i + 1];
+  ctx.charge(kGuard + kRadarWork);
+}
+
+void expected_position_kernel(simt::ThreadCtx& ctx,
+                              const DroneView& drone) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  drone.ex[i] = drone.x[i] + drone.dx[i];
+  drone.ey[i] = drone.y[i] + drone.dy[i];
+  drone.rmatch[i] = static_cast<std::int8_t>(MatchState::kUnmatched);
+  drone.amatch[i] = kNone;
+  ctx.charge(kGuard + kThreadInit + kFlagWork);
+}
+
+void pass_reset_kernel(simt::ThreadCtx& ctx, const DroneView& drone) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  drone.nradars[i] = 0;
+  ctx.charge(kGuard + kFlagWork);
+}
+
+void radar_scan_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                       const RadarView& radar, double box_half_nm,
+                       std::span<std::uint64_t> counters) {
+  const std::uint64_t r = ctx.global_id();
+  if (r >= radar.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kThreadInit);
+  if (radar.rmatch_with[r] != kNone) return;  // not active this pass
+
+  radar.nhits[r] = 0;
+  radar.hit_id[r] = kNone;
+  const double rx = radar.rx[r];
+  const double ry = radar.ry[r];
+  std::uint64_t box_tests = 0;
+  for (std::size_t a = 0; a < drone.size(); ++a) {
+    if (drone.rmatch[a] != static_cast<std::int8_t>(MatchState::kUnmatched)) {
+      ctx.charge(kSkipIneligible);
+      continue;
+    }
+    ctx.charge(kBoxTest);
+    ++box_tests;
+    if (std::fabs(drone.ex[a] - rx) < box_half_nm &&
+        std::fabs(drone.ey[a] - ry) < box_half_nm) {
+      ++radar.nhits[r];
+      radar.hit_id[r] = static_cast<std::int32_t>(a);
+      ctx.atomic_add(drone.nradars[a], std::int32_t{1});
+      ctx.charge(kHitBookkeeping);
+    }
+  }
+  ctx.atomic_add(counters[kBoxTests], box_tests);
+}
+
+void ambiguity_kernel(simt::ThreadCtx& ctx, const DroneView& drone) {
+  const std::uint64_t a = ctx.global_id();
+  if (a >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kFlagWork);
+  if (drone.rmatch[a] == static_cast<std::int8_t>(MatchState::kUnmatched) &&
+      drone.nradars[a] >= 2) {
+    drone.rmatch[a] = static_cast<std::int8_t>(MatchState::kAmbiguous);
+  }
+}
+
+void radar_resolve_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                          const RadarView& radar) {
+  const std::uint64_t r = ctx.global_id();
+  if (r >= radar.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kResolveRadar);
+  if (radar.rmatch_with[r] != kNone) return;  // was not active this pass
+  if (radar.nhits[r] >= 2) {
+    radar.rmatch_with[r] = kDiscarded;
+    return;
+  }
+  if (radar.nhits[r] == 1) {
+    const std::int32_t a = radar.hit_id[r];
+    radar.rmatch_with[r] = a;  // the radar records the id either way
+    const auto ai = static_cast<std::size_t>(a);
+    if (drone.nradars[ai] == 1) {
+      // Exclusive: no other active radar covers this aircraft, so no other
+      // thread writes these fields. The atomic mirrors the paper's
+      // defensive "two threads don't try to manipulate the same aircraft"
+      // guard and charges its cost.
+      ctx.atomic_exch(drone.rmatch[ai],
+                      static_cast<std::int8_t>(MatchState::kMatched));
+      drone.amatch[ai] = static_cast<std::int32_t>(r);
+    }
+  }
+}
+
+void commit_tracking_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                            const RadarView& radar) {
+  const std::uint64_t a = ctx.global_id();
+  if (a >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kCommit);
+  if (drone.rmatch[a] == static_cast<std::int8_t>(MatchState::kMatched) &&
+      drone.amatch[a] >= 0) {
+    const auto r = static_cast<std::size_t>(drone.amatch[a]);
+    drone.x[a] = radar.rx[r];
+    drone.y[a] = radar.ry[r];
+  } else {
+    drone.x[a] = drone.ex[a];
+    drone.y[a] = drone.ey[a];
+  }
+}
+
+namespace {
+
+/// Detection scan of aircraft i's (vx, vy) path against all aircraft on
+/// their current global-memory paths. Shared by the fused and split
+/// kernels; charges per-iteration costs to `ctx`.
+reference::DetectOutcome device_scan(simt::ThreadCtx& ctx,
+                                     const DroneView& drone, std::size_t i,
+                                     double vx, double vy,
+                                     const Task23Params& params,
+                                     std::uint64_t& pair_tests,
+                                     bool stop_at_critical) {
+  reference::DetectOutcome out;
+  double soonest = params.horizon_periods + 1.0;
+  for (std::size_t j = 0; j < drone.size(); ++j) {
+    if (j == i) {
+      ctx.charge(sc::kBranch);
+      continue;
+    }
+    if (!altitude_gate(drone.alt[i], drone.alt[j],
+                       params.altitude_gate_feet)) {
+      ctx.charge(kGateFail);
+      continue;
+    }
+    ctx.charge(kPairTest);
+    ++pair_tests;
+    const PairConflict pc = batcher_pair_test(
+        drone.x[j] - drone.x[i], drone.y[j] - drone.y[i],
+        drone.dx[j] - vx, drone.dy[j] - vy, params.band_nm,
+        params.horizon_periods);
+    if (!pc.conflict) continue;
+    ctx.charge(kConflictBookkeeping);
+    out.conflict = true;
+    if (pc.time_min < soonest) {
+      soonest = pc.time_min;
+      out.partner = static_cast<std::int32_t>(j);
+      out.time_min = pc.time_min;
+    }
+    if (pc.time_min < params.critical_periods) {
+      out.critical = true;
+      if (stop_at_critical) return out;
+    }
+  }
+  return out;
+}
+
+/// Trial-rotation resolution for a critical aircraft. Shared by the fused
+/// and split kernels. Returns true when a conflict-free path was stored.
+bool device_resolve(simt::ThreadCtx& ctx, const DroneView& drone,
+                    std::size_t i, const Task23Params& params,
+                    std::uint64_t& pair_tests, std::uint64_t& rescans) {
+  const core::Vec2 vel{drone.dx[i], drone.dy[i]};
+  const int attempts = reference::max_trial_attempts(params);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const double angle =
+        reference::trial_angle_deg(attempt, params.turn_step_deg);
+    const core::Vec2 trial = core::rotate_deg(vel, angle);
+    ctx.charge(kTrialSetup);
+    ++rescans;
+    const reference::DetectOutcome check =
+        device_scan(ctx, drone, i, trial.x, trial.y, params, pair_tests,
+                    /*stop_at_critical=*/true);
+    if (!check.critical) {
+      drone.batx[i] = trial.x;
+      drone.baty[i] = trial.y;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_collision_path_kernel(simt::ThreadCtx& ctx,
+                                 const DroneView& drone,
+                                 std::span<std::uint8_t> resolved,
+                                 const Task23Params& params,
+                                 std::span<std::uint64_t> counters) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kThreadInit);
+
+  // Each thread initializes its own aircraft's collision state (the
+  // paper's kernel does the same at entry).
+  drone.col[i] = 0;
+  drone.col_with[i] = kNone;
+  drone.time_till[i] = params.critical_periods;
+  drone.batx[i] = drone.dx[i];
+  drone.baty[i] = drone.dy[i];
+  resolved[i] = 0;
+  ctx.charge(kFlagWork);
+
+  std::uint64_t pair_tests = 0;
+  std::uint64_t rescans = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t critical = 0;
+  std::uint64_t n_resolved = 0;
+  std::uint64_t n_unresolved = 0;
+
+  const reference::DetectOutcome det =
+      device_scan(ctx, drone, i, drone.dx[i], drone.dy[i], params,
+                  pair_tests, /*stop_at_critical=*/false);
+  if (det.conflict) {
+    ++conflicts;
+    drone.col[i] = 1;
+    drone.col_with[i] = det.partner;
+    if (det.time_min < drone.time_till[i]) {
+      drone.time_till[i] = det.time_min;
+    }
+    ctx.charge(kConflictBookkeeping);
+  }
+  if (det.critical) {
+    ++critical;
+    if (device_resolve(ctx, drone, i, params, pair_tests, rescans)) {
+      resolved[i] = 1;
+      ++n_resolved;
+    } else {
+      ++n_unresolved;
+    }
+  }
+
+  ctx.atomic_add(counters[kPairTests], pair_tests);
+  ctx.atomic_add(counters[kRescans], rescans);
+  ctx.atomic_add(counters[kConflicts], conflicts);
+  ctx.atomic_add(counters[kCritical], critical);
+  ctx.atomic_add(counters[kResolved], n_resolved);
+  ctx.atomic_add(counters[kUnresolved], n_unresolved);
+}
+
+void detect_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                   std::span<std::uint8_t> critical,
+                   const Task23Params& params,
+                   std::span<std::uint64_t> counters) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kThreadInit);
+
+  drone.col[i] = 0;
+  drone.col_with[i] = kNone;
+  drone.time_till[i] = params.critical_periods;
+  drone.batx[i] = drone.dx[i];
+  drone.baty[i] = drone.dy[i];
+  critical[i] = 0;
+  ctx.charge(kFlagWork);
+
+  std::uint64_t pair_tests = 0;
+  const reference::DetectOutcome det =
+      device_scan(ctx, drone, i, drone.dx[i], drone.dy[i], params,
+                  pair_tests, /*stop_at_critical=*/false);
+  if (det.conflict) {
+    drone.col[i] = 1;
+    drone.col_with[i] = det.partner;
+    if (det.time_min < drone.time_till[i]) {
+      drone.time_till[i] = det.time_min;
+    }
+    ctx.atomic_add(counters[kConflicts], std::uint64_t{1});
+    ctx.charge(kConflictBookkeeping);
+  }
+  if (det.critical) {
+    critical[i] = 1;
+    ctx.atomic_add(counters[kCritical], std::uint64_t{1});
+  }
+  ctx.atomic_add(counters[kPairTests], pair_tests);
+}
+
+void resolve_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                    std::span<const std::uint8_t> critical,
+                    std::span<std::uint8_t> resolved,
+                    const Task23Params& params,
+                    std::span<std::uint64_t> counters) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kThreadInit);
+  resolved[i] = 0;
+  if (!critical[i]) return;
+
+  std::uint64_t pair_tests = 0;
+  std::uint64_t rescans = 0;
+  if (device_resolve(ctx, drone, i, params, pair_tests, rescans)) {
+    resolved[i] = 1;
+    ctx.atomic_add(counters[kResolved], std::uint64_t{1});
+  } else {
+    ctx.atomic_add(counters[kUnresolved], std::uint64_t{1});
+  }
+  ctx.atomic_add(counters[kPairTests], pair_tests);
+  ctx.atomic_add(counters[kRescans], rescans);
+}
+
+void commit_paths_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                         std::span<const std::uint8_t> resolved,
+                         const Task23Params& params) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kCommit);
+  if (!resolved[i]) return;
+  drone.dx[i] = drone.batx[i];
+  drone.dy[i] = drone.baty[i];
+  drone.col[i] = 0;
+  drone.col_with[i] = kNone;
+  drone.time_till[i] = params.critical_periods;
+}
+
+// --- Extended-system kernels -----------------------------------------------
+
+namespace {
+
+using airfield::kRedundant;
+
+/// One terrain sample: 4 scattered heightmap loads + the bilinear math.
+constexpr sc::Cycles kTerrainSample = 4 * sc::kScatterAccess + 12 * sc::kAlu;
+/// Display per-aircraft work: sector math + handoff compare + stores.
+constexpr sc::Cycles kDisplayWork = 4 * sc::kGlobalAccess + 10 * sc::kAlu;
+/// Advisory classification per aircraft.
+constexpr sc::Cycles kAdvisoryWork = 4 * sc::kGlobalAccess + 10 * sc::kAlu;
+/// Candidate-distance evaluation in the multi-tower select phase.
+constexpr sc::Cycles kCandidateTest =
+    3 * sc::kGlobalAccess + 8 * sc::kAlu + sc::kBranch;
+
+}  // namespace
+
+void terrain_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                    const airfield::TerrainMap& terrain,
+                    const TerrainTaskParams& params,
+                    std::span<std::uint64_t> counters) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kThreadInit);
+
+  const extended::TerrainScan scan = extended::scan_terrain_path(
+      drone.x[i], drone.y[i], drone.dx[i], drone.dy[i], drone.alt[i],
+      terrain, params);
+  ctx.charge(static_cast<sc::Cycles>(params.samples) * kTerrainSample);
+
+  drone.terrain_warn[i] = scan.warn ? 1 : 0;
+  std::uint64_t climbed = 0;
+  if (scan.warn && scan.required_alt_feet > drone.alt[i]) {
+    drone.alt[i] = scan.required_alt_feet;
+    climbed = 1;
+  }
+  ctx.charge(kFlagWork);
+
+  ctx.atomic_add(counters[kTerrainSamples],
+                 static_cast<std::uint64_t>(params.samples));
+  if (scan.warn) {
+    ctx.atomic_add(counters[kTerrainWarnings], std::uint64_t{1});
+  }
+  if (climbed) {
+    ctx.atomic_add(counters[kTerrainClimbs], std::uint64_t{1});
+  }
+}
+
+void display_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                    std::span<std::int32_t> occupancy, int sectors_per_axis,
+                    std::span<std::uint64_t> counters) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kDisplayWork);
+
+  const std::int32_t s =
+      extended::sector_of(drone.x[i], drone.y[i], sectors_per_axis);
+  if (drone.sector[i] != kNone && drone.sector[i] != s) {
+    ctx.atomic_add(counters[kHandoffs], std::uint64_t{1});
+  }
+  drone.sector[i] = s;
+  ctx.atomic_add(occupancy[static_cast<std::size_t>(s)], std::int32_t{1});
+}
+
+void advisory_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                     std::span<std::uint8_t> advisory_flags,
+                     const AdvisoryParams& params) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kAdvisoryWork);
+
+  std::uint8_t flags = 0;
+  if (drone.col[i]) flags |= kAdvConflictBit;
+  if (drone.terrain_warn[i]) flags |= kAdvTerrainBit;
+  const double edge = core::kGridHalfExtentNm - params.boundary_warn_nm;
+  if (std::fabs(drone.x[i]) > edge || std::fabs(drone.y[i]) > edge) {
+    flags |= kAdvBoundaryBit;
+  }
+  advisory_flags[i] = flags;
+}
+
+void pair_detect_time_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                             std::span<double> soonest,
+                             const Task23Params& params,
+                             std::span<std::uint64_t> counters) {
+  const std::uint64_t j = static_cast<std::uint64_t>(ctx.block_idx().x) *
+                              ctx.block_dim().x +
+                          ctx.thread_idx().x;
+  const std::uint64_t i = static_cast<std::uint64_t>(ctx.block_idx().y) *
+                              ctx.block_dim().y +
+                          ctx.thread_idx().y;
+  const std::size_t n = drone.size();
+  if (i >= n || j >= n || i == j) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + 2 * sc::kAlu);
+  if (!altitude_gate(drone.alt[i], drone.alt[j],
+                     params.altitude_gate_feet)) {
+    ctx.charge(kGateFail);
+    return;
+  }
+  ctx.charge(kPairTest);
+  ctx.atomic_add(counters[kPairTests], std::uint64_t{1});
+  const PairConflict pc = batcher_pair_test(
+      drone.x[j] - drone.x[i], drone.y[j] - drone.y[i],
+      drone.dx[j] - drone.dx[i], drone.dy[j] - drone.dy[i], params.band_nm,
+      params.horizon_periods);
+  if (pc.conflict) {
+    ctx.atomic_min(soonest[i], pc.time_min);
+  }
+}
+
+void pair_detect_partner_kernel(simt::ThreadCtx& ctx,
+                                const DroneView& drone,
+                                std::span<const double> soonest,
+                                std::span<std::int32_t> partner,
+                                const Task23Params& params) {
+  const std::uint64_t j = static_cast<std::uint64_t>(ctx.block_idx().x) *
+                              ctx.block_dim().x +
+                          ctx.thread_idx().x;
+  const std::uint64_t i = static_cast<std::uint64_t>(ctx.block_idx().y) *
+                              ctx.block_dim().y +
+                          ctx.thread_idx().y;
+  const std::size_t n = drone.size();
+  if (i >= n || j >= n || i == j) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + 2 * sc::kAlu);
+  if (soonest[i] > params.horizon_periods) return;  // no conflict at all
+  if (!altitude_gate(drone.alt[i], drone.alt[j],
+                     params.altitude_gate_feet)) {
+    ctx.charge(kGateFail);
+    return;
+  }
+  ctx.charge(kPairTest);
+  const PairConflict pc = batcher_pair_test(
+      drone.x[j] - drone.x[i], drone.y[j] - drone.y[i],
+      drone.dx[j] - drone.dx[i], drone.dy[j] - drone.dy[i], params.band_nm,
+      params.horizon_periods);
+  if (pc.conflict && pc.time_min == soonest[i]) {
+    ctx.atomic_min(partner[i], static_cast<std::int32_t>(j));
+  }
+}
+
+void pair_detect_finalize_kernel(simt::ThreadCtx& ctx,
+                                 const DroneView& drone,
+                                 std::span<const double> soonest,
+                                 std::span<const std::int32_t> partner,
+                                 std::span<std::uint8_t> critical,
+                                 const Task23Params& params,
+                                 std::span<std::uint64_t> counters) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kFlagWork + kConflictBookkeeping);
+  drone.col[i] = 0;
+  drone.col_with[i] = kNone;
+  drone.time_till[i] = params.critical_periods;
+  drone.batx[i] = drone.dx[i];
+  drone.baty[i] = drone.dy[i];
+  critical[i] = 0;
+  if (soonest[i] <= params.horizon_periods) {
+    drone.col[i] = 1;
+    drone.col_with[i] = partner[i];
+    if (soonest[i] < drone.time_till[i]) drone.time_till[i] = soonest[i];
+    ctx.atomic_add(counters[kConflicts], std::uint64_t{1});
+    if (soonest[i] < params.critical_periods) {
+      critical[i] = 1;
+      ctx.atomic_add(counters[kCritical], std::uint64_t{1});
+    }
+  }
+}
+
+void query_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                  std::span<const Query> queries,
+                  std::span<std::uint8_t> match_flags) {
+  const std::uint64_t i = ctx.global_id();
+  if (i >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kThreadInit);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const Query& query = queries[q];
+    bool match = false;
+    switch (query.kind) {
+      case QueryKind::kById:
+        match = static_cast<std::int32_t>(i) == query.id;
+        ctx.charge(2 * sc::kAlu);
+        break;
+      case QueryKind::kInSector:
+        match = drone.sector[i] == query.sector;
+        ctx.charge(sc::kGlobalAccess + sc::kAlu);
+        break;
+      case QueryKind::kNearPoint: {
+        const double dx = drone.x[i] - query.x;
+        const double dy = drone.y[i] - query.y;
+        match = dx * dx + dy * dy <= query.radius_nm * query.radius_nm;
+        ctx.charge(2 * sc::kGlobalAccess + 6 * sc::kAlu);
+        break;
+      }
+    }
+    match_flags[q * drone.size() + i] = match ? 1 : 0;
+    ctx.charge(sc::kGlobalAccess);
+  }
+}
+
+// --- Multi-tower correlation kernels ---------------------------------------
+
+void multi_scan_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                       const MultiRadarView& radar, double box_half_nm,
+                       std::span<std::uint64_t> counters) {
+  const std::uint64_t r = ctx.global_id();
+  if (r >= radar.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kThreadInit);
+  if (radar.rmatch_with[r] != kNone) return;
+
+  radar.nhits[r] = 0;
+  radar.hit_id[r] = kNone;
+  const double rx = radar.rx[r];
+  const double ry = radar.ry[r];
+  std::uint64_t box_tests = 0;
+  for (std::size_t a = 0; a < drone.size(); ++a) {
+    if (drone.rmatch[a] != static_cast<std::int8_t>(MatchState::kUnmatched)) {
+      ctx.charge(kSkipIneligible);
+      continue;
+    }
+    ctx.charge(kBoxTest);
+    ++box_tests;
+    if (std::fabs(drone.ex[a] - rx) < box_half_nm &&
+        std::fabs(drone.ey[a] - ry) < box_half_nm) {
+      ++radar.nhits[r];
+      radar.hit_id[r] = static_cast<std::int32_t>(a);
+      ctx.charge(kHitBookkeeping);
+    }
+  }
+  if (radar.nhits[r] >= 2) {
+    radar.rmatch_with[r] = kDiscarded;
+    ctx.charge(kFlagWork);
+  }
+  ctx.atomic_add(counters[kBoxTests], box_tests);
+}
+
+void multi_select_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                         const MultiRadarView& radar) {
+  const std::uint64_t a = ctx.global_id();
+  if (a >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kThreadInit);
+  if (drone.rmatch[a] != static_cast<std::int8_t>(MatchState::kUnmatched)) {
+    return;
+  }
+
+  std::int32_t best = kNone;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < radar.size(); ++r) {
+    if (radar.rmatch_with[r] != kNone || radar.nhits[r] != 1 ||
+        radar.hit_id[r] != static_cast<std::int32_t>(a)) {
+      ctx.charge(kSkipIneligible);
+      continue;
+    }
+    ctx.charge(kCandidateTest);
+    const double dx = radar.rx[r] - drone.ex[a];
+    const double dy = radar.ry[r] - drone.ey[a];
+    const double d2 = dx * dx + dy * dy;
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<std::int32_t>(r);
+    }
+  }
+  if (best != kNone) {
+    drone.rmatch[a] = static_cast<std::int8_t>(MatchState::kMatched);
+    drone.amatch[a] = best;
+    ctx.charge(kFlagWork);
+  }
+}
+
+void multi_disposition_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                              const MultiRadarView& radar) {
+  const std::uint64_t r = ctx.global_id();
+  if (r >= radar.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kResolveRadar);
+  if (radar.rmatch_with[r] != kNone) return;
+  if (radar.nhits[r] != 1) return;  // zero hits: retry next pass
+  const std::int32_t a = radar.hit_id[r];
+  const auto ai = static_cast<std::size_t>(a);
+  if (drone.amatch[ai] == static_cast<std::int32_t>(r)) {
+    radar.rmatch_with[r] = a;
+  } else if (drone.rmatch[ai] ==
+             static_cast<std::int8_t>(MatchState::kMatched)) {
+    radar.rmatch_with[r] = kRedundant;
+  }
+}
+
+void multi_commit_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                         const MultiRadarView& radar) {
+  const std::uint64_t a = ctx.global_id();
+  if (a >= drone.size()) {
+    ctx.charge(kGuard);
+    return;
+  }
+  ctx.charge(kGuard + kCommit);
+  if (drone.rmatch[a] == static_cast<std::int8_t>(MatchState::kMatched) &&
+      drone.amatch[a] >= 0) {
+    const auto r = static_cast<std::size_t>(drone.amatch[a]);
+    drone.x[a] = radar.rx[r];
+    drone.y[a] = radar.ry[r];
+  } else {
+    drone.x[a] = drone.ex[a];
+    drone.y[a] = drone.ey[a];
+  }
+}
+
+}  // namespace atm::tasks::cuda

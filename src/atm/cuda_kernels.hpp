@@ -1,0 +1,247 @@
+// The paper's four CUDA kernels, written against the SIMT engine
+// (Section 4.1: SetupFlight, GenerateRadarData, TrackDrone,
+// CheckCollisionPath).
+//
+// TrackDrone is decomposed into its global-synchronization phases as
+// separate launches (expected-position, per-pass scan/ambiguity/resolve,
+// commit) — in real CUDA those phases are separated by the implicit global
+// sync at kernel boundaries or by atomics; launching them separately gives
+// the same semantics with none of the ordering hazards the paper works
+// around ("variables to check ... so that two threads don't try to
+// manipulate the same aircraft").
+//
+// CheckCollisionPath exists in two forms: the paper's *fused* Task 2+3
+// kernel (their stated optimization: one kernel avoids extra host<->device
+// round trips) and a *split* detect/resolve pair used by the A-1 ablation
+// bench.
+//
+// Every kernel charges its work to the thread context so the device cost
+// model can convert real loop trip counts into modeled card time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/airfield/setup.hpp"
+#include "src/airfield/terrain.hpp"
+#include "src/atm/extended/ext_types.hpp"
+#include "src/atm/task_types.hpp"
+#include "src/simt/context.hpp"
+
+namespace atm::tasks::cuda {
+
+/// Spans over the device-resident flight SoA (the paper's `drone` struct).
+struct DroneView {
+  std::span<double> x, y, dx, dy, alt, batx, baty, time_till;
+  std::span<double> ex, ey;  ///< Expected positions (Task 1 working set).
+  std::span<std::int8_t> rmatch;
+  std::span<std::uint8_t> col;
+  std::span<std::int32_t> col_with;
+  std::span<std::int32_t> amatch;   ///< Radar committed to this aircraft.
+  std::span<std::int32_t> nradars;  ///< Active radars covering aircraft.
+  std::span<std::uint8_t> terrain_warn;  ///< Terrain-avoidance flag.
+  std::span<std::int32_t> sector;        ///< Display sector id.
+
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+};
+
+/// Spans over the device-resident radar SoA.
+struct RadarView {
+  std::span<double> rx, ry;
+  std::span<std::int32_t> rmatch_with;
+  std::span<std::int32_t> nhits;   ///< Eligible aircraft covered (per pass).
+  std::span<std::int32_t> hit_id;  ///< Sole covered aircraft (per pass).
+
+  [[nodiscard]] std::size_t size() const { return rx.size(); }
+};
+
+/// Device counter slots accumulated with atomics (one atomic per thread at
+/// kernel end, not per iteration — like a real stats-collecting kernel).
+enum CounterSlot : std::size_t {
+  kBoxTests = 0,
+  kPairTests,
+  kRescans,
+  kConflicts,
+  kCritical,
+  kResolved,
+  kUnresolved,
+  // Extended-system slots.
+  kTerrainWarnings,
+  kTerrainClimbs,
+  kTerrainSamples,
+  kHandoffs,
+  kCounterSlots,
+};
+
+// --- Simulation-setup kernels (Section 4.1) -------------------------------
+
+/// SetupFlight: thread i initializes aircraft i. Each thread derives an
+/// independent RNG stream from (seed, i), so results do not depend on
+/// thread execution order.
+void setup_flight_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                         std::uint64_t seed,
+                         const airfield::SetupParams& params);
+
+/// GenerateRadarData: thread i writes aircraft i's noisy return at index i
+/// (the host performs the quarter-reversal shuffle afterwards, as in the
+/// paper). `noise` holds 2 pre-drawn values per aircraft so the frame
+/// matches the host generator bit-for-bit.
+void generate_radar_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                           const RadarView& radar,
+                           std::span<const double> noise);
+
+// --- TrackDrone phases (Task 1, Section 5.1) ------------------------------
+
+/// Phase 0: per aircraft — expected position, reset match state.
+void expected_position_kernel(simt::ThreadCtx& ctx, const DroneView& drone);
+
+/// Per pass, phase a: per aircraft — clear the pass's coverage counter.
+void pass_reset_kernel(simt::ThreadCtx& ctx, const DroneView& drone);
+
+/// Per pass, phase b: per radar — scan all aircraft, counting eligible
+/// coverage within the pass's box half-extent.
+void radar_scan_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                       const RadarView& radar, double box_half_nm,
+                       std::span<std::uint64_t> counters);
+
+/// Per pass, phase c: per aircraft — aircraft covered by >= 2 radars
+/// become ambiguous.
+void ambiguity_kernel(simt::ThreadCtx& ctx, const DroneView& drone);
+
+/// Per pass, phase d: per radar — discard multi-hit radars; commit
+/// unambiguous single-hit correlations.
+void radar_resolve_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                          const RadarView& radar);
+
+/// Final phase: per aircraft — take the correlated radar position, or the
+/// expected position.
+void commit_tracking_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                            const RadarView& radar);
+
+// --- CheckCollisionPath (Tasks 2+3, Sections 5.2-5.3) ---------------------
+
+/// The paper's fused kernel: per aircraft — Batcher detection against all
+/// aircraft, then trial-rotation resolution, writing the trial path to
+/// batx/baty and raising `resolved`.
+void check_collision_path_kernel(simt::ThreadCtx& ctx,
+                                 const DroneView& drone,
+                                 std::span<std::uint8_t> resolved,
+                                 const Task23Params& params,
+                                 std::span<std::uint64_t> counters);
+
+/// Split variant for the A-1 ablation: detection only.
+void detect_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                   std::span<std::uint8_t> critical,
+                   const Task23Params& params,
+                   std::span<std::uint64_t> counters);
+
+/// Split variant for the A-1 ablation: resolution of flagged aircraft.
+void resolve_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                    std::span<const std::uint8_t> critical,
+                    std::span<std::uint8_t> resolved,
+                    const Task23Params& params,
+                    std::span<std::uint64_t> counters);
+
+/// Commit phase shared by both variants: per aircraft — resolved aircraft
+/// turn onto the trial path and clear their collision flags.
+void commit_paths_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                         std::span<const std::uint8_t> resolved,
+                         const Task23Params& params);
+
+// --- Extended-system kernels (complete ATM task set) -----------------------
+
+/// Terrain avoidance: per aircraft — sample the projected path against the
+/// (device-resident) terrain map, flag violations, climb.
+void terrain_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                    const airfield::TerrainMap& terrain,
+                    const TerrainTaskParams& params,
+                    std::span<std::uint64_t> counters);
+
+/// Display update: per aircraft — sector binning, handoff detection, and
+/// atomic occupancy histogram.
+void display_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                    std::span<std::int32_t> occupancy, int sectors_per_axis,
+                    std::span<std::uint64_t> counters);
+
+/// Advisory flag bits written by advisory_kernel.
+inline constexpr std::uint8_t kAdvConflictBit = 1;
+inline constexpr std::uint8_t kAdvTerrainBit = 2;
+inline constexpr std::uint8_t kAdvBoundaryBit = 4;
+
+/// AVA scan: per aircraft — classify into the advisory bitmask (the host
+/// drains the queue in id order afterwards, like the real system's serial
+/// voice channel).
+void advisory_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                     std::span<std::uint8_t> advisory_flags,
+                     const AdvisoryParams& params);
+
+// --- Alternative detection mapping (A-3 ablation) ---------------------------
+//
+// The paper maps one thread to one aircraft, each scanning all others.
+// An obvious alternative is one thread per *pair tile*: a 2-D grid where
+// thread (i, j) tests exactly one pair and folds its result into aircraft
+// i's soonest-conflict state with atomics. Two deterministic passes keep
+// the tie-breaking (lowest partner id at equal time) order-independent:
+
+/// Pass 1: per pair (i = global y, j = global x) — atomic-min the entry
+/// time of every conflicting pair into `soonest[i]`.
+void pair_detect_time_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                             std::span<double> soonest,
+                             const Task23Params& params,
+                             std::span<std::uint64_t> counters);
+
+/// Pass 2: per pair — for pairs achieving soonest[i], atomic-min the
+/// partner id; then flags/col/time_till follow per aircraft.
+void pair_detect_partner_kernel(simt::ThreadCtx& ctx,
+                                const DroneView& drone,
+                                std::span<const double> soonest,
+                                std::span<std::int32_t> partner,
+                                const Task23Params& params);
+
+/// Finalize: per aircraft — write col/col_with/time_till/critical flags
+/// from the pair passes' results.
+void pair_detect_finalize_kernel(simt::ThreadCtx& ctx,
+                                 const DroneView& drone,
+                                 std::span<const double> soonest,
+                                 std::span<const std::int32_t> partner,
+                                 std::span<std::uint8_t> critical,
+                                 const Task23Params& params,
+                                 std::span<std::uint64_t> counters);
+
+/// Sporadic requests: per aircraft — evaluate every query of the batch,
+/// writing match_flags[q * n + i]. The host compacts the answers in id
+/// order afterwards (the controller wants an ordered strip anyway).
+void query_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                  std::span<const Query> queries,
+                  std::span<std::uint8_t> match_flags);
+
+// --- Multi-tower correlation kernels ---------------------------------------
+
+/// Spans over the device-resident multi-return frame.
+struct MultiRadarView {
+  std::span<double> rx, ry;
+  std::span<std::int32_t> rmatch_with;
+  std::span<std::int32_t> nhits;
+  std::span<std::int32_t> hit_id;
+
+  [[nodiscard]] std::size_t size() const { return rx.size(); }
+};
+
+/// Phase 1: per return — coverage counts; ambiguous returns discarded.
+void multi_scan_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                       const MultiRadarView& radar, double box_half_nm,
+                       std::span<std::uint64_t> counters);
+
+/// Phase 2: per aircraft — choose the closest single-hit candidate.
+void multi_select_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                         const MultiRadarView& radar);
+
+/// Phase 3: per return — winners commit, losers become redundant.
+void multi_disposition_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                              const MultiRadarView& radar);
+
+/// Commit: per aircraft — matched aircraft take the winning return.
+void multi_commit_kernel(simt::ThreadCtx& ctx, const DroneView& drone,
+                         const MultiRadarView& radar);
+
+}  // namespace atm::tasks::cuda

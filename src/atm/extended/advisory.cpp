@@ -1,0 +1,55 @@
+#include "src/atm/extended/advisory.hpp"
+
+#include <cmath>
+
+#include "src/core/units.hpp"
+
+namespace atm::tasks::extended {
+
+int classify_advisories(const airfield::FlightDb& db, std::size_t i,
+                        const AdvisoryParams& params,
+                        std::vector<Advisory>& out) {
+  int appended = 0;
+  const auto id = static_cast<std::int32_t>(i);
+  if (db.col[i]) {
+    out.push_back(Advisory{id, AdvisoryType::kConflict});
+    ++appended;
+  }
+  if (db.terrain_warn[i]) {
+    out.push_back(Advisory{id, AdvisoryType::kTerrain});
+    ++appended;
+  }
+  const double edge = core::kGridHalfExtentNm - params.boundary_warn_nm;
+  if (std::fabs(db.x[i]) > edge || std::fabs(db.y[i]) > edge) {
+    out.push_back(Advisory{id, AdvisoryType::kBoundary});
+    ++appended;
+  }
+  return appended;
+}
+
+AdvisoryStats advisory_scan(const airfield::FlightDb& db,
+                            const AdvisoryParams& params,
+                            std::vector<Advisory>& queue) {
+  AdvisoryStats stats;
+  stats.aircraft = db.size();
+  queue.clear();
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    classify_advisories(db, i, params, queue);
+  }
+  for (const Advisory& adv : queue) {
+    switch (adv.type) {
+      case AdvisoryType::kConflict:
+        ++stats.conflict;
+        break;
+      case AdvisoryType::kTerrain:
+        ++stats.terrain;
+        break;
+      case AdvisoryType::kBoundary:
+        ++stats.boundary;
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace atm::tasks::extended

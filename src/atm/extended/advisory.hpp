@@ -1,0 +1,27 @@
+// Automatic voice advisory (AVA) — reference implementation.
+//
+// STARAN's Dulles demonstration included automatic voice advisories: the
+// system periodically scans the flight records and queues spoken warnings
+// for aircraft in conflict, near terrain, or approaching the boundary of
+// the controlled field. The scan runs every 4 seconds in our extended
+// schedule; the queue is ordered by aircraft id then advisory type so
+// every backend produces the identical queue.
+#pragma once
+
+#include "src/airfield/flight_db.hpp"
+#include "src/atm/extended/ext_types.hpp"
+
+namespace atm::tasks::extended {
+
+/// Classify aircraft i. Appends its advisories (in type order) to `out`.
+/// Pure shared predicate; returns how many advisories were appended.
+int classify_advisories(const airfield::FlightDb& db, std::size_t i,
+                        const AdvisoryParams& params,
+                        std::vector<Advisory>& out);
+
+/// Reference AVA scan over the whole database.
+AdvisoryStats advisory_scan(const airfield::FlightDb& db,
+                            const AdvisoryParams& params,
+                            std::vector<Advisory>& queue);
+
+}  // namespace atm::tasks::extended

@@ -1,0 +1,165 @@
+// Parameter and statistics types for the extended ("complete ATM system")
+// task set — the paper's Section 7.2 future work, with task definitions
+// following the basic ATM task list of [13]: terrain avoidance, controller
+// display update, and automatic voice advisory, plus the multi-tower radar
+// correlation of the unsimplified radar environment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/units.hpp"
+
+namespace atm::tasks {
+
+// --- Terrain avoidance (every major cycle) ---------------------------------
+
+struct TerrainTaskParams {
+  /// Look-ahead along the current path, in periods (2 minutes).
+  double horizon_periods = 240.0;
+  /// Path sample points within the horizon.
+  int samples = 16;
+  /// Required ground clearance in feet.
+  double clearance_feet = 1000.0;
+  /// Extra altitude margin added when commanding a climb.
+  double climb_buffer_feet = 500.0;
+};
+
+struct TerrainStats {
+  std::uint64_t aircraft = 0;
+  std::uint64_t warnings = 0;  ///< Aircraft violating clearance ahead.
+  std::uint64_t climbs = 0;    ///< Aircraft commanded to a higher level.
+  std::uint64_t samples = 0;   ///< Work: terrain lookups performed.
+
+  friend bool operator==(const TerrainStats&, const TerrainStats&) = default;
+};
+
+struct TerrainResult {
+  double modeled_ms = 0.0;
+  TerrainStats stats;
+};
+
+// --- Controller display update (every period) ------------------------------
+
+struct DisplayParams {
+  /// Sectors per axis over the airfield (16 => 16 nm sectors).
+  int sectors_per_axis = 16;
+};
+
+struct DisplayStats {
+  std::uint64_t aircraft = 0;
+  std::uint64_t handoffs = 0;          ///< Aircraft that changed sector.
+  std::uint64_t occupied_sectors = 0;  ///< Sectors with >= 1 aircraft.
+  std::uint64_t max_occupancy = 0;     ///< Densest sector's count.
+
+  friend bool operator==(const DisplayStats&, const DisplayStats&) = default;
+};
+
+struct DisplayResult {
+  double modeled_ms = 0.0;
+  DisplayStats stats;
+};
+
+// --- Automatic voice advisory (every 4 seconds) -----------------------------
+
+struct AdvisoryParams {
+  /// Aircraft closer than this to the field edge get a boundary advisory.
+  double boundary_warn_nm = 8.0;
+};
+
+/// Advisory message categories, in queue order.
+enum class AdvisoryType : std::int8_t {
+  kConflict = 0,  ///< Collision flag raised by Tasks 2+3.
+  kTerrain = 1,   ///< Terrain-avoidance warning active.
+  kBoundary = 2,  ///< Approaching the edge of the controlled field.
+};
+
+struct Advisory {
+  std::int32_t aircraft = -1;
+  AdvisoryType type = AdvisoryType::kConflict;
+
+  friend bool operator==(const Advisory&, const Advisory&) = default;
+};
+
+struct AdvisoryStats {
+  std::uint64_t aircraft = 0;
+  std::uint64_t conflict = 0;
+  std::uint64_t terrain = 0;
+  std::uint64_t boundary = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return conflict + terrain + boundary;
+  }
+  friend bool operator==(const AdvisoryStats&,
+                         const AdvisoryStats&) = default;
+};
+
+struct AdvisoryResult {
+  double modeled_ms = 0.0;
+  AdvisoryStats stats;
+  /// The voice queue, ordered by aircraft id then type (deterministic on
+  /// every backend).
+  std::vector<Advisory> queue;
+};
+
+// --- Sporadic requests (controller queries, random arrival) -----------------
+
+/// Query kinds a controller can issue against the flight database.
+enum class QueryKind : std::int8_t {
+  kById = 0,     ///< Flight record of one aircraft.
+  kInSector = 1, ///< All aircraft in a display sector.
+  kNearPoint = 2 ///< All aircraft within a radius of a point.
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kById;
+  std::int32_t id = -1;       ///< kById target.
+  std::int32_t sector = -1;   ///< kInSector target.
+  double x = 0.0, y = 0.0;    ///< kNearPoint centre (nm).
+  double radius_nm = 20.0;    ///< kNearPoint radius.
+};
+
+struct SporadicParams {
+  /// Queries arriving per batch (0 disables the task in the full system).
+  int queries_per_batch = 4;
+  /// Radius used when generating kNearPoint queries.
+  double near_radius_nm = 20.0;
+};
+
+struct SporadicStats {
+  std::uint64_t queries = 0;
+  std::uint64_t hits = 0;  ///< Total aircraft returned across answers.
+
+  friend bool operator==(const SporadicStats&,
+                         const SporadicStats&) = default;
+};
+
+struct SporadicResult {
+  double modeled_ms = 0.0;
+  SporadicStats stats;
+  /// Per-query answers: aircraft ids in ascending order (deterministic on
+  /// every backend).
+  std::vector<std::vector<std::int32_t>> answers;
+};
+
+// --- Multi-tower radar correlation ------------------------------------------
+
+struct MultiRadarStats {
+  std::uint64_t returns = 0;           ///< Frame size.
+  std::uint64_t matched_aircraft = 0;  ///< Aircraft that took a return.
+  std::uint64_t redundant_returns = 0; ///< Covered by a better return.
+  std::uint64_t discarded_returns = 0; ///< Ambiguous (covered 2+ aircraft).
+  std::uint64_t unmatched_returns = 0;
+  int passes = 0;
+  std::uint64_t box_tests = 0;  ///< Work (architecture-dependent).
+
+  friend bool operator==(const MultiRadarStats&,
+                         const MultiRadarStats&) = default;
+};
+
+struct MultiRadarResult {
+  double modeled_ms = 0.0;
+  MultiRadarStats stats;
+};
+
+}  // namespace atm::tasks

@@ -1,0 +1,132 @@
+#include "src/atm/extended/full_pipeline.hpp"
+
+#include <memory>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/extended/sporadic.hpp"
+#include "src/core/units.hpp"
+#include "src/rt/clock.hpp"
+#include "src/rt/schedule.hpp"
+
+namespace atm::tasks::extended {
+
+FullSystemResult run_full_system(Backend& backend,
+                                 const FullSystemConfig& cfg) {
+  FullSystemResult result;
+  backend.load(airfield::make_airfield(cfg.aircraft, cfg.seed, cfg.setup));
+  backend.set_terrain(std::make_shared<const airfield::TerrainMap>(
+      cfg.terrain_seed, cfg.terrain_map));
+
+  std::vector<airfield::RadarTower> towers;
+  if (cfg.multi_radar) {
+    towers = airfield::make_tower_layout(cfg.seed ^ 0x70BE25ULL, cfg.towers);
+  }
+
+  rt::VirtualClock clock;
+  const rt::MajorCycleSchedule schedule =
+      rt::MajorCycleSchedule::paper_schedule();
+  const double period_ms = schedule.period_ms();
+  core::Rng radar_rng(cfg.seed ^ 0x4ADA1257A3ABCDEFULL);
+  core::Rng query_rng(cfg.seed ^ 0x5B0AAD1C00FFEE11ULL);
+
+  // Runs one task under deadline accounting; returns false when the task
+  // had to be skipped (its period had already ended).
+  const auto timed = [&](const char* name, double deadline_ms, auto&& fn) {
+    if (clock.now_ms() >= deadline_ms) {
+      result.monitor.record_skip(name);
+      return false;
+    }
+    const double ms = fn();
+    result.monitor.record(name, clock.now_ms(), ms, deadline_ms);
+    clock.advance_ms(ms);
+    return true;
+  };
+
+  int global_period = 0;
+  for (int cycle = 0; cycle < cfg.major_cycles; ++cycle) {
+    for (int period = 0; period < schedule.periods_per_cycle(); ++period) {
+      const double deadline =
+          static_cast<double>(global_period + 1) * period_ms;
+
+      // Radar creation precedes the period (untimed, Section 4.2).
+      airfield::RadarFrame frame;
+      airfield::MultiRadarFrame multi_frame;
+      if (cfg.multi_radar) {
+        multi_frame = airfield::generate_multi_radar(
+            backend.state(), towers, radar_rng, cfg.radar);
+        result.mean_coverage =
+            airfield::mean_coverage(multi_frame, cfg.aircraft);
+      } else {
+        frame = backend.generate_radar(radar_rng, cfg.radar, nullptr);
+      }
+
+      // Tracking & correlation.
+      timed("task1", deadline, [&] {
+        if (cfg.multi_radar) {
+          const MultiRadarResult r =
+              backend.run_multi_task1(multi_frame, cfg.task1);
+          result.last_multi = r.stats;
+          return r.modeled_ms;
+        }
+        const Task1Result r = backend.run_task1(frame, cfg.task1);
+        result.last_task1 = r.stats;
+        return r.modeled_ms;
+      });
+
+      if (cfg.apply_reentry) {
+        airfield::apply_reentry_all(backend.mutable_state());
+      }
+
+      // Display update, every period.
+      timed("display", deadline, [&] {
+        const DisplayResult r = backend.run_display(cfg.display);
+        result.last_display = r.stats;
+        return r.modeled_ms;
+      });
+
+      // Sporadic controller queries, every period (arrival is simulation
+      // scaffolding; answering is the ATM task).
+      if (cfg.sporadic.queries_per_batch > 0) {
+        const std::vector<Query> batch =
+            make_query_batch(backend.state(), query_rng, cfg.sporadic,
+                             cfg.display.sectors_per_axis);
+        timed("sporadic", deadline, [&] {
+          const SporadicResult r = backend.run_sporadic(batch, cfg.sporadic);
+          result.last_sporadic = r.stats;
+          return r.modeled_ms;
+        });
+      }
+
+      // Collision detection & resolution + terrain, end of cycle.
+      if (period == schedule.periods_per_cycle() - 1) {
+        timed("task23", deadline, [&] {
+          const Task23Result r = backend.run_task23(cfg.task23);
+          result.last_task23 = r.stats;
+          return r.modeled_ms;
+        });
+        timed("terrain", deadline, [&] {
+          const TerrainResult r = backend.run_terrain(cfg.terrain);
+          result.last_terrain = r.stats;
+          return r.modeled_ms;
+        });
+      }
+
+      // Automatic voice advisory, every advisory_every_periods.
+      if ((period + 1) % cfg.advisory_every_periods == 0) {
+        timed("advisory", deadline, [&] {
+          AdvisoryResult r = backend.run_advisory(cfg.advisory);
+          result.last_advisory = r.stats;
+          result.last_queue = std::move(r.queue);
+          return r.modeled_ms;
+        });
+      }
+
+      clock.advance_to_ms(deadline);
+      ++global_period;
+    }
+  }
+  result.virtual_end_ms = clock.now_ms();
+  return result;
+}
+
+}  // namespace atm::tasks::extended

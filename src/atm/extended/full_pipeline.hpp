@@ -1,0 +1,70 @@
+// The complete ATM system under the real-time executive — the paper's
+// Section 7.2 future work ("implement all basic ATM tasks and create a
+// more complete ATM system that can be tested ... to determine if it is
+// still viable and will not miss deadlines").
+//
+// Extended schedule per 16-period major cycle:
+//
+//   every period     : Task 1 (tracking & correlation)  then
+//                      display update
+//   periods 7 and 15 : automatic voice advisory (every 4 s)
+//   period 15        : Tasks 2+3 (collision detection & resolution), then
+//                      terrain avoidance
+//
+// Optionally the radar environment is the unsimplified multi-tower one,
+// in which case the multi-return correlation replaces Task 1.
+#pragma once
+
+#include <vector>
+
+#include "src/airfield/setup.hpp"
+#include "src/airfield/terrain.hpp"
+#include "src/airfield/towers.hpp"
+#include "src/atm/backend.hpp"
+#include "src/rt/deadline.hpp"
+
+namespace atm::tasks::extended {
+
+struct FullSystemConfig {
+  std::size_t aircraft = 1000;
+  int major_cycles = 1;
+  std::uint64_t seed = 42;
+  std::uint64_t terrain_seed = 99;
+  airfield::SetupParams setup;
+  airfield::RadarParams radar;
+  airfield::TerrainParams terrain_map;
+  Task1Params task1;
+  Task23Params task23;
+  TerrainTaskParams terrain;
+  DisplayParams display;
+  AdvisoryParams advisory;
+  /// Sporadic controller queries per period (0 disables the task).
+  SporadicParams sporadic;
+  /// AVA cadence in periods (8 = every 4 seconds).
+  int advisory_every_periods = 8;
+  /// Use the multi-tower radar environment instead of the paper's
+  /// one-return simplification.
+  bool multi_radar = false;
+  airfield::TowerLayoutParams towers;
+  bool apply_reentry = true;
+};
+
+struct FullSystemResult {
+  rt::DeadlineMonitor monitor;
+  Task1Stats last_task1;
+  MultiRadarStats last_multi;
+  Task23Stats last_task23;
+  TerrainStats last_terrain;
+  DisplayStats last_display;
+  AdvisoryStats last_advisory;
+  SporadicStats last_sporadic;
+  std::vector<Advisory> last_queue;
+  double virtual_end_ms = 0.0;
+  double mean_coverage = 0.0;  ///< Returns per aircraft (multi-radar mode).
+};
+
+/// Load a fresh airfield + terrain into `backend` and run the full system.
+FullSystemResult run_full_system(Backend& backend,
+                                 const FullSystemConfig& cfg);
+
+}  // namespace atm::tasks::extended

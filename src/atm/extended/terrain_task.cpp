@@ -1,0 +1,61 @@
+#include "src/atm/extended/terrain_task.hpp"
+
+#include <algorithm>
+
+namespace atm::tasks::extended {
+
+TerrainScan scan_terrain_path(double x, double y, double dx, double dy,
+                              double alt,
+                              const airfield::TerrainMap& terrain,
+                              const TerrainTaskParams& params) {
+  TerrainScan scan;
+  double max_ground = 0.0;
+  for (int k = 0; k < params.samples; ++k) {
+    const double t = params.horizon_periods *
+                     static_cast<double>(k + 1) /
+                     static_cast<double>(params.samples);
+    const double px = x + dx * t;
+    const double py = y + dy * t;
+    const double ground = terrain.elevation_at(px, py);
+    max_ground = std::max(max_ground, ground);
+    if (alt - ground < params.clearance_feet) {
+      scan.warn = true;
+    }
+  }
+  scan.required_alt_feet =
+      max_ground + params.clearance_feet + params.climb_buffer_feet;
+  return scan;
+}
+
+TerrainScan scan_terrain(const airfield::FlightDb& db, std::size_t i,
+                         const airfield::TerrainMap& terrain,
+                         const TerrainTaskParams& params) {
+  return scan_terrain_path(db.x[i], db.y[i], db.dx[i], db.dy[i], db.alt[i],
+                           terrain, params);
+}
+
+bool apply_terrain_scan(airfield::FlightDb& db, std::size_t i,
+                        const TerrainScan& scan) {
+  db.terrain_warn[i] = scan.warn ? 1 : 0;
+  if (scan.warn && scan.required_alt_feet > db.alt[i]) {
+    db.alt[i] = scan.required_alt_feet;
+    return true;
+  }
+  return false;
+}
+
+TerrainStats terrain_avoidance(airfield::FlightDb& db,
+                               const airfield::TerrainMap& terrain,
+                               const TerrainTaskParams& params) {
+  TerrainStats stats;
+  stats.aircraft = db.size();
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const TerrainScan scan = scan_terrain(db, i, terrain, params);
+    stats.samples += static_cast<std::uint64_t>(params.samples);
+    if (scan.warn) ++stats.warnings;
+    if (apply_terrain_scan(db, i, scan)) ++stats.climbs;
+  }
+  return stats;
+}
+
+}  // namespace atm::tasks::extended

@@ -1,0 +1,49 @@
+// Terrain avoidance — reference implementation and the shared per-aircraft
+// scan every backend reuses.
+//
+// For each aircraft, sample the projected path over the next 2 minutes;
+// if any sample's ground clearance falls below the minimum, flag a terrain
+// warning and command a climb to (highest sampled terrain + clearance +
+// buffer). Aircraft paths are not turned — vertical resolution is the
+// standard terrain escape, and it cannot create new aircraft-to-aircraft
+// conflicts worse than the ones Task 2 already manages (the altitude gate
+// re-evaluates next cycle).
+#pragma once
+
+#include "src/airfield/flight_db.hpp"
+#include "src/airfield/terrain.hpp"
+#include "src/atm/extended/ext_types.hpp"
+
+namespace atm::tasks::extended {
+
+/// Per-aircraft outcome of the terrain scan.
+struct TerrainScan {
+  bool warn = false;
+  double required_alt_feet = 0.0;  ///< max(ground) + clearance + buffer.
+};
+
+/// Scan a projected path (position, velocity, altitude) against the
+/// terrain. Pure function — shared verbatim by every backend (including
+/// the CUDA kernels, which see raw spans instead of a FlightDb) so results
+/// are bit-identical.
+[[nodiscard]] TerrainScan scan_terrain_path(
+    double x, double y, double dx, double dy, double alt,
+    const airfield::TerrainMap& terrain, const TerrainTaskParams& params);
+
+/// Scan aircraft i's projected path against the terrain.
+[[nodiscard]] TerrainScan scan_terrain(const airfield::FlightDb& db,
+                                       std::size_t i,
+                                       const airfield::TerrainMap& terrain,
+                                       const TerrainTaskParams& params);
+
+/// Apply a scan to the record: set the warning flag and climb if needed.
+/// Returns true when a climb was commanded.
+bool apply_terrain_scan(airfield::FlightDb& db, std::size_t i,
+                        const TerrainScan& scan);
+
+/// Reference (sequential) terrain-avoidance task over the whole database.
+TerrainStats terrain_avoidance(airfield::FlightDb& db,
+                               const airfield::TerrainMap& terrain,
+                               const TerrainTaskParams& params = {});
+
+}  // namespace atm::tasks::extended

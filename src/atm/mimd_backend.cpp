@@ -1,0 +1,581 @@
+#include "src/atm/mimd_backend.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "src/atm/batcher.hpp"
+#include "src/atm/extended/display.hpp"
+#include "src/atm/extended/sporadic.hpp"
+#include "src/atm/extended/terrain_task.hpp"
+#include "src/atm/reference/collision.hpp"
+#include "src/core/units.hpp"
+#include "src/core/vec2.hpp"
+
+namespace atm::tasks {
+
+using airfield::kDiscarded;
+using airfield::kNone;
+using airfield::MatchState;
+
+namespace {
+/// Items per dynamically claimed chunk. Small enough for load balance,
+/// large enough that chunk claiming doesn't dominate.
+constexpr std::size_t kChunk = 64;
+}  // namespace
+
+MimdBackend::MimdBackend(mimd::XeonSpec spec, unsigned pool_workers,
+                         std::uint64_t jitter_seed)
+    : model_(std::move(spec)),
+      pool_(pool_workers),
+      locks_(128),
+      jitter_rng_(jitter_seed) {}
+
+void MimdBackend::load(const airfield::FlightDb& db) {
+  db_ = db;
+  const std::size_t n = db_.size();
+  ex_.resize(n);
+  ey_.resize(n);
+  nhits_.resize(n);
+  hit_id_.resize(n);
+  nradars_.resize(n);
+  amatch_.resize(n);
+  resolved_.resize(n);
+}
+
+Task1Result MimdBackend::run_task1(airfield::RadarFrame& frame,
+                                   const Task1Params& params) {
+  const std::size_t n = db_.size();
+  Task1Result result;
+  result.stats.radars = frame.size();
+
+  mimd::WorkCounters work;
+  work.items = n;
+  std::atomic<std::uint64_t> inner_ops{0};
+
+  db_.reset_correlation_state();
+  frame.reset_matches();
+  std::fill(amatch_.begin(), amatch_.end(), kNone);
+
+  // Expected positions (parallel region).
+  pool_.parallel_for(0, n, kChunk, [&](std::size_t i) {
+    ex_[i] = db_.x[i] + db_.dx[i];
+    ey_[i] = db_.y[i] + db_.dy[i];
+  });
+  ++work.parallel_regions;
+
+  const int total_passes = 1 + params.retries;
+  for (int pass = 0; pass < total_passes; ++pass) {
+    const bool any_active =
+        std::any_of(frame.rmatch_with.begin(), frame.rmatch_with.end(),
+                    [](std::int32_t m) { return m == kNone; });
+    if (!any_active) break;
+    ++result.stats.passes;
+    const double half = params.box_half_nm * static_cast<double>(1 << pass);
+
+    std::fill(nradars_.begin(), nradars_.end(), 0);
+
+    // Coverage scan: one worker-claimed radar scans the whole shared
+    // aircraft table; hits on shared per-aircraft counters go through the
+    // striped locks.
+    pool_.parallel_for(0, frame.size(), kChunk, [&](std::size_t r) {
+      if (frame.rmatch_with[r] != kNone) return;
+      nhits_[r] = 0;
+      hit_id_[r] = kNone;
+      std::uint64_t local_ops = 0;
+      std::uint64_t local_tests = 0;
+      for (std::size_t a = 0; a < n; ++a) {
+        ++local_ops;
+        if (db_.rmatch[a] !=
+            static_cast<std::int8_t>(MatchState::kUnmatched)) {
+          continue;
+        }
+        ++local_tests;
+        if (std::fabs(ex_[a] - frame.rx[r]) < half &&
+            std::fabs(ey_[a] - frame.ry[r]) < half) {
+          ++nhits_[r];
+          hit_id_[r] = static_cast<std::int32_t>(a);
+          locks_.with_lock(a, [&] { ++nradars_[a]; });
+        }
+      }
+      inner_ops.fetch_add(local_ops, std::memory_order_relaxed);
+      // Outcome counter (architecture-independent): eligible box tests.
+      locks_.with_lock(n + r, [&] { result.stats.box_tests += local_tests; });
+    });
+    ++work.parallel_regions;
+
+    // Ambiguity.
+    pool_.parallel_for(0, n, kChunk, [&](std::size_t a) {
+      if (db_.rmatch[a] ==
+              static_cast<std::int8_t>(MatchState::kUnmatched) &&
+          nradars_[a] >= 2) {
+        db_.rmatch[a] = static_cast<std::int8_t>(MatchState::kAmbiguous);
+      }
+    });
+    ++work.parallel_regions;
+
+    // Radar disposition; correlation commits write shared aircraft records
+    // under their stripe lock.
+    pool_.parallel_for(0, frame.size(), kChunk, [&](std::size_t r) {
+      if (frame.rmatch_with[r] != kNone) return;
+      if (nhits_[r] >= 2) {
+        frame.rmatch_with[r] = kDiscarded;
+        return;
+      }
+      if (nhits_[r] == 1) {
+        const std::int32_t a = hit_id_[r];
+        frame.rmatch_with[r] = a;
+        const auto ai = static_cast<std::size_t>(a);
+        if (nradars_[ai] == 1) {
+          locks_.with_lock(ai, [&] {
+            db_.rmatch[ai] = static_cast<std::int8_t>(MatchState::kMatched);
+            amatch_[ai] = static_cast<std::int32_t>(r);
+          });
+        }
+      }
+    });
+    ++work.parallel_regions;
+  }
+
+  // Commit.
+  pool_.parallel_for(0, n, kChunk, [&](std::size_t a) {
+    if (db_.rmatch[a] == static_cast<std::int8_t>(MatchState::kMatched) &&
+        amatch_[a] >= 0) {
+      const auto r = static_cast<std::size_t>(amatch_[a]);
+      db_.x[a] = frame.rx[r];
+      db_.y[a] = frame.ry[r];
+    } else {
+      db_.x[a] = ex_[a];
+      db_.y[a] = ey_[a];
+    }
+  });
+  ++work.parallel_regions;
+
+  // Outcome stats.
+  for (const std::int32_t m : frame.rmatch_with) {
+    if (m == kNone) ++result.stats.unmatched_radars;
+    if (m == kDiscarded) ++result.stats.discarded_radars;
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    if (db_.rmatch[a] == static_cast<std::int8_t>(MatchState::kAmbiguous)) {
+      ++result.stats.ambiguous_aircraft;
+    }
+    if (db_.rmatch[a] == static_cast<std::int8_t>(MatchState::kMatched) &&
+        amatch_[a] >= 0) {
+      ++result.stats.matched;
+      ++result.stats.updated_aircraft;
+    }
+  }
+
+  work.inner_ops = inner_ops.load();
+  // [13]-style shared-record reader locks (counted, see header) plus the
+  // write locks the execution really performed.
+  work.locked_ops = work.inner_ops + locks_.acquisitions();
+  work.contended = locks_.contended();
+  locks_.reset_counters();
+  last_work_ = work;
+  result.modeled_ms = model_.model_ms(work, jitter_rng_);
+  return result;
+}
+
+Task23Result MimdBackend::run_task23(const Task23Params& params) {
+  const std::size_t n = db_.size();
+  Task23Result result;
+  result.stats.aircraft = n;
+
+  mimd::WorkCounters work;
+  work.items = n;
+  std::atomic<std::uint64_t> inner_ops{0};
+  std::atomic<std::uint64_t> pair_tests{0}, rescans{0}, conflicts{0},
+      critical{0}, resolved_count{0}, unresolved{0};
+
+  db_.reset_collision_state();
+  std::fill(resolved_.begin(), resolved_.end(), 0);
+
+  pool_.parallel_for(0, n, /*chunk=*/8, [&](std::size_t i) {
+    std::uint64_t local_pairs = 0;
+    std::uint64_t local_ops = n;  // full shared-table sweep
+    const reference::DetectOutcome det = reference::scan_against_all(
+        db_, i, db_.dx[i], db_.dy[i], params, local_pairs,
+        /*stop_at_critical=*/false);
+    if (det.conflict) {
+      conflicts.fetch_add(1, std::memory_order_relaxed);
+      locks_.with_lock(i, [&] {
+        db_.col[i] = 1;
+        db_.col_with[i] = det.partner;
+        if (det.time_min < db_.time_till[i]) {
+          db_.time_till[i] = det.time_min;
+        }
+      });
+    }
+    if (det.critical) {
+      critical.fetch_add(1, std::memory_order_relaxed);
+      const core::Vec2 vel{db_.dx[i], db_.dy[i]};
+      const int attempts = reference::max_trial_attempts(params);
+      bool ok = false;
+      for (int attempt = 0; attempt < attempts; ++attempt) {
+        const double angle =
+            reference::trial_angle_deg(attempt, params.turn_step_deg);
+        const core::Vec2 trial = core::rotate_deg(vel, angle);
+        rescans.fetch_add(1, std::memory_order_relaxed);
+        local_ops += n;
+        const reference::DetectOutcome check = reference::scan_against_all(
+            db_, i, trial.x, trial.y, params, local_pairs,
+            /*stop_at_critical=*/true);
+        if (!check.critical) {
+          locks_.with_lock(i, [&] {
+            db_.batx[i] = trial.x;
+            db_.baty[i] = trial.y;
+            resolved_[i] = 1;
+          });
+          ok = true;
+          break;
+        }
+      }
+      if (ok) {
+        resolved_count.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        unresolved.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    pair_tests.fetch_add(local_pairs, std::memory_order_relaxed);
+    inner_ops.fetch_add(local_ops, std::memory_order_relaxed);
+  });
+  ++work.parallel_regions;
+
+  // Commit.
+  pool_.parallel_for(0, n, kChunk, [&](std::size_t i) {
+    if (!resolved_[i]) return;
+    db_.dx[i] = db_.batx[i];
+    db_.dy[i] = db_.baty[i];
+    db_.col[i] = 0;
+    db_.col_with[i] = kNone;
+    db_.time_till[i] = params.critical_periods;
+  });
+  ++work.parallel_regions;
+
+  result.stats.pair_tests = pair_tests.load();
+  result.stats.rescans = rescans.load();
+  result.stats.conflicts = conflicts.load();
+  result.stats.critical = critical.load();
+  result.stats.resolved = resolved_count.load();
+  result.stats.unresolved = unresolved.load();
+
+  work.inner_ops = inner_ops.load();
+  work.locked_ops = work.inner_ops + locks_.acquisitions();
+  work.contended = locks_.contended();
+  locks_.reset_counters();
+  last_work_ = work;
+  result.modeled_ms = model_.model_ms(work, jitter_rng_);
+  return result;
+}
+
+// --- Extended system --------------------------------------------------------
+
+TerrainResult MimdBackend::run_terrain(const TerrainTaskParams& params) {
+  if (terrain_ == nullptr) {
+    throw std::logic_error("MimdBackend::run_terrain: no terrain attached");
+  }
+  const std::size_t n = db_.size();
+  TerrainResult result;
+  result.stats.aircraft = n;
+
+  mimd::WorkCounters work;
+  work.items = n;
+  std::atomic<std::uint64_t> warnings{0}, climbs{0};
+
+  const airfield::TerrainMap& terrain = *terrain_;
+  pool_.parallel_for(0, n, kChunk, [&](std::size_t i) {
+    const extended::TerrainScan scan =
+        extended::scan_terrain(db_, i, terrain, params);
+    if (scan.warn) warnings.fetch_add(1, std::memory_order_relaxed);
+    if (extended::apply_terrain_scan(db_, i, scan)) {
+      climbs.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  ++work.parallel_regions;
+
+  result.stats.warnings = warnings.load();
+  result.stats.climbs = climbs.load();
+  result.stats.samples = n * static_cast<std::uint64_t>(params.samples);
+  // Each terrain sample reads 4 shared heightmap cells plus the record.
+  work.inner_ops = result.stats.samples * 5;
+  work.locked_ops = work.inner_ops + locks_.acquisitions();
+  work.contended = locks_.contended();
+  locks_.reset_counters();
+  last_work_ = work;
+  result.modeled_ms = model_.model_ms(work, jitter_rng_);
+  return result;
+}
+
+DisplayResult MimdBackend::run_display(const DisplayParams& params) {
+  const std::size_t n = db_.size();
+  DisplayResult result;
+  result.stats.aircraft = n;
+  const int k = params.sectors_per_axis;
+
+  mimd::WorkCounters work;
+  work.items = n;
+  std::vector<std::int32_t> occupancy(static_cast<std::size_t>(k) * k, 0);
+  std::atomic<std::uint64_t> handoffs{0};
+
+  // Occupancy bins are shared by all workers: real striped-lock traffic.
+  pool_.parallel_for(0, n, kChunk, [&](std::size_t i) {
+    const std::int32_t s = extended::sector_of(db_.x[i], db_.y[i], k);
+    if (db_.sector[i] != kNone && db_.sector[i] != s) {
+      handoffs.fetch_add(1, std::memory_order_relaxed);
+    }
+    db_.sector[i] = s;
+    locks_.with_lock(static_cast<std::size_t>(s),
+                     [&] { ++occupancy[static_cast<std::size_t>(s)]; });
+  });
+  ++work.parallel_regions;
+
+  result.stats.handoffs = handoffs.load();
+  for (const std::int32_t count : occupancy) {
+    if (count > 0) ++result.stats.occupied_sectors;
+    result.stats.max_occupancy = std::max(
+        result.stats.max_occupancy, static_cast<std::uint64_t>(count));
+  }
+  work.inner_ops = n * 4;  // record read, sector math, bin update
+  work.locked_ops = work.inner_ops + locks_.acquisitions();
+  work.contended = locks_.contended();
+  locks_.reset_counters();
+  last_work_ = work;
+  result.modeled_ms = model_.model_ms(work, jitter_rng_);
+  return result;
+}
+
+AdvisoryResult MimdBackend::run_advisory(const AdvisoryParams& params) {
+  const std::size_t n = db_.size();
+  AdvisoryResult result;
+  result.stats.aircraft = n;
+
+  mimd::WorkCounters work;
+  work.items = n;
+  std::vector<std::uint8_t> flags(n, 0);
+
+  const double edge = core::kGridHalfExtentNm - params.boundary_warn_nm;
+  pool_.parallel_for(0, n, kChunk, [&](std::size_t i) {
+    std::uint8_t f = 0;
+    if (db_.col[i]) f |= 1;
+    if (db_.terrain_warn[i]) f |= 2;
+    if (std::fabs(db_.x[i]) > edge || std::fabs(db_.y[i]) > edge) f |= 4;
+    flags[i] = f;
+  });
+  ++work.parallel_regions;
+
+  // Serial drain (the voice channel is one stream); each enqueue on the
+  // shared queue would be a locked operation on a real MIMD system.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<std::int32_t>(i);
+    if (flags[i] & 1) {
+      result.queue.push_back(Advisory{id, AdvisoryType::kConflict});
+      ++result.stats.conflict;
+    }
+    if (flags[i] & 2) {
+      result.queue.push_back(Advisory{id, AdvisoryType::kTerrain});
+      ++result.stats.terrain;
+    }
+    if (flags[i] & 4) {
+      result.queue.push_back(Advisory{id, AdvisoryType::kBoundary});
+      ++result.stats.boundary;
+    }
+  }
+  work.inner_ops = n * 4;
+  work.locked_ops =
+      work.inner_ops + result.queue.size() + locks_.acquisitions();
+  work.contended = locks_.contended();
+  locks_.reset_counters();
+  last_work_ = work;
+  result.modeled_ms = model_.model_ms(work, jitter_rng_);
+  return result;
+}
+
+SporadicResult MimdBackend::run_sporadic(std::span<const Query> queries,
+                                         const SporadicParams& params) {
+  (void)params;
+  const std::size_t n = db_.size();
+  const std::size_t q = queries.size();
+  SporadicResult result;
+  result.stats.queries = q;
+  result.answers.assign(q, {});
+
+  mimd::WorkCounters work;
+  work.items = n;
+  if (q > 0 && n > 0) {
+    // Each worker scans a chunk of the shared table against every query;
+    // per-query partial answers merge under the query's stripe lock.
+    std::vector<std::uint8_t> flags(q * n, 0);
+    pool_.parallel_for(0, n, kChunk, [&](std::size_t i) {
+      for (std::size_t qi = 0; qi < q; ++qi) {
+        if (extended::query_matches(db_, i, queries[qi])) {
+          flags[qi * n + i] = 1;
+        }
+      }
+    });
+    ++work.parallel_regions;
+    for (std::size_t qi = 0; qi < q; ++qi) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (flags[qi * n + i]) {
+          locks_.with_lock(qi, [&] {
+            result.answers[qi].push_back(static_cast<std::int32_t>(i));
+          });
+          ++result.stats.hits;
+        }
+      }
+    }
+  }
+  work.inner_ops = static_cast<std::uint64_t>(n) * q;
+  work.locked_ops = work.inner_ops + locks_.acquisitions();
+  work.contended = locks_.contended();
+  locks_.reset_counters();
+  last_work_ = work;
+  result.modeled_ms = model_.model_ms(work, jitter_rng_);
+  return result;
+}
+
+MultiRadarResult MimdBackend::run_multi_task1(
+    airfield::MultiRadarFrame& frame, const Task1Params& params) {
+  const std::size_t n = db_.size();
+  const std::size_t returns = frame.size();
+  MultiRadarResult result;
+  result.stats.returns = returns;
+
+  mimd::WorkCounters work;
+  work.items = n;
+  std::atomic<std::uint64_t> inner_ops{0};
+  std::atomic<std::uint64_t> box_tests{0};
+
+  db_.reset_correlation_state();
+  frame.base.reset_matches();
+  std::fill(amatch_.begin(), amatch_.end(), kNone);
+  std::vector<std::int32_t> nhits(returns, 0), hit_id(returns, kNone);
+
+  pool_.parallel_for(0, n, kChunk, [&](std::size_t i) {
+    ex_[i] = db_.x[i] + db_.dx[i];
+    ey_[i] = db_.y[i] + db_.dy[i];
+  });
+  ++work.parallel_regions;
+
+  auto& rmw = frame.base.rmatch_with;
+  const auto& rx = frame.base.rx;
+  const auto& ry = frame.base.ry;
+
+  const int total_passes = 1 + params.retries;
+  for (int pass = 0; pass < total_passes; ++pass) {
+    const bool any_active = std::any_of(
+        rmw.begin(), rmw.end(), [](std::int32_t m) { return m == kNone; });
+    if (!any_active) break;
+    ++result.stats.passes;
+    const double half = params.box_half_nm * static_cast<double>(1 << pass);
+
+    // Phase 1 (return-major).
+    pool_.parallel_for(0, returns, kChunk, [&](std::size_t r) {
+      if (rmw[r] != kNone) return;
+      nhits[r] = 0;
+      hit_id[r] = kNone;
+      std::uint64_t local_ops = 0;
+      std::uint64_t local_tests = 0;
+      for (std::size_t a = 0; a < n; ++a) {
+        ++local_ops;
+        if (db_.rmatch[a] !=
+            static_cast<std::int8_t>(MatchState::kUnmatched)) {
+          continue;
+        }
+        ++local_tests;
+        if (std::fabs(ex_[a] - rx[r]) < half &&
+            std::fabs(ey_[a] - ry[r]) < half) {
+          ++nhits[r];
+          hit_id[r] = static_cast<std::int32_t>(a);
+        }
+      }
+      if (nhits[r] >= 2) rmw[r] = kDiscarded;
+      inner_ops.fetch_add(local_ops, std::memory_order_relaxed);
+      box_tests.fetch_add(local_tests, std::memory_order_relaxed);
+    });
+    ++work.parallel_regions;
+
+    // Phase 2 (aircraft-major): closest candidate.
+    pool_.parallel_for(0, n, kChunk, [&](std::size_t a) {
+      if (db_.rmatch[a] !=
+          static_cast<std::int8_t>(MatchState::kUnmatched)) {
+        return;
+      }
+      std::int32_t best = kNone;
+      double best_d2 = 0.0;
+      std::uint64_t local_ops = 0;
+      for (std::size_t r = 0; r < returns; ++r) {
+        ++local_ops;
+        if (rmw[r] != kNone || nhits[r] != 1 ||
+            hit_id[r] != static_cast<std::int32_t>(a)) {
+          continue;
+        }
+        const double dx = rx[r] - ex_[a];
+        const double dy = ry[r] - ey_[a];
+        const double d2 = dx * dx + dy * dy;
+        if (best == kNone || d2 < best_d2) {
+          best = static_cast<std::int32_t>(r);
+          best_d2 = d2;
+        }
+      }
+      if (best != kNone) {
+        locks_.with_lock(a, [&] {
+          db_.rmatch[a] = static_cast<std::int8_t>(MatchState::kMatched);
+          amatch_[a] = best;
+        });
+      }
+      inner_ops.fetch_add(local_ops, std::memory_order_relaxed);
+    });
+    ++work.parallel_regions;
+
+    // Phase 3 (return-major): disposition.
+    pool_.parallel_for(0, returns, kChunk, [&](std::size_t r) {
+      if (rmw[r] != kNone || nhits[r] != 1) return;
+      const std::int32_t a = hit_id[r];
+      const auto ai = static_cast<std::size_t>(a);
+      if (amatch_[ai] == static_cast<std::int32_t>(r)) {
+        rmw[r] = a;
+      } else if (db_.rmatch[ai] ==
+                 static_cast<std::int8_t>(MatchState::kMatched)) {
+        rmw[r] = airfield::kRedundant;
+      }
+    });
+    ++work.parallel_regions;
+  }
+
+  // Commit.
+  pool_.parallel_for(0, n, kChunk, [&](std::size_t a) {
+    if (db_.rmatch[a] == static_cast<std::int8_t>(MatchState::kMatched) &&
+        amatch_[a] >= 0) {
+      const auto r = static_cast<std::size_t>(amatch_[a]);
+      db_.x[a] = rx[r];
+      db_.y[a] = ry[r];
+    } else {
+      db_.x[a] = ex_[a];
+      db_.y[a] = ey_[a];
+    }
+  });
+  ++work.parallel_regions;
+
+  result.stats.box_tests = box_tests.load();
+  for (const std::int32_t m : rmw) {
+    if (m == kNone) ++result.stats.unmatched_returns;
+    if (m == kDiscarded) ++result.stats.discarded_returns;
+    if (m == airfield::kRedundant) ++result.stats.redundant_returns;
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    if (db_.rmatch[a] == static_cast<std::int8_t>(MatchState::kMatched) &&
+        amatch_[a] >= 0) {
+      ++result.stats.matched_aircraft;
+    }
+  }
+  work.inner_ops = inner_ops.load();
+  work.locked_ops = work.inner_ops + locks_.acquisitions();
+  work.contended = locks_.contended();
+  locks_.reset_counters();
+  last_work_ = work;
+  result.modeled_ms = model_.model_ms(work, jitter_rng_);
+  return result;
+}
+
+}  // namespace atm::tasks

@@ -1,0 +1,80 @@
+// The 16-core Intel Xeon (MIMD, shared-memory) backend.
+//
+// Executes the tasks for real on a host thread pool with dynamically
+// scheduled chunks, following the shared-database design of [13]: all
+// aircraft and radar records live in memory shared by every worker, and
+// cross-record updates go through striped mutexes. The modeled 16-core
+// Xeon time comes from mimd::XeonModel fed with the work the execution
+// actually performed:
+//
+//  * inner_ops  — inner-loop record accesses (each of which the [13]
+//                 implementation performs under a reader lock on the
+//                 shared record; we count those reader locks rather than
+//                 execute 10^8 host mutex operations per task),
+//  * locked_ops — the reader-lock count above plus the *real* write-lock
+//                 acquisitions the execution performed,
+//  * parallel_regions — fork/join barriers.
+//
+// Scheduling jitter makes run_task* nondeterministic across differently
+// seeded backends — the paper's MIMD "not predictable" property — while a
+// fixed seed keeps any single configuration reproducible for tests.
+#pragma once
+
+#include "src/atm/backend.hpp"
+#include "src/mimd/thread_pool.hpp"
+#include "src/mimd/xeon_model.hpp"
+
+namespace atm::tasks {
+
+class MimdBackend final : public Backend {
+ public:
+  explicit MimdBackend(mimd::XeonSpec spec = mimd::paper_xeon_spec(),
+                       unsigned pool_workers = 0,
+                       std::uint64_t jitter_seed = 0xC0FFEE);
+
+  [[nodiscard]] std::string name() const override { return model_.spec().name; }
+  [[nodiscard]] bool deterministic() const override { return false; }
+
+  void load(const airfield::FlightDb& db) override;
+  Task1Result run_task1(airfield::RadarFrame& frame,
+                        const Task1Params& params) override;
+  Task23Result run_task23(const Task23Params& params) override;
+
+  [[nodiscard]] const airfield::FlightDb& state() const override {
+    return db_;
+  }
+  airfield::FlightDb& mutable_state() override { return db_; }
+
+  // Extended system (see backend.hpp): thread-pool execution with the
+  // shared-database locking discipline, modeled through the Xeon model.
+  TerrainResult run_terrain(const TerrainTaskParams& params) override;
+  DisplayResult run_display(const DisplayParams& params) override;
+  AdvisoryResult run_advisory(const AdvisoryParams& params) override;
+  MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
+                                   const Task1Params& params) override;
+  SporadicResult run_sporadic(std::span<const Query> queries,
+                              const SporadicParams& params) override;
+
+  /// Work performed by the most recent task run (model inputs; exposed for
+  /// tests and the determinism bench).
+  [[nodiscard]] const mimd::WorkCounters& last_work() const {
+    return last_work_;
+  }
+
+  void set_jitter_seed(std::uint64_t seed) { jitter_rng_ = core::Rng(seed); }
+
+ private:
+  mimd::XeonModel model_;
+  mimd::ThreadPool pool_;
+  mimd::StripedLocks locks_;
+  core::Rng jitter_rng_;
+  airfield::FlightDb db_;
+  mimd::WorkCounters last_work_;
+
+  // Shared working arrays (the "dynamic database" of [13]).
+  std::vector<double> ex_, ey_;
+  std::vector<std::int32_t> nhits_, hit_id_, nradars_, amatch_;
+  std::vector<std::uint8_t> resolved_;
+};
+
+}  // namespace atm::tasks

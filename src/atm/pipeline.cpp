@@ -1,0 +1,184 @@
+#include "src/atm/pipeline.hpp"
+
+#include <thread>
+
+#include "src/airfield/setup.hpp"
+#include "src/core/units.hpp"
+#include "src/rt/clock.hpp"
+
+namespace atm::tasks {
+
+PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg) {
+  backend.load(airfield::make_airfield(cfg.aircraft, cfg.seed, cfg.setup));
+  return run_pipeline_loaded(backend, cfg);
+}
+
+PipelineResult run_pipeline_loaded(Backend& backend,
+                                   const PipelineConfig& cfg) {
+  PipelineResult result;
+  rt::VirtualClock clock;
+  const rt::MajorCycleSchedule schedule =
+      rt::MajorCycleSchedule::paper_schedule();
+  const double period_ms = schedule.period_ms();
+
+  // Radar noise stream: independent of everything else so the frames a
+  // backend sees depend only on (seed, its own flight state).
+  core::Rng radar_rng(cfg.seed ^ 0x4ADA1257A3ABCDEFULL);
+
+  int global_period = 0;
+  for (int cycle = 0; cycle < cfg.major_cycles; ++cycle) {
+    for (int period = 0; period < schedule.periods_per_cycle(); ++period) {
+      PeriodLog log;
+      log.cycle = cycle;
+      log.period = period;
+
+      // Radar creation precedes the period and is not an ATM task
+      // (Section 4.2), so it does not consume period budget.
+      airfield::RadarFrame frame =
+          backend.generate_radar(radar_rng, cfg.radar, &log.radar_ms);
+
+      // Periods live on a fixed time grid; an overrunning task delays the
+      // start of everything after it, and a task whose period has already
+      // ended is skipped (Section 3: "Remaining tasks that may not have
+      // time to complete their execution before the end of the period must
+      // be skipped").
+      const double period_deadline =
+          static_cast<double>(global_period + 1) * period_ms;
+
+      // Task 1.
+      if (clock.now_ms() >= period_deadline) {
+        result.monitor.record_skip("task1");
+        log.task1_outcome = rt::Outcome::kSkipped;
+      } else {
+        const Task1Result r1 = backend.run_task1(frame, cfg.task1);
+        log.task1_ms = r1.modeled_ms;
+        log.task1_outcome = result.monitor.record(
+            "task1", clock.now_ms(), r1.modeled_ms, period_deadline);
+        clock.advance_ms(r1.modeled_ms);
+        result.task1_ms.add(r1.modeled_ms);
+        result.last_task1 = r1.stats;
+      }
+
+      // Host bookkeeping between tasks: grid re-entry (untimed — part of
+      // the airfield simulation, not of ATM).
+      if (cfg.apply_reentry) {
+        log.wrapped = airfield::apply_reentry_all(backend.mutable_state());
+      }
+      // Save this period's tracked positions ("all radar is saved").
+      if (cfg.recorder != nullptr) {
+        cfg.recorder->record(backend.state());
+      }
+
+      // Tasks 2+3 in the final period of the cycle, after Task 1.
+      if (period == schedule.periods_per_cycle() - 1) {
+        if (clock.now_ms() >= period_deadline) {
+          result.monitor.record_skip("task23");
+          log.task23_outcome = rt::Outcome::kSkipped;
+        } else {
+          const Task23Result r23 = backend.run_task23(cfg.task23);
+          log.task23_ran = true;
+          log.task23_ms = r23.modeled_ms;
+          log.task23_outcome = result.monitor.record(
+              "task23", clock.now_ms(), r23.modeled_ms, period_deadline);
+          clock.advance_ms(r23.modeled_ms);
+          result.task23_ms.add(r23.modeled_ms);
+          result.last_task23 = r23.stats;
+        }
+      }
+
+      // Wait out the remainder of the period so the next one does not
+      // start ahead of schedule (Section 4.2). Overruns are *not* given
+      // back: a late finish delays subsequent periods.
+      clock.advance_to_ms(period_deadline);
+      ++global_period;
+      result.periods.push_back(log);
+    }
+  }
+  result.virtual_end_ms = clock.now_ms();
+  return result;
+}
+
+PipelineResult run_pipeline_wallclock(Backend& backend,
+                                      const PipelineConfig& cfg,
+                                      double real_period_ms) {
+  backend.load(airfield::make_airfield(cfg.aircraft, cfg.seed, cfg.setup));
+
+  PipelineResult result;
+  const rt::MajorCycleSchedule schedule =
+      rt::MajorCycleSchedule::paper_schedule();
+  core::Rng radar_rng(cfg.seed ^ 0x4ADA1257A3ABCDEFULL);
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const auto period =
+      std::chrono::duration<double, std::milli>(real_period_ms);
+  const auto now_ms = [&] {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
+  int global_period = 0;
+  for (int cycle = 0; cycle < cfg.major_cycles; ++cycle) {
+    for (int p = 0; p < schedule.periods_per_cycle(); ++p) {
+      PeriodLog log;
+      log.cycle = cycle;
+      log.period = p;
+      airfield::RadarFrame frame =
+          backend.generate_radar(radar_rng, cfg.radar, &log.radar_ms);
+
+      const double deadline =
+          static_cast<double>(global_period + 1) * real_period_ms;
+
+      if (now_ms() >= deadline) {
+        result.monitor.record_skip("task1");
+        log.task1_outcome = rt::Outcome::kSkipped;
+      } else {
+        const double start = now_ms();
+        const Task1Result r1 = backend.run_task1(frame, cfg.task1);
+        const double duration = now_ms() - start;
+        log.task1_ms = duration;
+        log.task1_outcome =
+            result.monitor.record("task1", start, duration, deadline);
+        result.task1_ms.add(duration);
+        result.last_task1 = r1.stats;
+      }
+
+      if (cfg.apply_reentry) {
+        log.wrapped = airfield::apply_reentry_all(backend.mutable_state());
+      }
+      if (cfg.recorder != nullptr) {
+        cfg.recorder->record(backend.state());
+      }
+
+      if (p == schedule.periods_per_cycle() - 1) {
+        if (now_ms() >= deadline) {
+          result.monitor.record_skip("task23");
+          log.task23_outcome = rt::Outcome::kSkipped;
+        } else {
+          const double start = now_ms();
+          const Task23Result r23 = backend.run_task23(cfg.task23);
+          const double duration = now_ms() - start;
+          log.task23_ran = true;
+          log.task23_ms = duration;
+          log.task23_outcome =
+              result.monitor.record("task23", start, duration, deadline);
+          result.task23_ms.add(duration);
+          result.last_task23 = r23.stats;
+        }
+      }
+
+      // "Whatever time is left, we wait that long before executing the
+      // next period" (Section 4.2) — on the real clock this time.
+      const auto target =
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   period * (global_period + 1));
+      if (Clock::now() < target) std::this_thread::sleep_until(target);
+      ++global_period;
+      result.periods.push_back(log);
+    }
+  }
+  result.virtual_end_ms = now_ms();
+  return result;
+}
+
+}  // namespace atm::tasks

@@ -1,0 +1,81 @@
+// The timed major-cycle simulation (paper Section 4.2): 16 half-second
+// periods per 8-second major cycle, radar generation before each period,
+// Task 1 every period, Tasks 2+3 at the end of the 16th period, deadline
+// accounting throughout, and waiting out the remainder of each period so
+// nothing starts ahead of schedule.
+#pragma once
+
+#include <vector>
+
+#include "src/airfield/history.hpp"
+#include "src/airfield/setup.hpp"
+#include "src/atm/backend.hpp"
+#include "src/rt/clock.hpp"
+#include "src/rt/deadline.hpp"
+#include "src/rt/schedule.hpp"
+
+namespace atm::tasks {
+
+struct PipelineConfig {
+  std::size_t aircraft = 1000;
+  int major_cycles = 1;
+  std::uint64_t seed = 42;            ///< Airfield + radar noise seed.
+  airfield::SetupParams setup;        ///< Airfield generation parameters.
+  airfield::RadarParams radar;
+  Task1Params task1;
+  Task23Params task23;
+  /// Apply the paper's grid re-entry rule between periods.
+  bool apply_reentry = true;
+  /// When non-null, the pipeline snapshots the tracked positions into
+  /// this recorder after every Task 1 (the paper's "all radar is saved"
+  /// retrace capability; untimed bookkeeping).
+  airfield::FlightRecorder* recorder = nullptr;
+};
+
+/// What happened in one half-second period.
+struct PeriodLog {
+  int cycle = 0;
+  int period = 0;
+  double radar_ms = 0.0;       ///< Modeled radar-generation time (untimed).
+  double task1_ms = 0.0;
+  rt::Outcome task1_outcome = rt::Outcome::kMet;
+  bool task23_ran = false;
+  double task23_ms = 0.0;
+  rt::Outcome task23_outcome = rt::Outcome::kMet;
+  std::size_t wrapped = 0;     ///< Aircraft re-entered at (-x, -y).
+};
+
+struct PipelineResult {
+  rt::DeadlineMonitor monitor;
+  std::vector<PeriodLog> periods;
+  core::StreamingStats task1_ms;   ///< Over started Task 1 instances.
+  core::StreamingStats task23_ms;  ///< Over started Task 2+3 instances.
+  Task1Stats last_task1;
+  Task23Stats last_task23;
+  double virtual_end_ms = 0.0;     ///< Simulated clock at run end.
+};
+
+/// Initialize `backend` with a fresh airfield of cfg.aircraft flights
+/// (seeded by cfg.seed) and run cfg.major_cycles full major cycles.
+PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg);
+
+/// Run the pipeline on an already-loaded backend (so callers can share one
+/// airfield across platforms or chain runs).
+PipelineResult run_pipeline_loaded(Backend& backend,
+                                   const PipelineConfig& cfg);
+
+/// Wall-clock mode: the paper's actual executive loop — run each period's
+/// tasks, then wait out the remainder of the period on the host's real
+/// clock so nothing starts ahead of schedule (Section 4.2), counting
+/// misses against real deadlines.
+///
+/// Durations are the backend's *measured host execution* times, so this
+/// mode demonstrates and tests the executive mechanics on real time; the
+/// platform comparisons use the virtual-clock mode, where durations are
+/// the platforms' modeled times. `real_period_ms` scales the period (use
+/// small values to keep demos/tests fast; 500.0 is the paper's real rate).
+PipelineResult run_pipeline_wallclock(Backend& backend,
+                                      const PipelineConfig& cfg,
+                                      double real_period_ms);
+
+}  // namespace atm::tasks

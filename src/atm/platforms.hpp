@@ -1,0 +1,35 @@
+// Factory for the six platforms of the paper's evaluation (plus the host
+// reference oracle).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/atm/backend.hpp"
+
+namespace atm::tasks {
+
+/// Which platforms to construct.
+enum class PlatformSet {
+  kNvidiaOnly,   ///< The three CUDA cards (Figures 5 and 7).
+  kAllPlatforms, ///< CUDA cards + STARAN + ClearSpeed + Xeon (Figs. 4, 6).
+};
+
+/// Build fresh backends for the requested platform set, in the paper's
+/// figure order (STARAN, ClearSpeed, Xeon, then the NVIDIA cards slowest
+/// to fastest).
+[[nodiscard]] std::vector<std::unique_ptr<Backend>> make_platforms(
+    PlatformSet set);
+
+/// Individual factories (each returns a fresh, unloaded backend).
+[[nodiscard]] std::unique_ptr<Backend> make_geforce_9800_gt();
+[[nodiscard]] std::unique_ptr<Backend> make_gtx_880m();
+[[nodiscard]] std::unique_ptr<Backend> make_titan_x_pascal();
+[[nodiscard]] std::unique_ptr<Backend> make_staran();
+[[nodiscard]] std::unique_ptr<Backend> make_clearspeed();
+[[nodiscard]] std::unique_ptr<Backend> make_xeon();
+[[nodiscard]] std::unique_ptr<Backend> make_reference();
+/// Future-work platform (Section 7.2): wide-vector commodity processor.
+[[nodiscard]] std::unique_ptr<Backend> make_xeon_phi();
+
+}  // namespace atm::tasks

@@ -1,0 +1,117 @@
+#include "src/atm/reference/collision.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "src/atm/batcher.hpp"
+#include "src/core/vec2.hpp"
+
+namespace atm::tasks::reference {
+
+DetectOutcome scan_against_all(const airfield::FlightDb& db, std::size_t i,
+                               double vx, double vy,
+                               const Task23Params& params,
+                               std::uint64_t& pair_tests,
+                               bool stop_at_critical) {
+  DetectOutcome out;
+  double soonest = params.horizon_periods + 1.0;
+  for (std::size_t j = 0; j < db.size(); ++j) {
+    if (j == i) continue;
+    if (!altitude_gate(db.alt[i], db.alt[j], params.altitude_gate_feet)) {
+      continue;
+    }
+    ++pair_tests;
+    const PairConflict pc = batcher_pair_test(
+        db.x[j] - db.x[i], db.y[j] - db.y[i], db.dx[j] - vx,
+        db.dy[j] - vy, params.band_nm, params.horizon_periods);
+    if (!pc.conflict) continue;
+    out.conflict = true;
+    if (pc.time_min < soonest) {
+      soonest = pc.time_min;
+      out.partner = static_cast<std::int32_t>(j);
+      out.time_min = pc.time_min;
+    }
+    if (pc.time_min < params.critical_periods) {
+      out.critical = true;
+      if (stop_at_critical) return out;
+    }
+  }
+  return out;
+}
+
+double trial_angle_deg(int attempt, double step_deg) {
+  // attempt 0 -> +step, 1 -> -step, 2 -> +2*step, 3 -> -2*step, ...
+  const int magnitude = attempt / 2 + 1;
+  const double sign = (attempt % 2 == 0) ? 1.0 : -1.0;
+  return sign * step_deg * static_cast<double>(magnitude);
+}
+
+int max_trial_attempts(const Task23Params& params) {
+  const int steps =
+      static_cast<int>(std::floor(params.turn_max_deg / params.turn_step_deg +
+                                  1e-9));
+  return 2 * steps;
+}
+
+Task23Stats detect_and_resolve(airfield::FlightDb& db,
+                               const Task23Params& params) {
+  const std::size_t n = db.size();
+  Task23Stats stats;
+  stats.aircraft = n;
+
+  db.reset_collision_state();
+  std::vector<std::uint8_t> resolved_flag(n, 0);
+
+  const int attempts = max_trial_attempts(params);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Task 2: detection on the current path.
+    DetectOutcome det = scan_against_all(db, i, db.dx[i], db.dy[i], params,
+                                         stats.pair_tests,
+                                         /*stop_at_critical=*/false);
+    if (det.conflict) {
+      ++stats.conflicts;
+      db.col[i] = 1;
+      db.col_with[i] = det.partner;
+      if (det.time_min < db.time_till[i]) db.time_till[i] = det.time_min;
+    }
+    if (!det.critical) continue;
+    ++stats.critical;
+
+    // Task 3: trial rotations against everyone's original paths.
+    const core::Vec2 vel{db.dx[i], db.dy[i]};
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      const double angle = trial_angle_deg(attempt, params.turn_step_deg);
+      const core::Vec2 trial = core::rotate_deg(vel, angle);
+      ++stats.rescans;
+      const DetectOutcome check = scan_against_all(
+          db, i, trial.x, trial.y, params, stats.pair_tests,
+          /*stop_at_critical=*/true);
+      if (!check.critical) {
+        db.batx[i] = trial.x;
+        db.baty[i] = trial.y;
+        resolved_flag[i] = 1;
+        break;
+      }
+    }
+    if (resolved_flag[i]) {
+      ++stats.resolved;
+    } else {
+      ++stats.unresolved;
+    }
+  }
+
+  // Commit: resolved aircraft turn onto the trial path and clear their
+  // collision flags (Algorithm 2 line 12).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!resolved_flag[i]) continue;
+    db.dx[i] = db.batx[i];
+    db.dy[i] = db.baty[i];
+    db.col[i] = 0;
+    db.col_with[i] = airfield::kNone;
+    db.time_till[i] = params.critical_periods;
+  }
+  return stats;
+}
+
+}  // namespace atm::tasks::reference

@@ -1,0 +1,62 @@
+// Reference (sequential) implementation of Tasks 2+3: collision detection
+// and resolution (paper Sections 5.2-5.3, Algorithm 2).
+//
+// Order-independent semantics shared by all backends:
+//
+//  * Detection (Task 2): for each aircraft i, run Batcher's pair test
+//    against every other aircraft j within the 1000 ft altitude gate,
+//    using everyone's *current* path (snapshot semantics — in the CUDA
+//    program all threads read the same global state concurrently). The
+//    soonest conflicting partner (ties to the lowest id) sets col,
+//    time_till, and colWith.
+//
+//  * Resolution (Task 3): aircraft whose soonest conflict is critical
+//    (time_min < 300 periods) trial new paths by rotating their velocity
+//    +-5, +-10, ... +-30 degrees (positive first, the paper's
+//    alternation), re-running detection for the trial path against all
+//    other aircraft's *original* paths. The first conflict-free trial
+//    (no critical conflict) is stored in batx/baty. If no angle works the
+//    aircraft keeps its path and is counted unresolved.
+//
+//  * Commit: resolved aircraft replace (dx, dy) with (batx, baty) and
+//    clear their collision flags (Algorithm 2 line 12); everyone else
+//    keeps their detection flags for the cycle report.
+#pragma once
+
+#include "src/airfield/flight_db.hpp"
+#include "src/atm/task_types.hpp"
+
+namespace atm::tasks::reference {
+
+/// Result of the detection scan for a single aircraft: the soonest
+/// conflicting partner on its *current* or *trial* path.
+struct DetectOutcome {
+  bool conflict = false;      ///< Any conflict inside the horizon.
+  bool critical = false;      ///< Soonest conflict below critical time.
+  double time_min = 0.0;      ///< Entry time of the soonest conflict.
+  std::int32_t partner = -1;  ///< Aircraft id of the soonest conflict.
+};
+
+/// Scan aircraft i's path (vx, vy from position db.x/y[i]) against all
+/// other aircraft on their current paths. `pair_tests` is incremented per
+/// Batcher test executed. When `stop_at_critical` is set the scan returns
+/// at the first critical conflict (the trial-path check in Task 3 only
+/// needs existence, and the CUDA kernel breaks there too).
+DetectOutcome scan_against_all(const airfield::FlightDb& db, std::size_t i,
+                               double vx, double vy,
+                               const Task23Params& params,
+                               std::uint64_t& pair_tests,
+                               bool stop_at_critical);
+
+/// The trial-angle sequence of Task 3: +step, -step, +2*step, -2*step, ...
+/// up to +-max. Returns the rotation for attempt k (0-based), in degrees.
+[[nodiscard]] double trial_angle_deg(int attempt, double step_deg);
+
+/// Number of trial attempts implied by (step, max): 2 * max / step.
+[[nodiscard]] int max_trial_attempts(const Task23Params& params);
+
+/// Run Tasks 2+3 on `db` in place. Returns outcome counters.
+Task23Stats detect_and_resolve(airfield::FlightDb& db,
+                               const Task23Params& params = {});
+
+}  // namespace atm::tasks::reference

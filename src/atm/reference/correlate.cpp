@@ -1,0 +1,149 @@
+#include "src/atm/reference/correlate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atm::tasks::reference {
+
+using airfield::kDiscarded;
+using airfield::kNone;
+using airfield::MatchState;
+
+void Task1Scratch::resize(std::size_t n) {
+  ex.resize(n);
+  ey.resize(n);
+  nhits.resize(n);
+  hit_id.resize(n);
+  nradars.resize(n);
+  amatch.resize(n);
+}
+
+Task1Stats correlate_and_track(airfield::FlightDb& db,
+                               airfield::RadarFrame& frame,
+                               Task1Scratch& scratch,
+                               const Task1Params& params) {
+  const std::size_t n = db.size();
+  Task1Stats stats;
+  stats.radars = frame.size();
+
+  scratch.resize(n);
+  db.reset_correlation_state();
+  frame.reset_matches();
+  std::fill(scratch.amatch.begin(), scratch.amatch.end(), kNone);
+
+  // Expected positions: each aircraft advances one period along its track.
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.ex[i] = db.x[i] + db.dx[i];
+    scratch.ey[i] = db.y[i] + db.dy[i];
+  }
+
+  const int total_passes = 1 + params.retries;
+  for (int pass = 0; pass < total_passes; ++pass) {
+    const double half = params.box_half_nm * static_cast<double>(1 << pass);
+    ++stats.passes;
+
+    std::fill(scratch.nhits.begin(), scratch.nhits.end(), 0);
+    std::fill(scratch.hit_id.begin(), scratch.hit_id.end(), kNone);
+    std::fill(scratch.nradars.begin(), scratch.nradars.end(), 0);
+
+    // Count coverage: one scan of eligible aircraft per active radar.
+    bool any_active = false;
+    for (std::size_t r = 0; r < frame.size(); ++r) {
+      if (frame.rmatch_with[r] != kNone) continue;
+      any_active = true;
+      for (std::size_t a = 0; a < n; ++a) {
+        if (db.rmatch[a] !=
+            static_cast<std::int8_t>(MatchState::kUnmatched)) {
+          continue;
+        }
+        ++stats.box_tests;
+        if (std::fabs(scratch.ex[a] - frame.rx[r]) < half &&
+            std::fabs(scratch.ey[a] - frame.ry[r]) < half) {
+          ++scratch.nhits[r];
+          scratch.hit_id[r] = static_cast<std::int32_t>(a);
+          ++scratch.nradars[a];
+        }
+      }
+    }
+    if (!any_active) {
+      --stats.passes;
+      break;
+    }
+
+    // Ambiguous aircraft drop out permanently.
+    for (std::size_t a = 0; a < n; ++a) {
+      if (db.rmatch[a] ==
+              static_cast<std::int8_t>(MatchState::kUnmatched) &&
+          scratch.nradars[a] >= 2) {
+        db.rmatch[a] = static_cast<std::int8_t>(MatchState::kAmbiguous);
+      }
+    }
+
+    // Radar dispositions.
+    for (std::size_t r = 0; r < frame.size(); ++r) {
+      if (frame.rmatch_with[r] != kNone) continue;
+      if (scratch.nhits[r] >= 2) {
+        frame.rmatch_with[r] = kDiscarded;
+      } else if (scratch.nhits[r] == 1) {
+        const std::int32_t a = scratch.hit_id[r];
+        frame.rmatch_with[r] = a;  // radar records the id either way
+        if (scratch.nradars[static_cast<std::size_t>(a)] == 1) {
+          db.rmatch[static_cast<std::size_t>(a)] =
+              static_cast<std::int8_t>(MatchState::kMatched);
+          scratch.amatch[static_cast<std::size_t>(a)] =
+              static_cast<std::int32_t>(r);
+        }
+      }
+    }
+
+    // Another pass only if some radar is still unmatched.
+    const bool unmatched_remain =
+        std::any_of(frame.rmatch_with.begin(), frame.rmatch_with.end(),
+                    [](std::int32_t m) { return m == kNone; });
+    if (!unmatched_remain) break;
+  }
+
+  // Commit: correlated aircraft take the radar position; everyone else
+  // advances to the expected position.
+  std::vector<std::uint8_t> updated(n, 0);
+  for (std::size_t r = 0; r < frame.size(); ++r) {
+    const std::int32_t a = frame.rmatch_with[r];
+    if (a < 0) continue;
+    const auto ai = static_cast<std::size_t>(a);
+    if (db.rmatch[ai] == static_cast<std::int8_t>(MatchState::kMatched) &&
+        scratch.amatch[ai] == static_cast<std::int32_t>(r)) {
+      db.x[ai] = frame.rx[r];
+      db.y[ai] = frame.ry[r];
+      updated[ai] = 1;
+      ++stats.matched;
+    }
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!updated[a]) {
+      db.x[a] = scratch.ex[a];
+      db.y[a] = scratch.ey[a];
+    } else {
+      ++stats.updated_aircraft;
+    }
+  }
+
+  for (std::size_t r = 0; r < frame.size(); ++r) {
+    if (frame.rmatch_with[r] == kNone) ++stats.unmatched_radars;
+    if (frame.rmatch_with[r] == kDiscarded) ++stats.discarded_radars;
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    if (db.rmatch[a] == static_cast<std::int8_t>(MatchState::kAmbiguous)) {
+      ++stats.ambiguous_aircraft;
+    }
+  }
+  return stats;
+}
+
+Task1Stats correlate_and_track(airfield::FlightDb& db,
+                               airfield::RadarFrame& frame,
+                               const Task1Params& params) {
+  Task1Scratch scratch;
+  return correlate_and_track(db, frame, scratch, params);
+}
+
+}  // namespace atm::tasks::reference

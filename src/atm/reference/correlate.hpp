@@ -1,0 +1,60 @@
+// Reference (sequential) implementation of Task 1: radar correlation and
+// tracking (paper Section 5.1, Algorithm 1).
+//
+// Every platform backend implements the same *order-independent* semantics
+// reproduced here, so backend results can be compared bit-for-bit:
+//
+//  pass k (box half-extent = 0.5 nm * 2^k, k = 0..retries):
+//    * consider "active" radars (rMatchWith == -1) against "eligible"
+//      aircraft (rMatch == 0);
+//    * an active radar whose box covers >= 2 eligible aircraft is
+//      discarded (rMatchWith = -2);
+//    * an eligible aircraft covered by >= 2 active radars becomes
+//      ambiguous (rMatch = -1) and keeps its expected position;
+//    * a radar covering exactly one aircraft that is covered by exactly
+//      one radar is a correlation: rMatch = 1, rMatchWith = aircraft id;
+//    * a radar covering exactly one aircraft that turned ambiguous keeps
+//      the aircraft id (it is spent, matching the paper's behaviour of
+//      not retrying such radars) but will fail the commit check;
+//    * the next pass runs only if unmatched radars remain.
+//
+//  commit: a correlated aircraft takes its radar's measured position; all
+//  other aircraft take their expected position (x + dx, y + dy).
+//
+// This is the count-based reading of Algorithm 1: the paper's CUDA kernel
+// reaches the same states through first-writer-wins updates plus explicit
+// un-matching; counting hits per radar and radars per aircraft yields those
+// final states without depending on thread execution order.
+#pragma once
+
+#include "src/airfield/flight_db.hpp"
+#include "src/airfield/radar.hpp"
+#include "src/atm/task_types.hpp"
+
+namespace atm::tasks::reference {
+
+/// Scratch space for one Task 1 run; reusable across periods to avoid
+/// re-allocating (the paper's program allocates once up front).
+struct Task1Scratch {
+  std::vector<double> ex, ey;            ///< Expected positions.
+  std::vector<std::int32_t> nhits;       ///< Eligible aircraft per radar.
+  std::vector<std::int32_t> hit_id;      ///< Sole hit of a radar.
+  std::vector<std::int32_t> nradars;     ///< Active radars per aircraft.
+  std::vector<std::int32_t> amatch;      ///< Radar committed to aircraft.
+  void resize(std::size_t n);
+};
+
+/// Run Task 1 on `db` against `frame`, updating both in place. Consumes
+/// and fills `scratch`. Returns outcome counters (modeled platform time is
+/// the backends' job; the reference is the semantic golden).
+Task1Stats correlate_and_track(airfield::FlightDb& db,
+                               airfield::RadarFrame& frame,
+                               Task1Scratch& scratch,
+                               const Task1Params& params = {});
+
+/// Convenience overload with throwaway scratch.
+Task1Stats correlate_and_track(airfield::FlightDb& db,
+                               airfield::RadarFrame& frame,
+                               const Task1Params& params = {});
+
+}  // namespace atm::tasks::reference

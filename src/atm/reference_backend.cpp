@@ -1,0 +1,25 @@
+#include "src/atm/reference_backend.hpp"
+
+#include "src/atm/reference/collision.hpp"
+#include "src/rt/clock.hpp"
+
+namespace atm::tasks {
+
+Task1Result ReferenceBackend::run_task1(airfield::RadarFrame& frame,
+                                        const Task1Params& params) {
+  const rt::Stopwatch sw;
+  Task1Result result;
+  result.stats = reference::correlate_and_track(db_, frame, scratch_, params);
+  result.modeled_ms = sw.elapsed_ms();
+  return result;
+}
+
+Task23Result ReferenceBackend::run_task23(const Task23Params& params) {
+  const rt::Stopwatch sw;
+  Task23Result result;
+  result.stats = reference::detect_and_resolve(db_, params);
+  result.modeled_ms = sw.elapsed_ms();
+  return result;
+}
+
+}  // namespace atm::tasks

@@ -1,0 +1,34 @@
+// Host reference backend: the sequential golden implementation wrapped in
+// the Backend interface. Its "modeled time" is the measured host wall time
+// (informational only — the reference is a semantic oracle, not one of the
+// paper's platforms).
+#pragma once
+
+#include "src/atm/backend.hpp"
+#include "src/atm/reference/correlate.hpp"
+
+namespace atm::tasks {
+
+class ReferenceBackend : public Backend {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "Host reference (sequential)";
+  }
+
+  void load(const airfield::FlightDb& db) override { db_ = db; }
+
+  Task1Result run_task1(airfield::RadarFrame& frame,
+                        const Task1Params& params) override;
+  Task23Result run_task23(const Task23Params& params) override;
+
+  [[nodiscard]] const airfield::FlightDb& state() const override {
+    return db_;
+  }
+  airfield::FlightDb& mutable_state() override { return db_; }
+
+ private:
+  airfield::FlightDb db_;
+  reference::Task1Scratch scratch_;
+};
+
+}  // namespace atm::tasks

@@ -1,0 +1,64 @@
+// Named workload scenarios: parameter bundles for the situations the
+// paper's introduction and future work motivate. Each scenario configures
+// the airfield generator, the radar environment, and the task parameters
+// coherently, so examples/benches/tests can say what they simulate instead
+// of repeating parameter soup.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/airfield/radar.hpp"
+#include "src/airfield/setup.hpp"
+#include "src/atm/extended/ext_types.hpp"
+#include "src/atm/extended/full_pipeline.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/task_types.hpp"
+
+namespace atm::tasks {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::size_t default_aircraft = 1000;
+  airfield::SetupParams setup;
+  airfield::RadarParams radar;
+  Task1Params task1;
+  Task23Params task23;
+  TerrainTaskParams terrain;
+  AdvisoryParams advisory;
+};
+
+/// The paper's evaluation setup: a 256 nm field, 30-600 knot traffic at
+/// all flight levels, one noisy return per aircraft per period.
+[[nodiscard]] Scenario paper_airfield();
+
+/// The STARAN heritage scenario: Goodyear's 1972 Dulles demonstration
+/// scale — hundreds of aircraft, denser radar noise (real 1972 radar).
+[[nodiscard]] Scenario dulles_1972();
+
+/// High-altitude en-route traffic: fast, flight-level stratified (fewer
+/// altitude-gate passes), longer look-ahead.
+[[nodiscard]] Scenario dense_en_route();
+
+/// Terminal area: a small busy box of slow descending traffic, tight
+/// separation, frequent conflicts.
+[[nodiscard]] Scenario terminal_area();
+
+/// The Section 7.2 mobile-ATM drone swarm: tiny field, slow low drones,
+/// GPS-grade reports, hard turns.
+[[nodiscard]] Scenario drone_swarm();
+
+/// Every scenario above, for sweep-style tests and demos.
+[[nodiscard]] std::vector<Scenario> all_scenarios();
+
+/// Instantiate a core-pipeline configuration from a scenario.
+[[nodiscard]] PipelineConfig make_pipeline_config(const Scenario& scenario,
+                                                  int major_cycles = 1,
+                                                  std::uint64_t seed = 42);
+
+/// Instantiate a full-system configuration from a scenario.
+[[nodiscard]] extended::FullSystemConfig make_full_config(
+    const Scenario& scenario, int major_cycles = 1, std::uint64_t seed = 42);
+
+}  // namespace atm::tasks

@@ -1,0 +1,68 @@
+// Parameter and statistics types shared by every backend's task
+// implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/units.hpp"
+
+namespace atm::tasks {
+
+/// Task 1 (tracking & correlation) parameters; defaults are the paper's.
+struct Task1Params {
+  /// Half-extent of the initial bounding box (0.5 nm => a 1 x 1 nm box).
+  double box_half_nm = core::kCorrelationBoxHalfNm;
+  /// How many times the box is doubled for unmatched radars (paper: 2).
+  int retries = core::kCorrelationRetries;
+};
+
+/// Tasks 2+3 (collision detection & resolution) parameters.
+struct Task23Params {
+  double horizon_periods = core::kLookAheadPeriods;
+  double critical_periods = core::kCriticalTimePeriods;
+  double band_nm = core::kBatcherBandNm;
+  double altitude_gate_feet = core::kAltitudeGateFeet;
+  double turn_step_deg = core::kResolveStepDegrees;
+  double turn_max_deg = core::kResolveMaxDegrees;
+};
+
+/// Outcome counters of one Task 1 run.
+struct Task1Stats {
+  std::uint64_t radars = 0;
+  std::uint64_t matched = 0;            ///< Radars committed to an aircraft.
+  std::uint64_t discarded_radars = 0;   ///< rMatchWith set to -2.
+  std::uint64_t unmatched_radars = 0;   ///< Still -1 after the final pass.
+  std::uint64_t ambiguous_aircraft = 0; ///< rMatch set to -1.
+  std::uint64_t updated_aircraft = 0;   ///< Position taken from a radar.
+  int passes = 0;                       ///< Bounding-box passes run (1..3).
+  std::uint64_t box_tests = 0;          ///< Work: bounding-box membership
+                                        ///< tests executed.
+
+  friend bool operator==(const Task1Stats&, const Task1Stats&) = default;
+};
+
+/// Outcome counters of one Tasks 2+3 run.
+struct Task23Stats {
+  std::uint64_t aircraft = 0;
+  std::uint64_t conflicts = 0;   ///< Aircraft with any conflict in horizon.
+  std::uint64_t critical = 0;    ///< Aircraft with time_min < 300 periods.
+  std::uint64_t resolved = 0;    ///< Critical aircraft given a new path.
+  std::uint64_t unresolved = 0;  ///< No trial angle was conflict-free.
+  std::uint64_t pair_tests = 0;  ///< Work: Batcher pair tests executed.
+  std::uint64_t rescans = 0;     ///< Work: full trial-path re-checks.
+
+  friend bool operator==(const Task23Stats&, const Task23Stats&) = default;
+};
+
+/// A task run's modeled platform time plus its outcome counters.
+struct Task1Result {
+  double modeled_ms = 0.0;
+  Task1Stats stats;
+};
+
+struct Task23Result {
+  double modeled_ms = 0.0;
+  Task23Stats stats;
+};
+
+}  // namespace atm::tasks

@@ -1,0 +1,53 @@
+// Wide-vector commodity processor backend — the paper's Section 7.2
+// future-work platform ("implement the basic ATM tasks ... in these
+// commodity processors that provide efficient, vector-based parallel
+// computation", citing Xeon Phi and the PLDI/PPoPP SIMDization work).
+//
+// The ATM inner loops are data-parallel over aircraft/radars, so a
+// vectorizing implementation executes the same order-independent semantics
+// as every other backend; we run the reference algorithms and model the
+// platform time with mimd::VectorModel from the work the run performed.
+// Unlike the lock-based MIMD baseline, vector execution is lock-step
+// within a core: the platform is deterministic, which is the property the
+// paper hopes this class of hardware preserves.
+//
+// Inner-operation accounting (first-order, documented):
+//  * Task 1: the eligible box tests dominate; the vector remainder
+//    (masked-out lanes) is folded into gather_efficiency.
+//  * Tasks 2+3: a full pair sweep per aircraft plus half a sweep per
+//    trial rescan (vector lanes cannot early-exit individually; half is
+//    the expected progress of the scalar early-exit they replace).
+#pragma once
+
+#include "src/atm/reference_backend.hpp"
+#include "src/mimd/vector_model.hpp"
+
+namespace atm::tasks {
+
+class VectorBackend final : public ReferenceBackend {
+ public:
+  explicit VectorBackend(mimd::VectorSpec spec = mimd::xeon_phi_spec())
+      : model_(std::move(spec)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return model_.spec().name;
+  }
+
+  Task1Result run_task1(airfield::RadarFrame& frame,
+                        const Task1Params& params) override;
+  Task23Result run_task23(const Task23Params& params) override;
+  TerrainResult run_terrain(const TerrainTaskParams& params) override;
+  DisplayResult run_display(const DisplayParams& params) override;
+  AdvisoryResult run_advisory(const AdvisoryParams& params) override;
+  MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
+                                   const Task1Params& params) override;
+  SporadicResult run_sporadic(std::span<const Query> queries,
+                              const SporadicParams& params) override;
+
+  [[nodiscard]] const mimd::VectorModel& model() const { return model_; }
+
+ private:
+  mimd::VectorModel model_;
+};
+
+}  // namespace atm::tasks

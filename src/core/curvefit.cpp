@@ -1,0 +1,178 @@
+#include "src/core/curvefit.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace atm::core {
+namespace {
+
+/// Solve the dense linear system A x = b in place with partial pivoting.
+/// A is n x n in row-major order. Throws on a (numerically) singular
+/// system, which for our Vandermonde normal equations means duplicate or
+/// degenerate abscissae.
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b,
+                                        std::size_t n) {
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: pick the row with the largest magnitude in `col`.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) {
+      throw std::domain_error(
+          "curvefit: singular normal equations (degenerate x values)");
+    }
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+GoodnessOfFit compute_gof(std::span<const double> xs,
+                          std::span<const double> ys, const PolyFit& fit) {
+  GoodnessOfFit gof;
+  const std::size_t n = xs.size();
+  double mean_y = 0.0;
+  for (double y : ys) mean_y += y;
+  mean_y /= static_cast<double>(n);
+
+  double sst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double resid = ys[i] - fit.eval(xs[i]);
+    gof.sse += resid * resid;
+    const double dev = ys[i] - mean_y;
+    sst += dev * dev;
+  }
+  const double dof =
+      static_cast<double>(n) - static_cast<double>(fit.coeffs.size());
+  gof.r2 = sst > 0.0 ? 1.0 - gof.sse / sst : 1.0;
+  // MATLAB: adjusted R^2 = 1 - (SSE/(n-m)) / (SST/(n-1)).
+  if (dof > 0.0 && sst > 0.0) {
+    gof.adj_r2 =
+        1.0 - (gof.sse / dof) / (sst / (static_cast<double>(n) - 1.0));
+  } else {
+    gof.adj_r2 = gof.r2;
+  }
+  gof.rmse = dof > 0.0 ? std::sqrt(gof.sse / dof) : 0.0;
+  return gof;
+}
+
+}  // namespace
+
+double PolyFit::eval(double x) const {
+  double acc = 0.0;
+  for (std::size_t k = coeffs.size(); k-- > 0;) {
+    acc = acc * x + coeffs[k];
+  }
+  return acc;
+}
+
+std::string PolyFit::to_string() const {
+  std::string out = "y =";
+  bool first = true;
+  for (std::size_t k = coeffs.size(); k-- > 0;) {
+    char buf[64];
+    if (k >= 2) {
+      std::snprintf(buf, sizeof buf, " %s%.6g*x^%zu", first ? "" : "+ ",
+                    coeffs[k], k);
+    } else if (k == 1) {
+      std::snprintf(buf, sizeof buf, " %s%.6g*x", first ? "" : "+ ",
+                    coeffs[k]);
+    } else {
+      std::snprintf(buf, sizeof buf, " %s%.6g", first ? "" : "+ ",
+                    coeffs[k]);
+    }
+    out += buf;
+    first = false;
+  }
+  return out;
+}
+
+PolyFit fit_polynomial(std::span<const double> xs, std::span<const double> ys,
+                       int degree) {
+  if (degree < 0) throw std::invalid_argument("curvefit: negative degree");
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("curvefit: xs and ys size mismatch");
+  }
+  const auto m = static_cast<std::size_t>(degree) + 1;
+  if (xs.size() < m) {
+    throw std::invalid_argument("curvefit: not enough points for degree");
+  }
+
+  // Normal equations: (V^T V) c = V^T y where V is the Vandermonde matrix.
+  // Accumulate moments sum(x^k) for k in [0, 2*degree] and sum(y * x^k).
+  std::vector<double> moments(2 * m - 1, 0.0);
+  std::vector<double> rhs(m, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double xp = 1.0;
+    for (std::size_t k = 0; k < moments.size(); ++k) {
+      moments[k] += xp;
+      if (k < m) rhs[k] += ys[i] * xp;
+      xp *= xs[i];
+    }
+  }
+  std::vector<double> a(m * m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) a[r * m + c] = moments[r + c];
+  }
+
+  PolyFit fit;
+  fit.coeffs = solve_linear_system(std::move(a), std::move(rhs), m);
+  fit.gof = compute_gof(xs, ys, fit);
+  return fit;
+}
+
+PolyFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  return fit_polynomial(xs, ys, 1);
+}
+
+PolyFit fit_quadratic(std::span<const double> xs,
+                      std::span<const double> ys) {
+  return fit_polynomial(xs, ys, 2);
+}
+
+std::string CurveShapeReport::classification() const {
+  if (!quadratic_preferred) return "linear";
+  if (quad_to_linear_coeff_ratio < 1e-3) {
+    return "quadratic (very small coefficient; near-linear)";
+  }
+  return "quadratic";
+}
+
+CurveShapeReport analyze_curve_shape(std::span<const double> xs,
+                                     std::span<const double> ys) {
+  CurveShapeReport report;
+  report.linear = fit_linear(xs, ys);
+  report.quadratic = fit_quadratic(xs, ys);
+  report.quadratic_preferred =
+      report.quadratic.gof.adj_r2 > report.linear.gof.adj_r2;
+  const double lin_coeff = std::fabs(report.quadratic.coeffs[1]);
+  const double quad_coeff = std::fabs(report.quadratic.coeffs[2]);
+  report.quad_to_linear_coeff_ratio =
+      lin_coeff > 0.0 ? quad_coeff / lin_coeff : 0.0;
+  return report;
+}
+
+}  // namespace atm::core

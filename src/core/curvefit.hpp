@@ -1,0 +1,74 @@
+// Least-squares polynomial curve fitting with MATLAB-style goodness of fit.
+//
+// The paper (Section 6) inspects the nature of its timing curves with
+// MATLAB's Curve Fitting Toolbox, which reports four "goodness of fit"
+// values: SSE, R-square, adjusted R-square, and RMSE. This module
+// reproduces exactly those four values for polynomial fits so the
+// Figure 8/9 analysis can be regenerated without MATLAB.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace atm::core {
+
+/// The four goodness-of-fit numbers MATLAB's cftool reports.
+struct GoodnessOfFit {
+  double sse = 0.0;    ///< Sum of squared errors (residual sum of squares).
+  double r2 = 0.0;     ///< Coefficient of determination, 1 - SSE/SST.
+  double adj_r2 = 0.0; ///< R-square adjusted for residual degrees of freedom.
+  double rmse = 0.0;   ///< Root mean squared error, sqrt(SSE / dof).
+};
+
+/// A fitted polynomial c0 + c1*x + c2*x^2 + ... with its fit quality.
+struct PolyFit {
+  std::vector<double> coeffs;  ///< coeffs[k] multiplies x^k.
+  GoodnessOfFit gof;
+
+  /// Evaluate the polynomial at x (Horner's rule).
+  [[nodiscard]] double eval(double x) const;
+
+  /// Degree of the fitted polynomial (coeffs.size() - 1).
+  [[nodiscard]] int degree() const {
+    return static_cast<int>(coeffs.size()) - 1;
+  }
+
+  /// Human-readable form, e.g. "y = 1.2e-05*x^2 + 0.0031*x + 0.42".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Fit a polynomial of the given degree by least squares (normal equations
+/// solved with partially pivoted Gaussian elimination). Requires
+/// xs.size() == ys.size() and at least degree+1 points.
+[[nodiscard]] PolyFit fit_polynomial(std::span<const double> xs,
+                                     std::span<const double> ys, int degree);
+
+/// Convenience wrappers matching the paper's two candidate models.
+[[nodiscard]] PolyFit fit_linear(std::span<const double> xs,
+                                 std::span<const double> ys);
+[[nodiscard]] PolyFit fit_quadratic(std::span<const double> xs,
+                                    std::span<const double> ys);
+
+/// Result of comparing the linear and quadratic models on one data set,
+/// mirroring the paper's Figure 8/9 discussion.
+struct CurveShapeReport {
+  PolyFit linear;
+  PolyFit quadratic;
+  /// True when the quadratic model's adjusted R-square beats the linear
+  /// model's (MATLAB's criterion for model selection across different
+  /// numbers of coefficients).
+  bool quadratic_preferred = false;
+  /// |quadratic coefficient| / |linear coefficient| of the quadratic fit;
+  /// the paper's "very small quadratic coefficient" observation is this
+  /// ratio being tiny.
+  double quad_to_linear_coeff_ratio = 0.0;
+  /// Classification used in our figure reproductions.
+  [[nodiscard]] std::string classification() const;
+};
+
+/// Fit both models and report which shape the series has.
+[[nodiscard]] CurveShapeReport analyze_curve_shape(
+    std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace atm::core

@@ -1,0 +1,19 @@
+#include "src/core/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the library
+// target has a stable archive member and to hold the static_asserts below.
+
+namespace atm::core {
+namespace {
+
+// Known-answer sanity checks evaluated at compile time: the first SplitMix64
+// output for seed 0 is the published reference value.
+constexpr std::uint64_t first_splitmix(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  return sm.next();
+}
+static_assert(first_splitmix(0) == 0xE220A8397B1DCDAFULL,
+              "SplitMix64 does not match the reference sequence");
+
+}  // namespace
+}  // namespace atm::core

@@ -1,0 +1,105 @@
+// Deterministic random number generation for the airfield simulation.
+//
+// Reproducibility is a first-class requirement here: the paper's central
+// claim is that the deterministic platforms produce "the exact same timings
+// again and again", and our cost models are exactly reproducible. The
+// simulation inputs must therefore be exactly reproducible too, so every
+// component takes an explicit seeded generator instead of touching global
+// state. We use xoshiro256** (public-domain, Blackman & Vigna) seeded via
+// SplitMix64, which is the recommended seeding procedure.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace atm::core {
+
+/// SplitMix64: tiny, high-quality 64-bit generator used to expand a single
+/// seed into the xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the main generator. Satisfies the C++ named requirement
+/// UniformRandomBitGenerator, so it also works with <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a single 64-bit seed (expanded via SplitMix64).
+  explicit constexpr Rng(std::uint64_t seed = 0x5EEDDA7A5EEDDA7AULL) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  constexpr result_type operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses rejection-free Lemire
+  /// style reduction; bias is negligible for the small ranges we use.
+  constexpr std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    return lo + next() % span;
+  }
+
+  /// Uniform int in [lo, hi] (inclusive).
+  constexpr int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(uniform_u64(0, static_cast<std::uint64_t>(
+                                                    hi - lo)));
+  }
+
+  /// Random sign following the paper's SetupFlight procedure: draw an
+  /// integer in [0, 50]; one parity flips the sign. Returns -1.0 or +1.0.
+  constexpr double paper_sign(bool negative_on_even) {
+    const bool even = (uniform_u64(0, 50) % 2) == 0;
+    return (even == negative_on_even) ? -1.0 : 1.0;
+  }
+
+  /// Fork an independent stream (for per-subsystem determinism regardless
+  /// of call interleaving elsewhere).
+  constexpr Rng fork() { return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace atm::core

@@ -1,0 +1,45 @@
+// Streaming descriptive statistics used by the timing harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace atm::core {
+
+/// Welford-style streaming accumulator: mean/variance/min/max without
+/// storing samples. Numerically stable for long runs.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample set (linear interpolation between order
+/// statistics, the "exclusive" convention). `p` in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> sorted, double p);
+
+/// Convenience: copy, sort, and take a percentile.
+[[nodiscard]] double percentile_of(std::vector<double> samples, double p);
+
+}  // namespace atm::core

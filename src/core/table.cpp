@@ -1,0 +1,120 @@
+#include "src/core/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace atm::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::begin_row() { rows_.emplace_back(); }
+
+void TextTable::add_cell(std::string value) {
+  if (rows_.empty()) begin_row();
+  rows_.back().push_back(std::move(value));
+}
+
+void TextTable::add_cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  add_cell(std::string(buf));
+}
+
+void TextTable::add_cell(long long value) {
+  add_cell(std::to_string(value));
+}
+
+void TextTable::add_cell(std::size_t value) {
+  add_cell(std::to_string(value));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << cell;
+      if (c + 1 < widths.size()) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+bool TextTable::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << to_csv();
+  return static_cast<bool>(file);
+}
+
+std::string format_ms(double ms) {
+  char buf[64];
+  if (ms < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f us", ms * 1000.0);
+  } else if (ms < 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", ms / 1000.0);
+  }
+  return std::string(buf);
+}
+
+}  // namespace atm::core

@@ -1,0 +1,52 @@
+// Aligned plain-text tables for the benchmark harnesses.
+//
+// Every figure-reproduction bench prints its series as a table; keeping the
+// formatting in one place makes the outputs uniform and greppable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace atm::core {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision.
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add_cell calls fill it left to right.
+  void begin_row();
+  void add_cell(std::string value);
+  void add_cell(double value, int precision = 4);
+  void add_cell(long long value);
+  void add_cell(std::size_t value);
+
+  /// Number of completed + in-progress rows.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with padded columns, a header underline, and two-space gutters.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (quotes around cells containing commas,
+  /// quotes, or newlines), header row first. For piping bench output into
+  /// plotting tools.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write the CSV rendering to `path`. Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a duration in milliseconds with adaptive units (us/ms/s).
+[[nodiscard]] std::string format_ms(double ms);
+
+}  // namespace atm::core

@@ -1,0 +1,111 @@
+// Units and simulation-wide constants for the ATM reproduction.
+//
+// The paper (Section 3 and 4) fixes the airfield geometry and the real-time
+// schedule used by the Goodyear STARAN demonstration: a 256 nm x 256 nm
+// bounding area, an 8 second "major cycle" split into 16 half-second
+// periods, Task 1 every period, and Tasks 2+3 once per major cycle.
+//
+// We keep all positions in nautical miles and all simulation time in
+// *periods* (one period = 0.5 s). SetupFlight (Section 4.1) generates
+// velocities in nm/hour and divides them by 7200 to convert to nm/period;
+// collision times produced by Batcher's algorithm (Equations 1-6) are in
+// periods as well.
+#pragma once
+
+#include <cstdint>
+
+namespace atm::core {
+
+/// Length of one scheduling period in seconds (the paper's half-second).
+inline constexpr double kPeriodSeconds = 0.5;
+
+/// Number of half-second periods in one 8-second major cycle.
+inline constexpr int kPeriodsPerMajorCycle = 16;
+
+/// Length of one major cycle in seconds.
+inline constexpr double kMajorCycleSeconds =
+    kPeriodSeconds * kPeriodsPerMajorCycle;
+
+/// Half-extent of the simulated airfield: aircraft live in
+/// [-kGridHalfExtentNm, +kGridHalfExtentNm]^2 (a 256 nm x 256 nm field;
+/// SetupFlight draws initial coordinates from [-125, 125]).
+inline constexpr double kGridHalfExtentNm = 128.0;
+
+/// SetupFlight's initial-position half-extent (Section 4.1: "Random values
+/// are selected between 0 and 128" then sign-flipped, aircraft satisfy
+/// -125 <= x, y <= 125"). We honor the 128 draw; the 125 bound in the text
+/// is the same grid described conservatively.
+inline constexpr double kSetupPositionMaxNm = 128.0;
+
+/// Speed range for SetupFlight, in nautical miles per hour (knots).
+inline constexpr double kMinSpeedKnots = 30.0;
+inline constexpr double kMaxSpeedKnots = 600.0;
+
+/// nm/hour -> nm/period conversion divisor (Section 4.1: "dx is converted
+/// from nautical miles per hour to nautical miles per period by dividing it
+/// by 7200"). 3600 s/hour / 0.5 s/period = 7200 periods/hour.
+inline constexpr double kPeriodsPerHour = 7200.0;
+
+/// Collision look-ahead horizon: 20 minutes expressed in periods.
+inline constexpr double kLookAheadPeriods = 20.0 * 60.0 / kPeriodSeconds;
+
+/// "Safe" collision time: Batcher times below this are critical and force
+/// a course change (Section 5.2: "300 is considered a safe number").
+inline constexpr double kCriticalTimePeriods = 300.0;
+
+/// Total bounding-band width used by Batcher's equations (Section 5.2:
+/// "The constant value 3 ... means we add 1.5 to x for the upper bound and
+/// subtract 1.5 from x for the lower bound").
+inline constexpr double kBatcherBandNm = 3.0;
+
+/// Initial tracking-correlation bounding box is 1 x 1 nm, i.e. +-0.5 nm
+/// around the expected position (Section 5.1).
+inline constexpr double kCorrelationBoxHalfNm = 0.5;
+
+/// Number of bounding-box doubling retries in Task 1 (Section 5.1 performs
+/// exactly two extra passes: 2 x 2 nm then 4 x 4 nm).
+inline constexpr int kCorrelationRetries = 2;
+
+/// Altitude proximity gate for collision detection (Algorithm 2, line 3:
+/// "within 1000 feet of each other").
+inline constexpr double kAltitudeGateFeet = 1000.0;
+
+/// Altitude range assigned by SetupFlight, in feet. The paper only says the
+/// altitude "will also be selected randomly"; commercial airspace spans
+/// roughly 0-40000 ft.
+inline constexpr double kMinAltitudeFeet = 1000.0;
+inline constexpr double kMaxAltitudeFeet = 40000.0;
+
+/// Collision-resolution turn step and limit in degrees (Section 5.3:
+/// rotate 5 degrees per attempt, alternating sides, up to 30).
+inline constexpr double kResolveStepDegrees = 5.0;
+inline constexpr double kResolveMaxDegrees = 30.0;
+
+/// Threads per block used by the paper's CUDA configuration (Section 6.1:
+/// "the limit on threads per block remains 96").
+inline constexpr int kPaperThreadsPerBlock = 96;
+
+/// Seconds in one hour, for unit conversions.
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// Convert a count of periods to seconds.
+[[nodiscard]] constexpr double periods_to_seconds(double periods) {
+  return periods * kPeriodSeconds;
+}
+
+/// Convert seconds to a count of periods.
+[[nodiscard]] constexpr double seconds_to_periods(double seconds) {
+  return seconds / kPeriodSeconds;
+}
+
+/// Convert a speed in knots (nm/hour) to nm/period.
+[[nodiscard]] constexpr double knots_to_nm_per_period(double knots) {
+  return knots / kPeriodsPerHour;
+}
+
+/// Convert a velocity in nm/period back to knots.
+[[nodiscard]] constexpr double nm_per_period_to_knots(double nm_per_period) {
+  return nm_per_period * kPeriodsPerHour;
+}
+
+}  // namespace atm::core

@@ -1,0 +1,73 @@
+// Small 2-D vector used for aircraft positions and velocities.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace atm::core {
+
+/// A 2-D vector in airfield coordinates (nautical miles, or nm/period for
+/// velocities). Plain aggregate: cheap to copy, trivially relocatable.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  friend constexpr Vec2 operator+(Vec2 a, const Vec2& b) { return a += b; }
+  friend constexpr Vec2 operator-(Vec2 a, const Vec2& b) { return a -= b; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return a *= s; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return a *= s; }
+  friend constexpr bool operator==(const Vec2&, const Vec2&) = default;
+
+  [[nodiscard]] constexpr double dot(const Vec2& o) const {
+    return x * o.x + y * o.y;
+  }
+  [[nodiscard]] constexpr double norm2() const { return dot(*this); }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Degrees -> radians.
+[[nodiscard]] constexpr double deg_to_rad(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+
+/// Radians -> degrees.
+[[nodiscard]] constexpr double rad_to_deg(double rad) {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// Rotate a vector counter-clockwise by `rad` radians. Used by Task 3 to
+/// turn an aircraft's velocity when trialling a new, conflict-free path.
+[[nodiscard]] inline Vec2 rotate(const Vec2& v, double rad) {
+  const double c = std::cos(rad);
+  const double s = std::sin(rad);
+  return Vec2{v.x * c - v.y * s, v.x * s + v.y * c};
+}
+
+/// Rotate by an angle given in degrees (positive = counter-clockwise).
+[[nodiscard]] inline Vec2 rotate_deg(const Vec2& v, double deg) {
+  return rotate(v, deg_to_rad(deg));
+}
+
+/// Chebyshev (max-axis) distance between two points; bounding-box
+/// membership tests in Task 1 are Chebyshev-ball tests.
+[[nodiscard]] inline double chebyshev(const Vec2& a, const Vec2& b) {
+  return std::max(std::fabs(a.x - b.x), std::fabs(a.y - b.y));
+}
+
+}  // namespace atm::core

@@ -1,0 +1,104 @@
+// A shared-memory thread pool — the MIMD multiprocessor substrate.
+//
+// The paper's multi-core baseline (Section 2.3, [13]) stores aircraft data
+// in shared memory that all processors access, executing asynchronously.
+// This pool reproduces that execution style: worker threads pull index
+// chunks dynamically (so completion order is nondeterministic, like a real
+// MIMD machine under OS scheduling), and the ATM MIMD backend layers real
+// mutex-striped locking over the shared flight database on top of it.
+//
+// On this reproduction host the pool also *works* as a real parallel
+// substrate; the modeled 16-core Xeon timing comes from xeon_model.hpp fed
+// with the work and contention counters the execution produces.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atm::mimd {
+
+/// Fixed-size worker pool with dynamically scheduled parallel_for.
+class ThreadPool {
+ public:
+  /// Spin up `workers` threads (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Run fn(i) for every i in [begin, end), split into `chunk`-sized units
+  /// claimed dynamically by the workers. Blocks until all iterations are
+  /// done. Exceptions from fn terminate (kernel-boundary noexcept policy).
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<int> active{0};  ///< Workers currently holding the job.
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job* job_ = nullptr;
+  std::size_t job_generation_ = 0;
+  bool stop_ = false;
+};
+
+/// A set of striped mutexes guarding a shared array: index i is protected
+/// by stripe i % stripes. Counts acquisitions and observed contention
+/// (try_lock failures), which feed the Xeon contention model.
+class StripedLocks {
+ public:
+  explicit StripedLocks(std::size_t stripes = 64);
+
+  /// Lock the stripe for index i, run fn, unlock. Returns through fn.
+  template <typename F>
+  void with_lock(std::size_t i, F&& fn) {
+    auto& m = mutexes_[i % mutexes_.size()];
+    if (!m.try_lock()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      m.lock();
+    }
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    fn();
+    m.unlock();
+  }
+
+  [[nodiscard]] std::uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() {
+    acquisitions_.store(0);
+    contended_.store(0);
+  }
+
+ private:
+  std::vector<std::mutex> mutexes_;
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+}  // namespace atm::mimd

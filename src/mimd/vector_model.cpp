@@ -1,0 +1,39 @@
+#include "src/mimd/vector_model.hpp"
+
+namespace atm::mimd {
+
+VectorSpec xeon_phi_spec() { return VectorSpec{}; }
+
+VectorSpec avx512_desktop_spec() {
+  return VectorSpec{
+      .name = "AVX-512 desktop (8 cores x 16 lanes)",
+      .cores = 8,
+      .clock_ghz = 3.6,
+      .lanes = 16,
+      .gather_efficiency = 0.7,
+      .cycles_per_inner_op = 8.0,
+      .serial_fraction = 0.02,
+      .barrier_us = 5.0,
+  };
+}
+
+double VectorModel::model_ms(std::uint64_t inner_ops,
+                             std::uint64_t parallel_regions) const {
+  const double ops = static_cast<double>(inner_ops);
+  const double cycles = spec_.cycles_per_inner_op;
+  const double scalar_ns =
+      spec_.serial_fraction * ops * cycles / spec_.clock_ghz;
+  const double vector_ns =
+      (1.0 - spec_.serial_fraction) * ops * cycles /
+      (spec_.clock_ghz * spec_.cores * spec_.lanes *
+       spec_.gather_efficiency);
+  const double barrier_ns =
+      static_cast<double>(parallel_regions) * spec_.barrier_us * 1e3;
+  return (scalar_ns + vector_ns + barrier_ns) * 1e-6;
+}
+
+double VectorModel::peak_gops() const {
+  return spec_.clock_ghz * spec_.cores * spec_.lanes;
+}
+
+}  // namespace atm::mimd

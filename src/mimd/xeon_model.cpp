@@ -1,0 +1,38 @@
+#include "src/mimd/xeon_model.hpp"
+
+#include <cmath>
+
+namespace atm::mimd {
+
+XeonSpec paper_xeon_spec() { return XeonSpec{}; }
+
+double XeonModel::deterministic_ms(const WorkCounters& work) const {
+  const double cores = static_cast<double>(spec_.cores);
+
+  const double compute_ns = static_cast<double>(work.inner_ops) *
+                            spec_.cycles_per_inner_op / spec_.clock_ghz /
+                            cores;
+
+  const double contention =
+      1.0 + spec_.contention_alpha *
+                std::sqrt(static_cast<double>(work.items) / 1000.0);
+  const double lock_ns = static_cast<double>(work.locked_ops) *
+                         spec_.lock_ns * contention / cores;
+
+  const double barrier_ns =
+      static_cast<double>(work.parallel_regions) * spec_.barrier_us * 1e3;
+
+  return (compute_ns + lock_ns + barrier_ns) * 1e-6;
+}
+
+double XeonModel::model_ms(const WorkCounters& work,
+                           core::Rng& jitter_rng) const {
+  double ms = deterministic_ms(work);
+  double inflate = 1.0 + jitter_rng.uniform(0.0, spec_.jitter_frac);
+  if (jitter_rng.uniform() < spec_.spike_probability) {
+    inflate += jitter_rng.uniform(0.0, spec_.spike_frac);
+  }
+  return ms * inflate;
+}
+
+}  // namespace atm::mimd

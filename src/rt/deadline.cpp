@@ -1,0 +1,72 @@
+#include "src/rt/deadline.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/table.hpp"
+
+namespace atm::rt {
+
+Outcome DeadlineMonitor::record(const std::string& task, double start_ms,
+                                double duration_ms, double deadline_ms) {
+  TaskRecord& rec = tasks_[task];
+  rec.duration_ms.add(duration_ms);
+  const bool met = start_ms + duration_ms <= deadline_ms;
+  if (met) {
+    ++rec.met;
+    return Outcome::kMet;
+  }
+  ++rec.missed;
+  return Outcome::kMissed;
+}
+
+void DeadlineMonitor::record_skip(const std::string& task) {
+  ++tasks_[task].skipped;
+}
+
+const TaskRecord& DeadlineMonitor::task(const std::string& name) const {
+  const auto it = tasks_.find(name);
+  if (it == tasks_.end()) {
+    throw std::out_of_range("DeadlineMonitor: unknown task " + name);
+  }
+  return it->second;
+}
+
+bool DeadlineMonitor::has_task(const std::string& name) const {
+  return tasks_.contains(name);
+}
+
+std::uint64_t DeadlineMonitor::total_missed() const {
+  std::uint64_t sum = 0;
+  for (const auto& [_, rec] : tasks_) sum += rec.missed;
+  return sum;
+}
+
+std::uint64_t DeadlineMonitor::total_skipped() const {
+  std::uint64_t sum = 0;
+  for (const auto& [_, rec] : tasks_) sum += rec.skipped;
+  return sum;
+}
+
+std::uint64_t DeadlineMonitor::total_met() const {
+  std::uint64_t sum = 0;
+  for (const auto& [_, rec] : tasks_) sum += rec.met;
+  return sum;
+}
+
+std::string DeadlineMonitor::summary() const {
+  core::TextTable table({"task", "met", "missed", "skipped", "mean ms",
+                         "max ms"});
+  for (const auto& [name, rec] : tasks_) {
+    table.begin_row();
+    table.add_cell(name);
+    table.add_cell(static_cast<long long>(rec.met));
+    table.add_cell(static_cast<long long>(rec.missed));
+    table.add_cell(static_cast<long long>(rec.skipped));
+    table.add_cell(rec.duration_ms.mean(), 3);
+    table.add_cell(rec.duration_ms.max(), 3);
+  }
+  return table.to_string();
+}
+
+}  // namespace atm::rt

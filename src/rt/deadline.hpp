@@ -1,0 +1,61 @@
+// Deadline accounting for the periodic ATM tasks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/core/stats.hpp"
+
+namespace atm::rt {
+
+/// Outcome of one scheduled task instance.
+enum class Outcome {
+  kMet,      ///< Completed before the period deadline.
+  kMissed,   ///< Completion passed the period deadline.
+  kSkipped,  ///< Never started: the period had no budget left (paper:
+             ///< "Remaining tasks ... must be skipped").
+};
+
+/// Per-task aggregate over a run.
+struct TaskRecord {
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t skipped = 0;
+  core::StreamingStats duration_ms;  ///< Durations of *started* instances.
+
+  [[nodiscard]] std::uint64_t scheduled() const {
+    return met + missed + skipped;
+  }
+};
+
+/// Collects deadline outcomes for named tasks across a run.
+class DeadlineMonitor {
+ public:
+  /// Record a started task instance. `start_ms`/`duration_ms` are virtual
+  /// times; `deadline_ms` is the absolute end of the period. Returns the
+  /// outcome it classified.
+  Outcome record(const std::string& task, double start_ms,
+                 double duration_ms, double deadline_ms);
+
+  /// Record a task instance that could not start in its period.
+  void record_skip(const std::string& task);
+
+  [[nodiscard]] const TaskRecord& task(const std::string& name) const;
+  [[nodiscard]] bool has_task(const std::string& name) const;
+
+  /// Total misses + skips across all tasks (the paper's headline count).
+  [[nodiscard]] std::uint64_t total_missed() const;
+  [[nodiscard]] std::uint64_t total_skipped() const;
+  [[nodiscard]] std::uint64_t total_met() const;
+
+  /// Render a per-task summary table.
+  [[nodiscard]] std::string summary() const;
+
+  void reset() { tasks_.clear(); }
+
+ private:
+  std::map<std::string, TaskRecord> tasks_;
+};
+
+}  // namespace atm::rt

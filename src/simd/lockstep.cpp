@@ -1,0 +1,81 @@
+#include "src/simd/lockstep.hpp"
+
+#include <bit>
+
+namespace atm::simd {
+
+MachineSpec csx600_spec() {
+  return MachineSpec{
+      .name = "ClearSpeed CSX600 (2 x 96 PEs)",
+      .pe_count = 192,
+      .clock_mhz = 210.0,
+      .op_cycles = 2,
+      .broadcast_cycles = 2,
+      .reduce_step_cycles = 3,
+      .ring_hop_cycles = 2,
+  };
+}
+
+MachineSpec csx600_single_chip_spec() {
+  MachineSpec spec = csx600_spec();
+  spec.name = "ClearSpeed CSX600 (single chip, 96 PEs)";
+  spec.pe_count = 96;
+  return spec;
+}
+
+LockstepMachine::LockstepMachine(MachineSpec spec) : spec_(std::move(spec)) {
+  if (spec_.pe_count <= 0) {
+    throw std::invalid_argument("LockstepMachine: pe_count must be positive");
+  }
+}
+
+double LockstepMachine::elapsed_ms() const {
+  return static_cast<double>(cycles_) / (spec_.clock_mhz * 1e6) * 1e3;
+}
+
+Cycles LockstepMachine::rounds(std::size_t n) const {
+  const auto pes = static_cast<std::size_t>(spec_.pe_count);
+  return n == 0 ? 0 : static_cast<Cycles>((n + pes - 1) / pes);
+}
+
+std::size_t LockstepMachine::reduce_min_index(
+    std::span<const double> keys, std::span<const std::uint8_t> mask) {
+  std::size_t best = npos;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!mask[i]) continue;
+    if (best == npos || keys[i] < keys[best]) best = i;
+  }
+  const auto tree_levels =
+      static_cast<Cycles>(std::bit_width(static_cast<unsigned>(
+                              spec_.pe_count > 1 ? spec_.pe_count - 1 : 1)));
+  cycles_ += rounds(keys.size()) * spec_.op_cycles +
+             tree_levels * spec_.reduce_step_cycles;
+  return best;
+}
+
+std::size_t LockstepMachine::reduce_count(
+    std::span<const std::uint8_t> mask) {
+  std::size_t count = 0;
+  for (const auto m : mask) count += m ? 1 : 0;
+  const auto tree_levels =
+      static_cast<Cycles>(std::bit_width(static_cast<unsigned>(
+                              spec_.pe_count > 1 ? spec_.pe_count - 1 : 1)));
+  cycles_ += rounds(mask.size()) * spec_.op_cycles +
+             tree_levels * spec_.reduce_step_cycles;
+  return count;
+}
+
+void LockstepMachine::ring_shift(std::span<const double> in,
+                                 std::span<double> out) {
+  if (in.size() != out.size()) {
+    throw std::invalid_argument("ring_shift: size mismatch");
+  }
+  const std::size_t n = in.size();
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = in[(i + n - 1) % n];
+  }
+  cycles_ += rounds(n) * spec_.ring_hop_cycles;
+}
+
+}  // namespace atm::simd

@@ -1,0 +1,106 @@
+// A classic lock-step SIMD array machine, modeled on the ClearSpeed CSX600.
+//
+// The prior work this paper compares against ([12, 13]) emulated the STARAN
+// associative processor on a ClearSpeed CSX600 accelerator: two chips, each
+// a SIMD array of 96 processing elements (PEs) with per-PE memory joined by
+// a ring network, programmed in Cn ("poly" variables are elementwise across
+// PEs). This module provides that machine shape:
+//
+//  * a fixed number of physical PEs (96 per chip x chips);
+//  * data sets larger than the PE count are *virtualized*: each parallel
+//    ("poly") operation over n elements costs ceil(n / PEs) lock-step
+//    rounds, every round costing the operation's cycle charge;
+//  * broadcast from the control unit is one round regardless of n;
+//  * reductions cost the virtualization rounds plus a log2(PEs) tree;
+//  * ring shift moves every element to its neighbour in one round per
+//    virtualization slice.
+//
+// The machine accumulates modeled cycles; elapsed_ms() converts them with
+// the chip clock. All data lives in caller-owned vectors; the machine is
+// the execution/cost layer, exactly like the SIMT engine in src/simt.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace atm::simd {
+
+using Cycles = std::uint64_t;
+
+/// Static description of a lock-step SIMD machine.
+struct MachineSpec {
+  std::string name;
+  int pe_count = 96;       ///< Physical PEs operating in lock-step.
+  double clock_mhz = 210;  ///< PE array clock.
+  Cycles op_cycles = 2;    ///< Cycles per elementwise op per round.
+  Cycles broadcast_cycles = 2;   ///< Control-unit broadcast, per round.
+  Cycles reduce_step_cycles = 3; ///< Per tree level of a reduction.
+  Cycles ring_hop_cycles = 2;    ///< Per ring-network hop.
+};
+
+/// The ClearSpeed CSX600 as used in [12, 13]: two 96-PE chips driven
+/// together (192 PEs), 210 MHz.
+[[nodiscard]] MachineSpec csx600_spec();
+
+/// A single 96-PE chip (useful for the block-size ablation).
+[[nodiscard]] MachineSpec csx600_single_chip_spec();
+
+/// Lock-step SIMD execution engine with cycle accounting.
+class LockstepMachine {
+ public:
+  explicit LockstepMachine(MachineSpec spec);
+
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+
+  /// Modeled cycles consumed so far.
+  [[nodiscard]] Cycles cycles() const { return cycles_; }
+
+  /// Modeled elapsed time in milliseconds.
+  [[nodiscard]] double elapsed_ms() const;
+
+  void reset() { cycles_ = 0; }
+
+  /// Number of virtualization rounds for an n-element poly operation.
+  [[nodiscard]] Cycles rounds(std::size_t n) const;
+
+  /// Elementwise ("poly") operation: apply fn(i) for each i in [0, n).
+  /// `weight` is the per-element cycle charge in units of op_cycles
+  /// (e.g. weight 4 for a 4-instruction body).
+  template <typename F>
+  void poly(std::size_t n, Cycles weight, F&& fn) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    cycles_ += rounds(n) * weight * spec_.op_cycles;
+  }
+
+  /// Broadcast a scalar to all PEs: constant rounds (the control unit
+  /// drives the common value onto the instruction stream).
+  void broadcast() { cycles_ += spec_.broadcast_cycles; }
+
+  /// Charge control-unit scalar work (single-record readout/writeback).
+  void charge_scalar(Cycles ops) { cycles_ += ops * spec_.op_cycles; }
+
+  /// Masked global minimum: returns the index of the smallest key among
+  /// i with mask[i] != 0, or npos when none. Costs virtualization rounds
+  /// plus a reduction tree over the PEs.
+  [[nodiscard]] std::size_t reduce_min_index(std::span<const double> keys,
+                                             std::span<const std::uint8_t> mask);
+
+  /// Masked population count (how many PEs respond).
+  [[nodiscard]] std::size_t reduce_count(std::span<const std::uint8_t> mask);
+
+  /// Ring shift: out[i] = in[(i + n - 1) % n] (rotate right by one), the
+  /// canonical neighbour-communication primitive of the CSX ring.
+  void ring_shift(std::span<const double> in, std::span<double> out);
+
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+ private:
+  MachineSpec spec_;
+  Cycles cycles_ = 0;
+};
+
+}  // namespace atm::simd

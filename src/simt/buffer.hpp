@@ -1,0 +1,39 @@
+// Device global-memory buffers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace atm::simt {
+
+/// A buffer living in simulated device global memory. Host code must move
+/// data in and out through Device::copy_to_device / copy_to_host so the
+/// transfer cost model sees the traffic; kernels receive spans of the
+/// device-side storage.
+///
+/// (The storage is host RAM, of course — the point of the type is to make
+/// the host/device boundary explicit in the ATM backends exactly where the
+/// paper's CUDA program has cudaMemcpy calls.)
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  explicit DeviceBuffer(std::size_t n) : data_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return data_.size() * sizeof(T); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Device-side view for kernels.
+  [[nodiscard]] std::span<T> span() { return data_; }
+  [[nodiscard]] std::span<const T> span() const { return data_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace atm::simt

@@ -1,0 +1,94 @@
+// Per-thread kernel execution context (the "built-ins" a CUDA kernel sees).
+#pragma once
+
+#include <cstdint>
+
+#include "src/simt/cost.hpp"
+#include "src/simt/dim3.hpp"
+
+namespace atm::simt {
+
+/// Execution context handed to a kernel body for one logical CUDA thread.
+/// Exposes the CUDA built-ins (threadIdx, blockIdx, blockDim, gridDim), the
+/// cost-accounting hook, and sequentially-consistent "atomics".
+///
+/// The engine executes logical threads one at a time on the host, so the
+/// atomic helpers are plain read-modify-write operations — but kernels must
+/// still use them wherever real CUDA code would need an atomic, because
+/// (a) they charge the atomic's cycle cost and (b) the engine's
+/// shuffled-execution mode (see Device::set_thread_order) exists precisely
+/// to shake out order dependences that a real GPU would expose.
+class ThreadCtx {
+ public:
+  ThreadCtx(Dim3 thread_idx, Dim3 block_idx, Dim3 block_dim, Dim3 grid_dim)
+      : thread_idx_(thread_idx),
+        block_idx_(block_idx),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim) {}
+
+  [[nodiscard]] const Dim3& thread_idx() const { return thread_idx_; }
+  [[nodiscard]] const Dim3& block_idx() const { return block_idx_; }
+  [[nodiscard]] const Dim3& block_dim() const { return block_dim_; }
+  [[nodiscard]] const Dim3& grid_dim() const { return grid_dim_; }
+
+  /// blockIdx.x * blockDim.x + threadIdx.x — the 1-D global id the paper's
+  /// kernels use to pick "their" aircraft / radar.
+  [[nodiscard]] std::uint64_t global_id() const {
+    return static_cast<std::uint64_t>(block_idx_.x) * block_dim_.x +
+           thread_idx_.x;
+  }
+
+  /// Charge `cycles` of issue time to this thread.
+  void charge(cost::Cycles cycles) { cycles_ += cycles; }
+
+  /// Total cycles charged so far by this thread.
+  [[nodiscard]] cost::Cycles cycles() const { return cycles_; }
+
+  // ---- Atomics (charge kAtomic and perform the op) -----------------------
+
+  /// atomicCAS: if *addr == expected, set *addr = desired. Returns the old
+  /// value (CUDA semantics).
+  template <typename T>
+  T atomic_cas(T& addr, T expected, T desired) {
+    charge(cost::kAtomic);
+    const T old = addr;
+    if (old == expected) addr = desired;
+    return old;
+  }
+
+  /// atomicExch: store and return the previous value.
+  template <typename T>
+  T atomic_exch(T& addr, T value) {
+    charge(cost::kAtomic);
+    const T old = addr;
+    addr = value;
+    return old;
+  }
+
+  /// atomicMin returning the previous value.
+  template <typename T>
+  T atomic_min(T& addr, T value) {
+    charge(cost::kAtomic);
+    const T old = addr;
+    if (value < old) addr = value;
+    return old;
+  }
+
+  /// atomicAdd returning the previous value.
+  template <typename T>
+  T atomic_add(T& addr, T value) {
+    charge(cost::kAtomic);
+    const T old = addr;
+    addr = old + value;
+    return old;
+  }
+
+ private:
+  Dim3 thread_idx_;
+  Dim3 block_idx_;
+  Dim3 block_dim_;
+  Dim3 grid_dim_;
+  cost::Cycles cycles_ = 0;
+};
+
+}  // namespace atm::simt

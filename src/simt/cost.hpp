@@ -1,0 +1,38 @@
+// Cycle costs for the SIMT cost model.
+//
+// Kernels running on the engine charge their work explicitly through
+// ThreadCtx::charge(). These constants define the charge for each class of
+// operation, in SM issue cycles per thread. They are deliberately coarse
+// (this is a throughput model, not a pipeline simulator): what matters for
+// reproducing the paper's figures is that per-thread work scales with the
+// loop trip counts the algorithms actually execute, and that the
+// SM-count/clock differences between the three cards translate into the
+// measured device ordering.
+#pragma once
+
+#include <cstdint>
+
+namespace atm::simt::cost {
+
+using Cycles = std::uint64_t;
+
+/// Simple ALU / FP32 arithmetic op (add, mul, compare, select).
+inline constexpr Cycles kAlu = 1;
+/// Fused multiply-add (counted as one issue).
+inline constexpr Cycles kFma = 1;
+/// Floating divide / sqrt / transcendental (multi-cycle SFU path).
+inline constexpr Cycles kDiv = 8;
+/// sin/cos/rotation via SFU.
+inline constexpr Cycles kTrig = 12;
+/// Coalesced global memory load/store, amortized per element.
+inline constexpr Cycles kGlobalAccess = 4;
+/// Shared-memory (per-block scratch) load/store.
+inline constexpr Cycles kSharedAccess = 2;
+/// Non-coalesced (scattered) global access, amortized per element.
+inline constexpr Cycles kScatterAccess = 16;
+/// Global-memory atomic operation.
+inline constexpr Cycles kAtomic = 24;
+/// Taken branch / loop bookkeeping per iteration.
+inline constexpr Cycles kBranch = 1;
+
+}  // namespace atm::simt::cost

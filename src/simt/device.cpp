@@ -1,0 +1,68 @@
+#include "src/simt/device.hpp"
+
+#include <stdexcept>
+
+namespace atm::simt {
+
+LaunchConfig one_thread_per_item(std::uint64_t n, int threads_per_block) {
+  if (threads_per_block <= 0) {
+    throw std::invalid_argument("one_thread_per_item: threads_per_block");
+  }
+  const auto tpb = static_cast<std::uint64_t>(threads_per_block);
+  const std::uint64_t blocks = n == 0 ? 1 : (n + tpb - 1) / tpb;
+  return LaunchConfig{
+      .grid = Dim3{static_cast<std::uint32_t>(blocks), 1, 1},
+      .block = Dim3{static_cast<std::uint32_t>(tpb), 1, 1},
+  };
+}
+
+void Device::validate(const LaunchConfig& cfg) const {
+  if (cfg.grid.count() == 0 || cfg.block.count() == 0) {
+    throw std::invalid_argument("launch: empty grid or block");
+  }
+  if (cfg.block.count() >
+      static_cast<std::uint64_t>(spec_.max_threads_per_block)) {
+    throw std::invalid_argument("launch: block exceeds device limit of " +
+                                std::to_string(spec_.max_threads_per_block) +
+                                " threads");
+  }
+}
+
+TransferStats Device::account_transfer(std::uint64_t bytes) {
+  TransferStats ts;
+  ts.bytes = bytes;
+  ts.modeled_ms = spec_.transfer_latency_us * 1e-3 +
+                  static_cast<double>(bytes) /
+                      (spec_.pcie_bandwidth_gbps * 1e9) * 1e3;
+  totals_.transfer_ms += ts.modeled_ms;
+  totals_.bytes_moved += bytes;
+  ++totals_.transfers;
+  return ts;
+}
+
+std::uint64_t Device::block_cost(std::span<const cost::Cycles> thread_cycles,
+                                 std::uint64_t& total_accumulator) const {
+  const auto warp = static_cast<std::size_t>(spec_.warp_size);
+  std::uint64_t warp_sum = 0;   // sum over warps of the warp's max lane
+  std::uint64_t warp_max = 0;   // longest single warp (critical path)
+  for (std::size_t base = 0; base < thread_cycles.size(); base += warp) {
+    std::uint64_t w = 0;
+    const std::size_t end = std::min(base + warp, thread_cycles.size());
+    for (std::size_t t = base; t < end; ++t) {
+      w = std::max(w, thread_cycles[t]);
+      total_accumulator += thread_cycles[t];
+    }
+    warp_sum += w;
+    warp_max = std::max(warp_max, w);
+  }
+  // Issue-throughput bound: each warp-cycle occupies warp_size lanes;
+  // the SM has cores_per_sm lanes, so the block needs
+  // warp_sum * warp_size / cores_per_sm cycles of issue bandwidth.
+  const std::uint64_t throughput_bound =
+      (warp_sum * static_cast<std::uint64_t>(spec_.warp_size) +
+       static_cast<std::uint64_t>(spec_.cores_per_sm) - 1) /
+      static_cast<std::uint64_t>(spec_.cores_per_sm);
+  return std::max(warp_max, throughput_bound);
+}
+
+}  // namespace atm::simt

@@ -1,0 +1,254 @@
+// The SIMT execution engine: kernel launches, the cycle-level cost model,
+// and the host<->device transfer model.
+//
+// This stands in for the CUDA runtime + GPU in the paper's experiments.
+// Logical CUDA threads are executed on the host (one at a time, optionally
+// in a shuffled order to flush out ordering assumptions); each thread
+// charges cycles for the work it does; the engine folds the per-thread
+// cycle counts into a modeled kernel wall time for the configured device:
+//
+//   warp cycles   W_i  = max over the warp's threads of charged cycles
+//                        (lock-step execution: divergence costs the warp
+//                        the longest lane, like a real GPU)
+//   block cycles  B    = max( max_i W_i,  sum_i W_i * warp_size / cores_per_sm )
+//                        (latency bound vs. issue-throughput bound)
+//   kernel cycles      = max over SMs of the sum of block cycles assigned
+//                        round-robin (blocks are distributed over SMs)
+//   kernel time        = launch overhead + kernel cycles / clock
+//
+// Transfers are modeled as latency + bytes / PCIe bandwidth.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/rng.hpp"
+#include "src/simt/buffer.hpp"
+#include "src/simt/context.hpp"
+#include "src/simt/device_spec.hpp"
+#include "src/simt/dim3.hpp"
+
+namespace atm::simt {
+
+/// Grid/block shape for a launch, like the <<<grid, block>>> triple.
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+};
+
+/// Build the paper's 1-D launch shape: `threads_per_block` threads per
+/// block (96 in the paper) and as many blocks as needed to cover n items.
+[[nodiscard]] LaunchConfig one_thread_per_item(std::uint64_t n,
+                                               int threads_per_block);
+
+/// Timing/occupancy report for one kernel launch.
+struct LaunchStats {
+  double modeled_ms = 0.0;       ///< Modeled kernel wall time on the device.
+  std::uint64_t cycles = 0;      ///< Modeled kernel cycles (critical SM).
+  std::uint64_t total_thread_cycles = 0;  ///< Sum of all threads' charges.
+  std::uint64_t blocks = 0;
+  std::uint64_t threads = 0;     ///< Total logical threads executed.
+};
+
+/// Timing report for one host<->device transfer.
+struct TransferStats {
+  double modeled_ms = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+/// Cumulative device counters since construction or reset().
+struct DeviceTotals {
+  double kernel_ms = 0.0;
+  double transfer_ms = 0.0;
+  std::uint64_t launches = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes_moved = 0;
+};
+
+/// In which order logical threads run on the host. Real GPUs give no
+/// ordering guarantees between threads; `kShuffled` randomizes the
+/// execution order so tests can verify kernels don't depend on one.
+enum class ThreadOrder { kSequential, kShuffled };
+
+/// A simulated CUDA device.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const DeviceTotals& totals() const { return totals_; }
+  void reset_totals() { totals_ = {}; }
+
+  void set_thread_order(ThreadOrder order) { order_ = order; }
+  void set_shuffle_seed(std::uint64_t seed) { shuffle_seed_ = seed; }
+
+  /// Allocate a device buffer of n elements of T.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n) const {
+    return DeviceBuffer<T>(n);
+  }
+
+  /// Model a host<->device transfer of `bytes` for storage the caller
+  /// manages itself (the ATM backends keep their SoA arrays device-resident
+  /// and call this exactly where the paper's program has a cudaMemcpy).
+  TransferStats transfer(std::uint64_t bytes) {
+    return account_transfer(bytes);
+  }
+
+  /// cudaMemcpy(HostToDevice): copy `host` into `dst` and model the cost.
+  template <typename T>
+  TransferStats copy_to_device(DeviceBuffer<T>& dst,
+                               std::span<const T> host) {
+    if (host.size() != dst.size()) {
+      throw std::invalid_argument("copy_to_device: size mismatch");
+    }
+    std::copy(host.begin(), host.end(), dst.span().begin());
+    return account_transfer(host.size_bytes());
+  }
+
+  /// cudaMemcpy(DeviceToHost): copy `src` into `host` and model the cost.
+  template <typename T>
+  TransferStats copy_to_host(std::span<T> host,
+                             const DeviceBuffer<T>& src) {
+    if (host.size() != src.size()) {
+      throw std::invalid_argument("copy_to_host: size mismatch");
+    }
+    std::copy(src.span().begin(), src.span().end(), host.begin());
+    return account_transfer(host.size_bytes());
+  }
+
+  /// Launch a barrier-free kernel: `kernel(ThreadCtx&)` is run once per
+  /// logical thread. This covers all four kernels of the paper's program
+  /// (their global synchronization points are kernel boundaries).
+  template <typename Kernel>
+  LaunchStats launch(const LaunchConfig& cfg, Kernel&& kernel) {
+    return launch_phased(cfg, 1,
+                         [&kernel](ThreadCtx& ctx, int) { kernel(ctx); });
+  }
+
+  /// Launch a kernel with per-block __shared__ memory: each block gets a
+  /// zero-initialized scratch of `count` Ts (validated against the
+  /// device's shared_mem_per_block) that lives across the barrier phases;
+  /// `kernel(ThreadCtx&, std::span<T> shared, int phase)`. Shared-memory
+  /// accesses should be charged at cost::kSharedAccess by the kernel.
+  template <typename T, typename Kernel>
+  LaunchStats launch_shared(const LaunchConfig& cfg, std::size_t count,
+                            int phases, Kernel&& kernel) {
+    if (count * sizeof(T) >
+        static_cast<std::size_t>(spec_.shared_mem_per_block)) {
+      throw std::invalid_argument(
+          "launch_shared: block shared memory exceeds device limit of " +
+          std::to_string(spec_.shared_mem_per_block) + " bytes");
+    }
+    std::vector<T> shared(count);
+    // Blocks execute one after another; zero the scratch when the first
+    // thread of a new block runs (order-independent: whichever thread the
+    // engine schedules first trips the reset before any block thread
+    // touches the scratch).
+    std::uint64_t last_block = ~std::uint64_t{0};
+    return launch_phased(
+        cfg, phases,
+        [&kernel, &shared, &last_block, count](ThreadCtx& ctx, int phase) {
+          const std::uint64_t block =
+              linear_index(ctx.block_idx(), ctx.grid_dim());
+          if (phase == 0 && block != last_block) {
+            std::fill(shared.begin(), shared.end(), T{});
+            last_block = block;
+          }
+          kernel(ctx, std::span<T>(shared.data(), count), phase);
+        });
+  }
+
+  /// Launch a kernel with `phases` block-wide barrier phases:
+  /// `kernel(ThreadCtx&, int phase)` is run for phase = 0..phases-1 with an
+  /// implicit __syncthreads() between phases. Per-thread cycle charges
+  /// accumulate across phases.
+  template <typename Kernel>
+  LaunchStats launch_phased(const LaunchConfig& cfg, int phases,
+                            Kernel&& kernel) {
+    validate(cfg);
+    LaunchStats stats;
+    stats.blocks = cfg.grid.count();
+    stats.threads = stats.blocks * cfg.block.count();
+
+    const auto tpb = static_cast<std::size_t>(cfg.block.count());
+    std::vector<cost::Cycles> thread_cycles(tpb);
+    std::vector<std::size_t> order(tpb);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    core::Rng shuffle_rng(shuffle_seed_);
+
+    std::vector<std::uint64_t> sm_load(
+        static_cast<std::size_t>(spec_.sm_count), 0);
+
+    std::uint64_t block_linear = 0;
+    for (std::uint32_t bz = 0; bz < cfg.grid.z; ++bz) {
+      for (std::uint32_t by = 0; by < cfg.grid.y; ++by) {
+        for (std::uint32_t bx = 0; bx < cfg.grid.x; ++bx) {
+          run_block(cfg, Dim3{bx, by, bz}, phases, kernel, thread_cycles,
+                    order, shuffle_rng);
+          const std::uint64_t block_cycles =
+              block_cost(thread_cycles, stats.total_thread_cycles);
+          sm_load[block_linear % sm_load.size()] += block_cycles;
+          ++block_linear;
+        }
+      }
+    }
+
+    stats.cycles = *std::max_element(sm_load.begin(), sm_load.end());
+    stats.modeled_ms = spec_.launch_overhead_us * 1e-3 +
+                       static_cast<double>(stats.cycles) /
+                           (spec_.clock_ghz * 1e9) * 1e3;
+    totals_.kernel_ms += stats.modeled_ms;
+    ++totals_.launches;
+    return stats;
+  }
+
+ private:
+  void validate(const LaunchConfig& cfg) const;
+  TransferStats account_transfer(std::uint64_t bytes);
+
+  /// Fold one block's per-thread cycle counts into the block cost.
+  [[nodiscard]] std::uint64_t block_cost(
+      std::span<const cost::Cycles> thread_cycles,
+      std::uint64_t& total_accumulator) const;
+
+  template <typename Kernel>
+  void run_block(const LaunchConfig& cfg, const Dim3& block_idx, int phases,
+                 Kernel&& kernel, std::vector<cost::Cycles>& thread_cycles,
+                 std::vector<std::size_t>& order, core::Rng& shuffle_rng) {
+    std::fill(thread_cycles.begin(), thread_cycles.end(), cost::Cycles{0});
+    for (int phase = 0; phase < phases; ++phase) {
+      if (order_ == ThreadOrder::kShuffled) {
+        // Fisher-Yates with the device's deterministic shuffle stream.
+        for (std::size_t i = order.size(); i > 1; --i) {
+          const auto j = static_cast<std::size_t>(
+              shuffle_rng.uniform_u64(0, i - 1));
+          std::swap(order[i - 1], order[j]);
+        }
+      }
+      for (const std::size_t t : order) {
+        const auto tx = static_cast<std::uint32_t>(t % cfg.block.x);
+        const auto ty =
+            static_cast<std::uint32_t>((t / cfg.block.x) % cfg.block.y);
+        const auto tz =
+            static_cast<std::uint32_t>(t / (static_cast<std::uint64_t>(
+                                               cfg.block.x) *
+                                           cfg.block.y));
+        ThreadCtx ctx(Dim3{tx, ty, tz}, block_idx, cfg.block, cfg.grid);
+        ctx.charge(thread_cycles[t]);  // carry charges across phases
+        kernel(ctx, phase);
+        thread_cycles[t] = ctx.cycles();
+      }
+    }
+  }
+
+  DeviceSpec spec_;
+  DeviceTotals totals_;
+  ThreadOrder order_ = ThreadOrder::kSequential;
+  std::uint64_t shuffle_seed_ = 0x51AFFEULL;
+};
+
+}  // namespace atm::simt

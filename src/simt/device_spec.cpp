@@ -1,0 +1,65 @@
+#include "src/simt/device_spec.hpp"
+
+namespace atm::simt {
+
+DeviceSpec geforce_9800_gt() {
+  // G92 (Tesla architecture): 14 SMs x 8 SPs = 112 cores @ 1.5 GHz shader
+  // clock, 256-bit GDDR3 at 57.6 GB/s, PCIe 2.0 x16. CC 1.x limits blocks
+  // to 512 threads. Old driver stack: comparatively large fixed overheads.
+  return DeviceSpec{
+      .name = "GeForce 9800 GT",
+      .compute_capability = 10,
+      .sm_count = 14,
+      .cores_per_sm = 8,
+      .clock_ghz = 1.5,
+      .mem_bandwidth_gbps = 57.6,
+      .pcie_bandwidth_gbps = 3.0,
+      .launch_overhead_us = 15.0,
+      .transfer_latency_us = 20.0,
+      .max_threads_per_block = 512,
+      .shared_mem_per_block = 16 * 1024,  // CC 1.x
+      .warp_size = 32,
+  };
+}
+
+DeviceSpec gtx_880m() {
+  // GK104 (Kepler): 8 SMX x 192 cores = 1536 cores @ 954 MHz, 256-bit
+  // GDDR5 at 160 GB/s, PCIe 3.0 (laptop). CC 3.0.
+  return DeviceSpec{
+      .name = "GTX 880M",
+      .compute_capability = 30,
+      .sm_count = 8,
+      .cores_per_sm = 192,
+      .clock_ghz = 0.954,
+      .mem_bandwidth_gbps = 160.0,
+      .pcie_bandwidth_gbps = 6.0,
+      .launch_overhead_us = 8.0,
+      .transfer_latency_us = 12.0,
+      .max_threads_per_block = 1024,
+      .warp_size = 32,
+  };
+}
+
+DeviceSpec titan_x_pascal() {
+  // GP102 (Pascal): 28 SMs x 128 cores = 3584 cores @ 1.417 GHz boost,
+  // 384-bit GDDR5X at 480 GB/s, PCIe 3.0. CC 6.1.
+  return DeviceSpec{
+      .name = "Titan X (Pascal)",
+      .compute_capability = 61,
+      .sm_count = 28,
+      .cores_per_sm = 128,
+      .clock_ghz = 1.417,
+      .mem_bandwidth_gbps = 480.0,
+      .pcie_bandwidth_gbps = 12.0,
+      .launch_overhead_us = 5.0,
+      .transfer_latency_us = 8.0,
+      .max_threads_per_block = 1024,
+      .warp_size = 32,
+  };
+}
+
+std::vector<DeviceSpec> paper_device_catalog() {
+  return {geforce_9800_gt(), gtx_880m(), titan_x_pascal()};
+}
+
+}  // namespace atm::simt

@@ -1,0 +1,56 @@
+// Device descriptions and the catalog of the paper's three NVIDIA cards.
+//
+// The paper evaluates a GeForce 9800 GT (compute capability 1.0), a
+// GTX 880M (CC 3.0), and a Titan X Pascal (CC 6.1). We have no CUDA
+// hardware in this environment, so each card is described by the published
+// micro-architectural parameters that drive our cycle-level cost model:
+// SM count, CUDA cores per SM, core clock, memory and PCIe bandwidth, and
+// fixed launch/transfer overheads. The model (see device.hpp) converts
+// per-thread cycle counts produced by kernel execution into a modeled
+// wall time for that card.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace atm::simt {
+
+/// Static description of a CUDA-capable device as used by the cost model.
+struct DeviceSpec {
+  std::string name;
+  /// Compute capability, major.minor packed as major*10+minor (10, 30, 61).
+  int compute_capability = 0;
+  /// Number of streaming multiprocessors.
+  int sm_count = 1;
+  /// CUDA cores (FP32 lanes) per SM; the throughput width of one SM.
+  int cores_per_sm = 1;
+  /// Core clock in GHz.
+  double clock_ghz = 1.0;
+  /// Device memory bandwidth in GB/s (used for global-memory traffic).
+  double mem_bandwidth_gbps = 100.0;
+  /// Host<->device transfer bandwidth in GB/s (PCIe generation dependent).
+  double pcie_bandwidth_gbps = 3.0;
+  /// Fixed kernel launch overhead in microseconds.
+  double launch_overhead_us = 5.0;
+  /// Fixed per-transfer latency in microseconds (driver + DMA setup).
+  double transfer_latency_us = 10.0;
+  /// Hardware limit on threads per block.
+  int max_threads_per_block = 1024;
+  /// Shared memory available to one block, in bytes.
+  int shared_mem_per_block = 48 * 1024;
+  /// Warp width (32 on every NVIDIA architecture the paper uses).
+  int warp_size = 32;
+
+  /// Total CUDA cores on the device.
+  [[nodiscard]] int total_cores() const { return sm_count * cores_per_sm; }
+};
+
+/// The three cards from the paper's Section 6.1, with published specs.
+[[nodiscard]] DeviceSpec geforce_9800_gt();
+[[nodiscard]] DeviceSpec gtx_880m();
+[[nodiscard]] DeviceSpec titan_x_pascal();
+
+/// All three paper cards, slowest first (the ordering the figures use).
+[[nodiscard]] std::vector<DeviceSpec> paper_device_catalog();
+
+}  // namespace atm::simt

@@ -1,0 +1,28 @@
+// CUDA-style 3-component extents and indices.
+#pragma once
+
+#include <cstdint>
+
+namespace atm::simt {
+
+/// Mirror of CUDA's dim3: extents default to 1 so 1-D launches read
+/// naturally (Dim3{blocks} / Dim3{threads}).
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  [[nodiscard]] constexpr std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+  friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Linearize an (x, y, z) index within extents `dim` (x fastest, like CUDA).
+[[nodiscard]] constexpr std::uint64_t linear_index(const Dim3& idx,
+                                                   const Dim3& dim) {
+  return idx.x + static_cast<std::uint64_t>(dim.x) *
+                     (idx.y + static_cast<std::uint64_t>(dim.y) * idx.z);
+}
+
+}  // namespace atm::simt

@@ -1,0 +1,205 @@
+// Tests for the airfield simulation substrate (src/airfield).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/airfield/flight_db.hpp"
+#include "src/airfield/radar.hpp"
+#include "src/airfield/setup.hpp"
+#include "src/core/units.hpp"
+
+namespace atm::airfield {
+namespace {
+
+TEST(FlightDb, ResizeInitializesWorkingState) {
+  FlightDb db(5);
+  EXPECT_EQ(db.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(db.rmatch[i], 0);
+    EXPECT_EQ(db.col[i], 0);
+    EXPECT_EQ(db.col_with[i], kNone);
+    EXPECT_DOUBLE_EQ(db.time_till[i], core::kCriticalTimePeriods);
+  }
+}
+
+TEST(FlightDb, ExpectedPositionAddsVelocity) {
+  FlightDb db(1);
+  db.x[0] = 10.0;
+  db.y[0] = -5.0;
+  db.dx[0] = 0.25;
+  db.dy[0] = -0.5;
+  const core::Vec2 e = db.expected(0);
+  EXPECT_DOUBLE_EQ(e.x, 10.25);
+  EXPECT_DOUBLE_EQ(e.y, -5.5);
+}
+
+TEST(FlightDb, ResetCollisionStateCopiesPathToTrial) {
+  FlightDb db(2);
+  db.dx[1] = 0.3;
+  db.dy[1] = 0.1;
+  db.col[1] = 1;
+  db.col_with[1] = 0;
+  db.time_till[1] = 5.0;
+  db.reset_collision_state();
+  EXPECT_DOUBLE_EQ(db.batx[1], 0.3);
+  EXPECT_DOUBLE_EQ(db.baty[1], 0.1);
+  EXPECT_EQ(db.col[1], 0);
+  EXPECT_EQ(db.col_with[1], kNone);
+  EXPECT_DOUBLE_EQ(db.time_till[1], core::kCriticalTimePeriods);
+}
+
+TEST(FlightDb, SameFlightStateComparesPersistentFieldsOnly) {
+  FlightDb a(2), b(2);
+  a.x[0] = b.x[0] = 1.0;
+  a.col[0] = 1;  // working state differs
+  EXPECT_TRUE(a.same_flight_state(b));
+  b.x[0] = 1.5;
+  EXPECT_FALSE(a.same_flight_state(b));
+  EXPECT_TRUE(a.same_flight_state(b, /*tol=*/1.0));
+  FlightDb c(3);
+  EXPECT_FALSE(a.same_flight_state(c));
+}
+
+TEST(Reentry, WrapsAtNegatedPosition) {
+  FlightDb db(2);
+  db.x[0] = core::kGridHalfExtentNm + 1.0;
+  db.y[0] = 50.0;
+  db.dx[0] = 0.1;
+  EXPECT_TRUE(apply_reentry(db, 0));
+  EXPECT_DOUBLE_EQ(db.x[0], -(core::kGridHalfExtentNm + 1.0));
+  EXPECT_DOUBLE_EQ(db.y[0], -50.0);
+  EXPECT_DOUBLE_EQ(db.dx[0], 0.1);  // velocity unchanged (same direction)
+  // In-grid aircraft untouched.
+  db.x[1] = 10.0;
+  db.y[1] = 10.0;
+  EXPECT_FALSE(apply_reentry(db, 1));
+}
+
+TEST(Reentry, AllCountsWrapped) {
+  FlightDb db(3);
+  db.x[0] = 200.0;
+  db.y[1] = -200.0;
+  db.x[2] = 0.0;
+  EXPECT_EQ(apply_reentry_all(db), 2u);
+}
+
+TEST(SetupFlight, HonoursPaperRanges) {
+  FlightDb db = make_airfield(2000, 99);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_LE(std::fabs(db.x[i]), core::kSetupPositionMaxNm);
+    EXPECT_LE(std::fabs(db.y[i]), core::kSetupPositionMaxNm);
+    const double speed_knots = core::nm_per_period_to_knots(
+        std::hypot(db.dx[i], db.dy[i]));
+    EXPECT_GE(speed_knots, core::kMinSpeedKnots - 1e-9);
+    EXPECT_LE(speed_knots, core::kMaxSpeedKnots + 1e-9);
+    EXPECT_GE(db.alt[i], core::kMinAltitudeFeet);
+    EXPECT_LE(db.alt[i], core::kMaxAltitudeFeet);
+  }
+}
+
+TEST(SetupFlight, DeterministicForSeed) {
+  const FlightDb a = make_airfield(100, 7);
+  const FlightDb b = make_airfield(100, 7);
+  EXPECT_TRUE(a.same_flight_state(b));
+  const FlightDb c = make_airfield(100, 8);
+  EXPECT_FALSE(a.same_flight_state(c));
+}
+
+TEST(SetupFlight, ProducesAllFourVelocityQuadrants) {
+  const FlightDb db = make_airfield(500, 3);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const int q = (db.dx[i] >= 0 ? 0 : 1) + (db.dy[i] >= 0 ? 0 : 2);
+    ++quadrant[q];
+  }
+  for (const int count : quadrant) EXPECT_GT(count, 20);
+}
+
+TEST(GenerateRadar, NoiseStaysWithinBound) {
+  const FlightDb db = make_airfield(500, 11);
+  core::Rng rng(5);
+  RadarParams params;
+  params.noise_nm = 0.25;
+  const RadarFrame frame = generate_radar(db, rng, params);
+  ASSERT_EQ(frame.size(), db.size());
+  for (std::size_t r = 0; r < frame.size(); ++r) {
+    const auto truth = static_cast<std::size_t>(frame.truth[r]);
+    const core::Vec2 expected = db.expected(truth);
+    EXPECT_LE(std::fabs(frame.rx[r] - expected.x), params.noise_nm);
+    EXPECT_LE(std::fabs(frame.ry[r] - expected.y), params.noise_nm);
+  }
+}
+
+TEST(GenerateRadar, ShuffleDecorrelatesOrder) {
+  const FlightDb db = make_airfield(400, 11);
+  core::Rng rng(5);
+  const RadarFrame frame = generate_radar(db, rng, {});
+  std::size_t in_place = 0;
+  for (std::size_t r = 0; r < frame.size(); ++r) {
+    if (frame.truth[r] == static_cast<std::int32_t>(r)) ++in_place;
+  }
+  // Quarter reversal leaves at most a couple of fixed points per quarter.
+  EXPECT_LE(in_place, 8u);
+}
+
+TEST(GenerateRadar, TruthIsAPermutation) {
+  const FlightDb db = make_airfield(257, 2);  // non-multiple of 4
+  core::Rng rng(9);
+  const RadarFrame frame = generate_radar(db, rng, {});
+  std::set<std::int32_t> seen(frame.truth.begin(), frame.truth.end());
+  EXPECT_EQ(seen.size(), db.size());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), static_cast<std::int32_t>(db.size() - 1));
+}
+
+TEST(GenerateRadar, DropoutProducesSentinels) {
+  const FlightDb db = make_airfield(1000, 4);
+  core::Rng rng(6);
+  RadarParams params;
+  params.dropout_probability = 0.2;
+  const RadarFrame frame = generate_radar(db, rng, params);
+  std::size_t dropped = 0;
+  for (std::size_t r = 0; r < frame.size(); ++r) {
+    if (frame.truth[r] == kNone) {
+      ++dropped;
+      EXPECT_DOUBLE_EQ(frame.rx[r], kDropoutCoordinate);
+    }
+  }
+  EXPECT_GT(dropped, 120u);
+  EXPECT_LT(dropped, 280u);
+}
+
+TEST(QuarterReversalShuffle, ExactQuarterReversal) {
+  RadarFrame frame;
+  frame.resize(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    frame.rx[i] = static_cast<double>(i);
+    frame.truth[i] = static_cast<std::int32_t>(i);
+  }
+  quarter_reversal_shuffle(frame);
+  // Quarters of size 2: [0 1][2 3][4 5][6 7] -> [1 0][3 2][5 4][7 6].
+  const std::vector<double> want{1, 0, 3, 2, 5, 4, 7, 6};
+  EXPECT_EQ(frame.rx, want);
+}
+
+TEST(QuarterReversalShuffle, TinyFramesReverseWhole) {
+  RadarFrame frame;
+  frame.resize(3);
+  frame.truth = {0, 1, 2};
+  frame.rx = {0.0, 1.0, 2.0};
+  frame.ry = {0.0, 0.0, 0.0};
+  quarter_reversal_shuffle(frame);
+  EXPECT_EQ(frame.truth, (std::vector<std::int32_t>{2, 1, 0}));
+}
+
+TEST(CountCorrectMatches, ScoresAgainstTruth) {
+  RadarFrame frame;
+  frame.resize(3);
+  frame.truth = {2, 0, 1};
+  frame.rmatch_with = {2, 1, kDiscarded};
+  EXPECT_EQ(count_correct_matches(frame), 1u);
+}
+
+}  // namespace
+}  // namespace atm::airfield

@@ -1,0 +1,127 @@
+// Tests for the associative processor machine (src/ap/ap_machine.hpp).
+#include "src/ap/ap_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace atm::ap {
+namespace {
+
+ApMachine make(std::size_t n) { return ApMachine(n, staran_model()); }
+
+TEST(ApCostModel, WordOpCycles) {
+  const ApCostModel m = staran_model();
+  EXPECT_DOUBLE_EQ(m.word_op_cycles(),
+                   m.word_bits * m.cycles_per_bit);
+}
+
+TEST(ApMachine, RejectsBadClock) {
+  ApCostModel m = staran_model();
+  m.clock_mhz = 0.0;
+  EXPECT_THROW(ApMachine(8, m), std::invalid_argument);
+}
+
+TEST(ApMachine, SearchSetsResponders) {
+  ApMachine m = make(10);
+  Mask mask;
+  m.search([](std::size_t i) { return i % 3 == 0; }, mask);
+  ASSERT_EQ(mask.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(mask[i] != 0, i % 3 == 0);
+  }
+}
+
+TEST(ApMachine, SearchCostIsIndependentOfN) {
+  // The defining AP property: an associative search costs the same for
+  // 10 records as for 100000 (constant time w.r.t. PE count).
+  ApMachine small = make(10);
+  ApMachine large = make(100000);
+  Mask mask;
+  small.search([](std::size_t) { return true; }, mask);
+  const double t_small = small.elapsed_ms();
+  large.search([](std::size_t) { return true; }, mask);
+  EXPECT_DOUBLE_EQ(t_small, large.elapsed_ms());
+}
+
+TEST(ApMachine, ParallelAppliesUnderMask) {
+  ApMachine m = make(6);
+  Mask mask{1, 0, 1, 0, 1, 0};
+  std::vector<int> v(6, 0);
+  m.parallel(mask, [&](std::size_t i) { v[i] = 1; });
+  EXPECT_EQ(v, (std::vector<int>{1, 0, 1, 0, 1, 0}));
+}
+
+TEST(ApMachine, ParallelAllCoversEveryPe) {
+  ApMachine m = make(100);
+  std::vector<int> v(100, 0);
+  m.parallel_all([&](std::size_t i) { ++v[i]; });
+  for (const int x : v) EXPECT_EQ(x, 1);
+}
+
+TEST(ApMachine, AnyFirstCountResponders) {
+  ApMachine m = make(5);
+  const Mask none{0, 0, 0, 0, 0};
+  const Mask some{0, 0, 1, 0, 1};
+  EXPECT_FALSE(m.any_responder(none));
+  EXPECT_TRUE(m.any_responder(some));
+  EXPECT_EQ(m.first_responder(none), ApMachine::npos);
+  EXPECT_EQ(m.first_responder(some), 2u);
+  EXPECT_EQ(m.count_responders(some), 2u);
+  EXPECT_EQ(m.count_responders(none), 0u);
+}
+
+TEST(ApMachine, MinMaxIndexRespectMask) {
+  ApMachine m = make(5);
+  const std::vector<double> keys{4.0, -1.0, 2.0, -7.0, 3.0};
+  const Mask mask{1, 1, 1, 0, 1};  // -7 masked out
+  EXPECT_EQ(m.min_index(keys, mask), 1u);
+  EXPECT_EQ(m.max_index(keys, mask), 0u);
+  const Mask none{0, 0, 0, 0, 0};
+  EXPECT_EQ(m.min_index(keys, none), ApMachine::npos);
+}
+
+TEST(ApMachine, MinIndexTiesToLowestPe) {
+  ApMachine m = make(4);
+  const std::vector<double> keys{2.0, 1.0, 1.0, 5.0};
+  const Mask mask{1, 1, 1, 1};
+  EXPECT_EQ(m.min_index(keys, mask), 1u);
+}
+
+TEST(ApMachine, CostAccumulatesPerOperation) {
+  ApMachine m = make(50);
+  EXPECT_DOUBLE_EQ(m.elapsed_ms(), 0.0);
+  Mask mask;
+  m.search([](std::size_t) { return false; }, mask, /*word_ops=*/2);
+  const double after_search = m.elapsed_ms();
+  EXPECT_GT(after_search, 0.0);
+  EXPECT_EQ(m.charged_word_ops(), 2u);
+  (void)m.any_responder(mask);
+  EXPECT_GT(m.elapsed_ms(), after_search);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.elapsed_ms(), 0.0);
+  EXPECT_EQ(m.charged_word_ops(), 0u);
+}
+
+TEST(ApMachine, MinIndexCostsBitSerialRounds) {
+  // One min-reduction costs a word op plus word_bits responder rounds —
+  // and, critically, the same for any n.
+  ApMachine a = make(10);
+  ApMachine b = make(10000);
+  const std::vector<double> keys_a(10, 1.0);
+  const std::vector<double> keys_b(10000, 1.0);
+  const Mask mask_a(10, 1);
+  const Mask mask_b(10000, 1);
+  (void)a.min_index(keys_a, mask_a);
+  (void)b.min_index(keys_b, mask_b);
+  EXPECT_DOUBLE_EQ(a.elapsed_ms(), b.elapsed_ms());
+}
+
+TEST(ApMachine, HostAccessCharges) {
+  ApMachine m = make(10);
+  m.host_access(3);
+  EXPECT_EQ(m.charged_word_ops(), 3u);
+}
+
+}  // namespace
+}  // namespace atm::ap

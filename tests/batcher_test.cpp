@@ -1,0 +1,171 @@
+// Tests for Batcher's conflict-detection test (src/atm/batcher.hpp) —
+// the paper's Equations 1-6 / Figure 3 geometry.
+#include "src/atm/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/rng.hpp"
+#include "src/core/vec2.hpp"
+
+namespace atm::tasks {
+namespace {
+
+TEST(AxisBandWindow, HeadOnClosure) {
+  // Separation 10 nm, closing at 1 nm/period, band 3: bands touch at
+  // t = (10-3)/1 = 7 and separate at t = (10+3)/1 = 13.
+  const AxisWindow w = axis_band_window(10.0, -1.0, 3.0);
+  EXPECT_FALSE(w.always);
+  EXPECT_FALSE(w.never);
+  EXPECT_DOUBLE_EQ(w.entry, 7.0);
+  EXPECT_DOUBLE_EQ(w.exit, 13.0);
+}
+
+TEST(AxisBandWindow, DivergingGivesPastWindow) {
+  // Separation 10 nm, opening at 1 nm/period: the overlap was in the past.
+  const AxisWindow w = axis_band_window(10.0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(w.entry, -13.0);
+  EXPECT_DOUBLE_EQ(w.exit, -7.0);
+}
+
+TEST(AxisBandWindow, ParallelApartNeverOverlaps) {
+  const AxisWindow w = axis_band_window(10.0, 0.0, 3.0);
+  EXPECT_TRUE(w.never);
+}
+
+TEST(AxisBandWindow, ParallelCloseAlwaysOverlaps) {
+  const AxisWindow w = axis_band_window(1.0, 0.0, 3.0);
+  EXPECT_TRUE(w.always);
+}
+
+TEST(AxisBandWindow, AlreadyInsideBand) {
+  // Separation 1 nm, closing: entry time is negative (already inside).
+  const AxisWindow w = axis_band_window(1.0, -1.0, 3.0);
+  EXPECT_LT(w.entry, 0.0);
+  EXPECT_DOUBLE_EQ(w.exit, 4.0);
+}
+
+TEST(BatcherPairTest, HeadOnCollisionDetected) {
+  // Trial 20 nm east of track, closing at 0.01 nm/period in x, same y.
+  const PairConflict pc = batcher_pair_test(20.0, 0.0, -0.01, 0.0);
+  EXPECT_TRUE(pc.conflict);
+  EXPECT_NEAR(pc.time_min, (20.0 - 3.0) / 0.01, 1e-9);  // t = 1700
+  EXPECT_NEAR(pc.time_max, (20.0 + 3.0) / 0.01, 1e-9);  // t = 2300
+}
+
+TEST(BatcherPairTest, DivergingPairIsNoConflict) {
+  // Flying directly apart: the printed equations' absolute-value form
+  // would report a bogus future window here; the band-intersection form
+  // must not.
+  const PairConflict pc = batcher_pair_test(20.0, 0.0, 0.01, 0.0);
+  EXPECT_FALSE(pc.conflict);
+}
+
+TEST(BatcherPairTest, CrossingTracksConflictOnlyIfWindowsIntersect) {
+  // x window [7, 13]; y window [17, 23] (disjoint in time): no conflict.
+  const PairConflict disjoint =
+      batcher_pair_test(10.0, 20.0, -1.0, -1.0);
+  // x: (10-3)/1=7..13; y: (20-3)/1=17..23 -> max entry 17 > min exit 13.
+  EXPECT_FALSE(disjoint.conflict);
+
+  // Same entry geometry in both axes: windows coincide.
+  const PairConflict same = batcher_pair_test(10.0, 10.0, -1.0, -1.0);
+  EXPECT_TRUE(same.conflict);
+  EXPECT_DOUBLE_EQ(same.time_min, 7.0);
+  EXPECT_DOUBLE_EQ(same.time_max, 13.0);
+}
+
+TEST(BatcherPairTest, ConflictBeyondHorizonIgnored) {
+  // Entry at t = 9700 periods, far past the 2400-period horizon.
+  const PairConflict pc = batcher_pair_test(100.0, 0.0, -0.01, 0.0);
+  EXPECT_GT((100.0 - 3.0) / 0.01, 2400.0);
+  EXPECT_FALSE(pc.conflict);
+}
+
+TEST(BatcherPairTest, ConflictExactlyAtHorizonBoundary) {
+  // Entry strictly inside, exit past: clipped window [entry, horizon].
+  const double v = (20.0 - 3.0) / 2000.0;  // entry at t = 2000
+  const PairConflict pc = batcher_pair_test(20.0, 0.0, -v, 0.0);
+  EXPECT_TRUE(pc.conflict);
+  EXPECT_NEAR(pc.time_min, 2000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(pc.time_max, 2400.0);
+}
+
+TEST(BatcherPairTest, CurrentlyOverlappingPairConflictsNow) {
+  const PairConflict pc = batcher_pair_test(1.0, 1.0, 0.001, 0.0);
+  EXPECT_TRUE(pc.conflict);
+  EXPECT_DOUBLE_EQ(pc.time_min, 0.0);
+}
+
+TEST(BatcherPairTest, ParallelSameTrackAlwaysConflicts) {
+  // Same path, 1 nm apart, identical velocity: permanent band overlap.
+  const PairConflict pc = batcher_pair_test(1.0, 0.5, 0.0, 0.0);
+  EXPECT_TRUE(pc.conflict);
+  EXPECT_DOUBLE_EQ(pc.time_min, 0.0);
+  EXPECT_DOUBLE_EQ(pc.time_max, 2400.0);
+}
+
+TEST(BatcherPairTest, SymmetricInPairOrder) {
+  // Swapping track and trial negates relative position and velocity;
+  // the window must be identical.
+  core::Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const double px = rng.uniform(-40.0, 40.0);
+    const double py = rng.uniform(-40.0, 40.0);
+    const double vx = rng.uniform(-0.1, 0.1);
+    const double vy = rng.uniform(-0.1, 0.1);
+    const PairConflict a = batcher_pair_test(px, py, vx, vy);
+    const PairConflict b = batcher_pair_test(-px, -py, -vx, -vy);
+    ASSERT_EQ(a.conflict, b.conflict);
+    if (a.conflict) {
+      ASSERT_DOUBLE_EQ(a.time_min, b.time_min);
+      ASSERT_DOUBLE_EQ(a.time_max, b.time_max);
+    }
+  }
+}
+
+TEST(BatcherPairTest, WindowMatchesBruteForceSampling) {
+  // Property: the analytic window agrees with dense time sampling of
+  // "both |dx(t)| <= 3 and |dy(t)| <= 3".
+  core::Rng rng(33);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double px = rng.uniform(-30.0, 30.0);
+    const double py = rng.uniform(-30.0, 30.0);
+    const double vx = rng.uniform(-0.05, 0.05);
+    const double vy = rng.uniform(-0.05, 0.05);
+    const PairConflict pc = batcher_pair_test(px, py, vx, vy);
+
+    bool sampled_conflict = false;
+    double first_t = -1.0;
+    for (double t = 0.0; t <= 2400.0; t += 1.0) {
+      if (std::fabs(px + vx * t) <= 3.0 && std::fabs(py + vy * t) <= 3.0) {
+        sampled_conflict = true;
+        first_t = t;
+        break;
+      }
+    }
+    if (sampled_conflict) {
+      // Sampling can only find conflicts the analytic window contains.
+      ASSERT_TRUE(pc.conflict)
+          << "sampling found overlap at t=" << first_t << " but test said no"
+          << " (p=" << px << "," << py << " v=" << vx << "," << vy << ")";
+      ASSERT_LE(pc.time_min, first_t + 1e-9);
+    } else if (pc.conflict) {
+      // An analytic window the sampler missed must be narrower than the
+      // 1-period sampling step.
+      ASSERT_LT(pc.time_max - pc.time_min, 1.0);
+    }
+  }
+}
+
+TEST(AltitudeGate, StrictThousandFeet) {
+  EXPECT_TRUE(altitude_gate(10000.0, 10999.0));
+  EXPECT_FALSE(altitude_gate(10000.0, 11000.0));
+  EXPECT_TRUE(altitude_gate(11000.0, 10001.0));
+  EXPECT_FALSE(altitude_gate(5000.0, 20000.0));
+  EXPECT_TRUE(altitude_gate(7000.0, 7000.0));
+}
+
+}  // namespace
+}  // namespace atm::tasks

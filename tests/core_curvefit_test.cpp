@@ -1,0 +1,173 @@
+// Tests for least-squares curve fitting (src/core/curvefit.hpp) — the
+// MATLAB goodness-of-fit replacement behind Figures 8 and 9.
+#include "src/core/curvefit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/rng.hpp"
+
+namespace atm::core {
+namespace {
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(lo + (hi - lo) * i / (n - 1));
+  }
+  return out;
+}
+
+TEST(FitLinear, RecoversExactLine) {
+  const auto xs = linspace(0.0, 10.0, 20);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(3.0 * x - 1.5);
+  const PolyFit fit = fit_linear(xs, ys);
+  ASSERT_EQ(fit.coeffs.size(), 2u);
+  EXPECT_NEAR(fit.coeffs[0], -1.5, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.gof.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.gof.sse, 0.0, 1e-12);
+  EXPECT_NEAR(fit.gof.rmse, 0.0, 1e-9);
+}
+
+TEST(FitQuadratic, RecoversExactParabola) {
+  const auto xs = linspace(-5.0, 5.0, 25);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(0.5 * x * x - 2.0 * x + 7.0);
+  const PolyFit fit = fit_quadratic(xs, ys);
+  ASSERT_EQ(fit.coeffs.size(), 3u);
+  EXPECT_NEAR(fit.coeffs[0], 7.0, 1e-8);
+  EXPECT_NEAR(fit.coeffs[1], -2.0, 1e-8);
+  EXPECT_NEAR(fit.coeffs[2], 0.5, 1e-9);
+  EXPECT_NEAR(fit.gof.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, KnownHandComputedCase) {
+  // Points (1,1), (2,2), (3,2): least squares slope 0.5, intercept 2/3.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 2.0, 2.0};
+  const PolyFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.coeffs[1], 0.5, 1e-12);
+  EXPECT_NEAR(fit.coeffs[0], 2.0 / 3.0, 1e-12);
+  // SSE = sum of squared residuals = 1/6.
+  EXPECT_NEAR(fit.gof.sse, 1.0 / 6.0, 1e-12);
+  // SST = 2/3, so R^2 = 1 - (1/6)/(2/3) = 0.75.
+  EXPECT_NEAR(fit.gof.r2, 0.75, 1e-12);
+  // RMSE = sqrt(SSE / (n - m)) = sqrt(1/6).
+  EXPECT_NEAR(fit.gof.rmse, std::sqrt(1.0 / 6.0), 1e-12);
+}
+
+TEST(FitPolynomial, AdjustedR2PenalizesExtraCoefficient) {
+  // On truly linear noisy data, the quadratic fit's raw R^2 is >= the
+  // linear fit's, but adjusted R^2 should not reward the extra term much.
+  Rng rng(3);
+  const auto xs = linspace(0.0, 100.0, 40);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.0 * x + rng.uniform(-1.0, 1.0));
+  const PolyFit lin = fit_linear(xs, ys);
+  const PolyFit quad = fit_quadratic(xs, ys);
+  EXPECT_GE(quad.gof.r2, lin.gof.r2);
+  EXPECT_LT(quad.gof.adj_r2 - lin.gof.adj_r2, 1e-3);
+}
+
+TEST(FitPolynomial, ThrowsOnBadInput) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0};
+  EXPECT_THROW(fit_linear(xs, ys), std::invalid_argument);
+  const std::vector<double> two_x{1.0, 2.0};
+  const std::vector<double> two_y{1.0, 2.0};
+  EXPECT_THROW(fit_quadratic(two_x, two_y), std::invalid_argument);
+  EXPECT_THROW(fit_polynomial(two_x, two_y, -1), std::invalid_argument);
+}
+
+TEST(FitPolynomial, ThrowsOnDegenerateAbscissae) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_linear(xs, ys), std::domain_error);
+}
+
+TEST(PolyFit, EvalUsesHorner) {
+  PolyFit fit;
+  fit.coeffs = {1.0, -2.0, 3.0};  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(fit.eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fit.eval(2.0), 1.0 - 4.0 + 12.0);
+  EXPECT_EQ(fit.degree(), 2);
+}
+
+TEST(PolyFit, ToStringMentionsEveryTerm) {
+  PolyFit fit;
+  fit.coeffs = {0.5, 2.0, -1.0};
+  const std::string s = fit.to_string();
+  EXPECT_NE(s.find("x^2"), std::string::npos);
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+TEST(AnalyzeCurveShape, LinearSeriesClassifiedLinear) {
+  const auto xs = linspace(1.0, 50.0, 30);
+  std::vector<double> ys;
+  Rng rng(9);
+  for (const double x : xs) {
+    ys.push_back(4.0 * x + 2.0 + rng.uniform(-0.01, 0.01));
+  }
+  const CurveShapeReport report = analyze_curve_shape(xs, ys);
+  // Either the linear model wins outright, or the quadratic coefficient
+  // is negligible — both classify as effectively linear.
+  if (report.quadratic_preferred) {
+    EXPECT_LT(report.quad_to_linear_coeff_ratio, 1e-3);
+  }
+  EXPECT_NE(report.classification().find("linear"), std::string::npos);
+}
+
+TEST(AnalyzeCurveShape, QuadraticSeriesPrefersQuadratic) {
+  const auto xs = linspace(1.0, 50.0, 30);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(0.8 * x * x + x);
+  const CurveShapeReport report = analyze_curve_shape(xs, ys);
+  EXPECT_TRUE(report.quadratic_preferred);
+  EXPECT_GT(report.quad_to_linear_coeff_ratio, 1e-3);
+  EXPECT_EQ(report.classification(), "quadratic");
+}
+
+TEST(AnalyzeCurveShape, SmallQuadraticCoefficientReadsNearLinear) {
+  // The paper's Figure 9 case: quadratic fits best, but the quadratic
+  // coefficient is orders of magnitude below the linear one.
+  const auto xs = linspace(100.0, 8000.0, 30);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(1e-7 * x * x + 0.5 * x);
+  const CurveShapeReport report = analyze_curve_shape(xs, ys);
+  EXPECT_TRUE(report.quadratic_preferred);
+  EXPECT_LT(report.quad_to_linear_coeff_ratio, 1e-3);
+  EXPECT_NE(report.classification().find("near-linear"), std::string::npos);
+}
+
+class FitRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitRoundTripTest, RandomPolynomialsAreRecovered) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int degree = GetParam() % 3 + 1;
+  std::vector<double> coeffs;
+  for (int k = 0; k <= degree; ++k) coeffs.push_back(rng.uniform(-3.0, 3.0));
+  const auto xs = linspace(-4.0, 4.0, 40);
+  std::vector<double> ys;
+  for (const double x : xs) {
+    double acc = 0.0;
+    for (std::size_t k = coeffs.size(); k-- > 0;) acc = acc * x + coeffs[k];
+    ys.push_back(acc);
+  }
+  const PolyFit fit = fit_polynomial(xs, ys, degree);
+  for (int k = 0; k <= degree; ++k) {
+    EXPECT_NEAR(fit.coeffs[static_cast<std::size_t>(k)],
+                coeffs[static_cast<std::size_t>(k)], 1e-6)
+        << "degree " << degree << " coeff " << k;
+  }
+  EXPECT_NEAR(fit.gof.r2, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitRoundTripTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace atm::core

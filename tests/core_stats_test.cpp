@@ -1,0 +1,124 @@
+// Tests for streaming statistics (src/core/stats.hpp).
+#include "src/core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/rng.hpp"
+
+namespace atm::core {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, SingleSample) {
+  StreamingStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(StreamingStats, KnownSmallSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population variance 4,
+  // sample variance 32/7.
+  StreamingStats s;
+  for (const double x : {2, 4, 4, 4, 5, 5, 7, 9}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeEqualsBulk) {
+  Rng rng(11);
+  StreamingStats bulk, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    bulk.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), bulk.count());
+  EXPECT_NEAR(left.mean(), bulk.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), bulk.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), bulk.min());
+  EXPECT_DOUBLE_EQ(left.max(), bulk.max());
+}
+
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  StreamingStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(StreamingStats, NumericallyStableAtLargeOffset) {
+  // Welford must not cancel catastrophically around a large mean.
+  StreamingStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(percentile(one, 0.0), 3.0);
+  EXPECT_EQ(percentile(one, 100.0), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 250.0), 3.0);
+}
+
+TEST(Percentile, OfUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile_of({5.0, 1.0, 3.0}, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of({5.0, 1.0, 3.0}, 100.0), 5.0);
+}
+
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.uniform(-50.0, 50.0));
+  std::sort(v.begin(), v.end());
+  double prev = percentile(v, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile(v, p);
+    EXPECT_GE(cur, prev) << "at p = " << p;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace atm::core

@@ -1,0 +1,103 @@
+// Tests for text-table rendering (src/core/table.hpp).
+#include "src/core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace atm::core {
+namespace {
+
+TEST(TextTable, HeadersAndUnderline) {
+  TextTable t({"a", "bb"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a  bb"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, CellsAlignUnderHeaders) {
+  TextTable t({"name", "value"});
+  t.begin_row();
+  t.add_cell("x");
+  t.add_cell(static_cast<long long>(42));
+  t.begin_row();
+  t.add_cell("longer");
+  t.add_cell(1.5, 2);
+  const std::string s = t.to_string();
+  std::istringstream in(s);
+  std::string header, underline, row1, row2;
+  std::getline(in, header);
+  std::getline(in, underline);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  // The value column starts at the same offset in every row.
+  const auto col = row2.find("1.50");
+  EXPECT_NE(col, std::string::npos);
+  EXPECT_EQ(row1.find("42"), col);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, DoublePrecisionControl) {
+  TextTable t({"v"});
+  t.begin_row();
+  t.add_cell(3.14159, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(TextTable, AddCellWithoutBeginRowStartsRow) {
+  TextTable t({"v"});
+  t.add_cell(std::string("auto"));
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, StreamOperator) {
+  TextTable t({"h"});
+  t.begin_row();
+  t.add_cell(std::size_t{7});
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find('7'), std::string::npos);
+}
+
+TEST(TextTable, CsvRendering) {
+  TextTable t({"name", "value"});
+  t.begin_row();
+  t.add_cell(std::string("plain"));
+  t.add_cell(1.5, 1);
+  t.begin_row();
+  t.add_cell(std::string("needs,quoting"));
+  t.add_cell(std::string("with \"quotes\""));
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"needs,quoting\",\"with \"\"quotes\"\"\"\n"),
+            std::string::npos);
+}
+
+TEST(TextTable, WriteCsvRoundTrips) {
+  TextTable t({"a"});
+  t.begin_row();
+  t.add_cell(std::string("x"));
+  const std::string path = ::testing::TempDir() + "atm_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a\nx\n");
+}
+
+TEST(TextTable, WriteCsvFailsOnBadPath) {
+  TextTable t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir/f.csv"));
+}
+
+TEST(FormatMs, AdaptiveUnits) {
+  EXPECT_EQ(format_ms(0.5), "500.0 us");
+  EXPECT_EQ(format_ms(12.3456), "12.346 ms");
+  EXPECT_EQ(format_ms(2500.0), "2.500 s");
+}
+
+}  // namespace
+}  // namespace atm::core

@@ -1,0 +1,94 @@
+// Tests for the 2-D vector and unit helpers (src/core/vec2.hpp, units.hpp).
+#include "src/core/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/units.hpp"
+
+namespace atm::core {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{-3.0, 0.5};
+  EXPECT_EQ(a + b, (Vec2{-2.0, 2.5}));
+  EXPECT_EQ(a - b, (Vec2{4.0, 1.5}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2, DotAndNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Vec2, RotatePreservesNorm) {
+  const Vec2 v{5.0, -2.0};
+  for (double deg = -180.0; deg <= 180.0; deg += 7.5) {
+    const Vec2 r = rotate_deg(v, deg);
+    EXPECT_NEAR(r.norm(), v.norm(), 1e-12) << "deg = " << deg;
+  }
+}
+
+TEST(Vec2, RotateQuarterTurn) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = rotate_deg(v, 90.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+}
+
+TEST(Vec2, RotateComposition) {
+  const Vec2 v{2.0, 3.0};
+  const Vec2 once = rotate_deg(rotate_deg(v, 5.0), 5.0);
+  const Vec2 twice = rotate_deg(v, 10.0);
+  EXPECT_NEAR(once.x, twice.x, 1e-12);
+  EXPECT_NEAR(once.y, twice.y, 1e-12);
+}
+
+TEST(Vec2, RotateNegativeAngleInverts) {
+  const Vec2 v{-1.5, 4.0};
+  const Vec2 back = rotate_deg(rotate_deg(v, 30.0), -30.0);
+  EXPECT_NEAR(back.x, v.x, 1e-12);
+  EXPECT_NEAR(back.y, v.y, 1e-12);
+}
+
+TEST(Vec2, Chebyshev) {
+  EXPECT_DOUBLE_EQ(chebyshev({0, 0}, {3, -1}), 3.0);
+  EXPECT_DOUBLE_EQ(chebyshev({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(chebyshev({-2, 5}, {0, 6}), 2.0);
+}
+
+TEST(DegRad, RoundTrip) {
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(123.4)), 123.4, 1e-12);
+  EXPECT_NEAR(deg_to_rad(180.0), std::numbers::pi, 1e-15);
+}
+
+TEST(Units, PeriodConversions) {
+  EXPECT_DOUBLE_EQ(periods_to_seconds(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(seconds_to_periods(8.0), 16.0);
+  EXPECT_DOUBLE_EQ(seconds_to_periods(periods_to_seconds(1234.0)), 1234.0);
+}
+
+TEST(Units, KnotsConversionMatchesPaperDivisor) {
+  // Paper Section 4.1: nm/hour -> nm/period by dividing by 7200.
+  EXPECT_DOUBLE_EQ(knots_to_nm_per_period(7200.0), 1.0);
+  EXPECT_DOUBLE_EQ(nm_per_period_to_knots(knots_to_nm_per_period(431.0)),
+                   431.0);
+}
+
+TEST(Units, ScheduleConstantsMatchPaper) {
+  EXPECT_EQ(kPeriodsPerMajorCycle, 16);
+  EXPECT_DOUBLE_EQ(kPeriodSeconds, 0.5);
+  EXPECT_DOUBLE_EQ(kMajorCycleSeconds, 8.0);
+  EXPECT_DOUBLE_EQ(kLookAheadPeriods, 2400.0);  // 20 minutes
+  EXPECT_DOUBLE_EQ(kCriticalTimePeriods, 300.0);
+  EXPECT_DOUBLE_EQ(kBatcherBandNm, 3.0);
+  EXPECT_EQ(kPaperThreadsPerBlock, 96);
+}
+
+}  // namespace
+}  // namespace atm::core

@@ -1,0 +1,220 @@
+// Kernel-level unit tests: exercise the CUDA kernels directly on the SIMT
+// engine (below the backend layer), including guard paths, padding
+// threads, and launch shapes the backend never issues.
+#include "src/atm/cuda_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/extended/terrain_task.hpp"
+#include "src/simt/device.hpp"
+
+namespace atm::tasks::cuda {
+namespace {
+
+using airfield::FlightDb;
+using airfield::kNone;
+
+/// Bundles a FlightDb with the scratch arrays a DroneView needs.
+struct Harness {
+  explicit Harness(std::size_t n) : db(n) {
+    ex.resize(n);
+    ey.resize(n);
+    amatch.resize(n, kNone);
+    nradars.resize(n, 0);
+    counters.assign(kCounterSlots, 0);
+  }
+  DroneView view() {
+    return DroneView{
+        .x = db.x,
+        .y = db.y,
+        .dx = db.dx,
+        .dy = db.dy,
+        .alt = db.alt,
+        .batx = db.batx,
+        .baty = db.baty,
+        .time_till = db.time_till,
+        .ex = ex,
+        .ey = ey,
+        .rmatch = db.rmatch,
+        .col = db.col,
+        .col_with = db.col_with,
+        .amatch = amatch,
+        .nradars = nradars,
+        .terrain_warn = db.terrain_warn,
+        .sector = db.sector,
+    };
+  }
+  FlightDb db;
+  std::vector<double> ex, ey;
+  std::vector<std::int32_t> amatch, nradars;
+  std::vector<std::uint64_t> counters;
+};
+
+TEST(CudaKernels, PaddingThreadsOnlyPayTheGuard) {
+  // 10 aircraft in 96-thread blocks: 86 threads are padding. Their charge
+  // must be the guard only, so the warp max (divergence) is set by the
+  // working threads.
+  simt::Device dev(simt::titan_x_pascal());
+  Harness h(10);
+  const auto cfg = simt::one_thread_per_item(10, 96);
+  const auto stats = dev.launch(cfg, [&](simt::ThreadCtx& ctx) {
+    expected_position_kernel(ctx, h.view());
+  });
+  EXPECT_EQ(stats.threads, 96u);
+  // Total charge is far below 96x the per-aircraft cost.
+  EXPECT_LT(stats.total_thread_cycles, 96u * 40u);
+}
+
+TEST(CudaKernels, ExpectedPositionResetsMatchState) {
+  simt::Device dev(simt::titan_x_pascal());
+  Harness h(4);
+  h.db.x[2] = 5.0;
+  h.db.dx[2] = 0.5;
+  h.db.rmatch[2] = 1;
+  h.amatch[2] = 3;
+  dev.launch(simt::one_thread_per_item(4, 96), [&](simt::ThreadCtx& ctx) {
+    expected_position_kernel(ctx, h.view());
+  });
+  EXPECT_DOUBLE_EQ(h.ex[2], 5.5);
+  EXPECT_EQ(h.db.rmatch[2], 0);
+  EXPECT_EQ(h.amatch[2], kNone);
+}
+
+TEST(CudaKernels, SetupFlightIsThreadOrderIndependent) {
+  simt::Device seq(simt::titan_x_pascal());
+  simt::Device shuf(simt::titan_x_pascal());
+  shuf.set_thread_order(simt::ThreadOrder::kShuffled);
+  Harness a(200), b(200);
+  const airfield::SetupParams params;
+  const auto cfg = simt::one_thread_per_item(200, 96);
+  seq.launch(cfg, [&](simt::ThreadCtx& ctx) {
+    setup_flight_kernel(ctx, a.view(), 99, params);
+  });
+  shuf.launch(cfg, [&](simt::ThreadCtx& ctx) {
+    setup_flight_kernel(ctx, b.view(), 99, params);
+  });
+  EXPECT_TRUE(a.db.same_flight_state(b.db));
+}
+
+TEST(CudaKernels, GenerateRadarUsesNoiseBuffer) {
+  simt::Device dev(simt::gtx_880m());
+  Harness h(3);
+  h.db.x[0] = 1.0;
+  h.db.dx[0] = 0.5;
+  std::vector<double> rx(3), ry(3);
+  std::vector<std::int32_t> rmw(3, kNone), nh(3), hid(3);
+  const RadarView radar{rx, ry, rmw, nh, hid};
+  const std::vector<double> noise{0.1, -0.2, 0.0, 0.0, 0.0, 0.0};
+  dev.launch(simt::one_thread_per_item(3, 96), [&](simt::ThreadCtx& ctx) {
+    generate_radar_kernel(ctx, h.view(), radar, noise);
+  });
+  EXPECT_DOUBLE_EQ(rx[0], 1.6);   // x + dx + noise
+  EXPECT_DOUBLE_EQ(ry[0], -0.2);  // y + dy + noise
+}
+
+TEST(CudaKernels, DisplayKernelBinsAndCountsHandoffs) {
+  simt::Device dev(simt::titan_x_pascal());
+  Harness h(3);
+  h.db.x[0] = -100.0;
+  h.db.y[0] = -100.0;
+  h.db.x[1] = -100.0;
+  h.db.y[1] = -100.0;
+  h.db.x[2] = 100.0;
+  h.db.y[2] = 100.0;
+  h.db.sector[2] = 0;  // previously in another sector -> handoff
+  std::vector<std::int32_t> occupancy(16 * 16, 0);
+  dev.launch(simt::one_thread_per_item(3, 96), [&](simt::ThreadCtx& ctx) {
+    display_kernel(ctx, h.view(), occupancy, 16, h.counters);
+  });
+  EXPECT_EQ(h.counters[kHandoffs], 1u);
+  long long total = 0;
+  for (const auto c : occupancy) total += c;
+  EXPECT_EQ(total, 3);
+  EXPECT_NE(h.db.sector[0], kNone);
+}
+
+TEST(CudaKernels, AdvisoryKernelSetsAllBits) {
+  simt::Device dev(simt::titan_x_pascal());
+  Harness h(2);
+  h.db.col[0] = 1;
+  h.db.terrain_warn[0] = 1;
+  h.db.x[0] = 126.0;
+  std::vector<std::uint8_t> flags(2, 0xFF);
+  dev.launch(simt::one_thread_per_item(2, 96), [&](simt::ThreadCtx& ctx) {
+    advisory_kernel(ctx, h.view(), flags, AdvisoryParams{});
+  });
+  EXPECT_EQ(flags[0], kAdvConflictBit | kAdvTerrainBit | kAdvBoundaryBit);
+  EXPECT_EQ(flags[1], 0);  // clean aircraft cleared
+}
+
+TEST(CudaKernels, TerrainKernelMatchesReferenceScan) {
+  simt::Device dev(simt::geforce_9800_gt());
+  const airfield::TerrainMap terrain(3);
+  Harness h(50);
+  {
+    FlightDb tmp = airfield::make_airfield(50, 8);
+    h.db = tmp;
+    for (std::size_t i = 0; i < 50; ++i) h.db.alt[i] = 1500.0;
+  }
+  FlightDb ref_db = h.db;
+  const TerrainTaskParams params;
+  dev.launch(simt::one_thread_per_item(50, 96), [&](simt::ThreadCtx& ctx) {
+    terrain_kernel(ctx, h.view(), terrain, params, h.counters);
+  });
+  const auto ref_stats =
+      tasks::extended::terrain_avoidance(ref_db, terrain, params);
+  EXPECT_EQ(h.counters[kTerrainWarnings], ref_stats.warnings);
+  EXPECT_EQ(h.counters[kTerrainClimbs], ref_stats.climbs);
+  for (std::size_t i = 0; i < 50; ++i) {
+    ASSERT_DOUBLE_EQ(h.db.alt[i], ref_db.alt[i]);
+    ASSERT_EQ(h.db.terrain_warn[i], ref_db.terrain_warn[i]);
+  }
+}
+
+TEST(CudaKernels, CheckCollisionPathWritesOnlyOwnAircraft) {
+  // Two far-apart aircraft: thread i must never touch record j's state.
+  simt::Device dev(simt::titan_x_pascal());
+  Harness h(2);
+  h.db.x[0] = -100.0;
+  h.db.x[1] = 100.0;
+  h.db.alt[0] = h.db.alt[1] = 9000.0;
+  h.db.dx[0] = -0.01;
+  h.db.dx[1] = 0.01;
+  std::vector<std::uint8_t> resolved(2, 1);
+  dev.launch(simt::one_thread_per_item(2, 96), [&](simt::ThreadCtx& ctx) {
+    check_collision_path_kernel(ctx, h.view(), resolved, Task23Params{},
+                                h.counters);
+  });
+  EXPECT_EQ(h.counters[kConflicts], 0u);
+  EXPECT_EQ(resolved[0], 0);
+  EXPECT_EQ(resolved[1], 0);
+  EXPECT_EQ(h.db.col[0], 0);
+}
+
+TEST(CudaKernels, OddBlockSizesGiveSameResults) {
+  // Launch geometry must never change semantics: 1, 7, and 512 threads
+  // per block produce identical collision outcomes.
+  const FlightDb initial = airfield::make_airfield(300, 12);
+  std::vector<std::uint64_t> conflicts;
+  for (const int tpb : {1, 7, 512}) {
+    simt::Device dev(simt::titan_x_pascal());
+    Harness h(300);
+    h.db = initial;
+    std::vector<std::uint8_t> resolved(300, 0);
+    dev.launch(simt::one_thread_per_item(300, tpb),
+               [&](simt::ThreadCtx& ctx) {
+                 check_collision_path_kernel(ctx, h.view(), resolved,
+                                             Task23Params{}, h.counters);
+               });
+    conflicts.push_back(h.counters[kConflicts]);
+  }
+  EXPECT_EQ(conflicts[0], conflicts[1]);
+  EXPECT_EQ(conflicts[1], conflicts[2]);
+}
+
+}  // namespace
+}  // namespace atm::tasks::cuda

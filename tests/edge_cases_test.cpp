@@ -1,0 +1,166 @@
+// Edge cases and failure injection across the stack: empty fields, single
+// aircraft, radar dropout, extreme speeds, zero-size frames, and parameter
+// boundaries.
+#include <gtest/gtest.h>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/cuda_backend.hpp"
+#include "src/atm/extended/full_pipeline.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/atm/reference_backend.hpp"
+
+namespace atm::tasks {
+namespace {
+
+TEST(EdgeCases, EmptyAirfieldRunsEverywhere) {
+  for (auto& backend :
+       make_platforms(PlatformSet::kAllPlatforms)) {
+    backend->load(airfield::FlightDb{});
+    core::Rng rng(1);
+    airfield::RadarFrame frame = backend->generate_radar(rng, {}, nullptr);
+    const Task1Result r1 = backend->run_task1(frame, {});
+    EXPECT_EQ(r1.stats.matched, 0u) << backend->name();
+    const Task23Result r23 = backend->run_task23({});
+    EXPECT_EQ(r23.stats.conflicts, 0u) << backend->name();
+  }
+}
+
+TEST(EdgeCases, SingleAircraftNeverConflicts) {
+  for (auto& backend : make_platforms(PlatformSet::kAllPlatforms)) {
+    backend->load(airfield::make_airfield(1, 3));
+    const Task23Result r = backend->run_task23({});
+    EXPECT_EQ(r.stats.conflicts, 0u) << backend->name();
+    EXPECT_EQ(r.stats.pair_tests, 0u) << backend->name();
+  }
+}
+
+TEST(EdgeCases, RadarDropoutLeavesAircraftOnExpectedPath) {
+  // With 100% dropout every return is an off-field sentinel: nothing
+  // correlates and every aircraft flies its expected path.
+  ReferenceBackend ref;
+  const airfield::FlightDb initial = airfield::make_airfield(200, 9);
+  ref.load(initial);
+  core::Rng rng(5);
+  airfield::RadarParams params;
+  params.dropout_probability = 1.0;
+  airfield::RadarFrame frame = ref.generate_radar(rng, params, nullptr);
+  const Task1Result r = ref.run_task1(frame, {});
+  EXPECT_EQ(r.stats.matched, 0u);
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    const core::Vec2 expected = initial.expected(i);
+    ASSERT_DOUBLE_EQ(ref.state().x[i], expected.x);
+    ASSERT_DOUBLE_EQ(ref.state().y[i], expected.y);
+  }
+}
+
+TEST(EdgeCases, CudaDropoutPathFallsBackToHostGenerator) {
+  // The device radar kernel does not implement dropout; the backend must
+  // delegate to the host generator and still produce an identical frame.
+  const airfield::FlightDb initial = airfield::make_airfield(300, 4);
+  CudaBackend cuda(simt::titan_x_pascal());
+  ReferenceBackend ref;
+  cuda.load(initial);
+  ref.load(initial);
+  airfield::RadarParams params;
+  params.dropout_probability = 0.3;
+  core::Rng ra(6), rb(6);
+  const airfield::RadarFrame fa = cuda.generate_radar(ra, params, nullptr);
+  const airfield::RadarFrame fb = ref.generate_radar(rb, params, nullptr);
+  EXPECT_EQ(fa.rx, fb.rx);
+  EXPECT_EQ(fa.truth, fb.truth);
+}
+
+TEST(EdgeCases, PartialDropoutStillTracksTheRest) {
+  PipelineConfig cfg;
+  cfg.aircraft = 400;
+  cfg.major_cycles = 1;
+  cfg.radar.dropout_probability = 0.2;
+  auto backend = make_gtx_880m();
+  const PipelineResult result = run_pipeline(*backend, cfg);
+  EXPECT_EQ(result.monitor.total_missed(), 0u);
+  // Roughly 80% of radars still correlate.
+  EXPECT_GT(result.last_task1.matched, 250u);
+  EXPECT_GT(result.last_task1.unmatched_radars, 30u);
+}
+
+TEST(EdgeCases, FastAircraftWrapRepeatedly) {
+  // 600-knot aircraft cross the field in ~25 minutes; over 20 cycles some
+  // wrap. Population must be conserved and positions stay in the grid.
+  airfield::SetupParams fast;
+  fast.min_speed_knots = 590.0;
+  fast.max_speed_knots = 600.0;
+  PipelineConfig cfg;
+  cfg.aircraft = 100;
+  cfg.major_cycles = 20;
+  cfg.setup = fast;
+  auto backend = make_titan_x_pascal();
+  const PipelineResult result = run_pipeline(*backend, cfg);
+  std::size_t wrapped = 0;
+  for (const PeriodLog& log : result.periods) wrapped += log.wrapped;
+  EXPECT_GT(wrapped, 0u);
+  EXPECT_EQ(backend->state().size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_LE(std::fabs(backend->state().x[i]),
+              core::kGridHalfExtentNm + 1.0);
+  }
+}
+
+TEST(EdgeCases, ZeroRetriesStillCommitsPassOneMatches) {
+  ReferenceBackend ref;
+  ref.load(airfield::make_airfield(300, 8));
+  core::Rng rng(2);
+  airfield::RadarFrame frame = ref.generate_radar(rng, {}, nullptr);
+  Task1Params params;
+  params.retries = 0;
+  const Task1Result r = ref.run_task1(frame, params);
+  EXPECT_EQ(r.stats.passes, 1);
+  EXPECT_GT(r.stats.matched, 200u);
+}
+
+TEST(EdgeCases, TinyTurnBudgetLeavesConflictsUnresolved) {
+  // With a 1-degree max turn, the head-on pair cannot escape.
+  airfield::FlightDb db(2);
+  db.x[0] = 0.0;
+  db.dx[0] = 0.05;
+  db.x[1] = 25.0;
+  db.dx[1] = -0.05;
+  db.alt[0] = db.alt[1] = 9000.0;
+  ReferenceBackend ref;
+  ref.load(db);
+  Task23Params params;
+  params.turn_step_deg = 1.0;
+  params.turn_max_deg = 1.0;
+  const Task23Result r = ref.run_task23(params);
+  EXPECT_EQ(r.stats.critical, 2u);
+  EXPECT_EQ(r.stats.unresolved, 2u);
+}
+
+TEST(EdgeCases, TerrainWithoutAttachThrows) {
+  for (auto& backend : make_platforms(PlatformSet::kAllPlatforms)) {
+    backend->load(airfield::make_airfield(10, 1));
+    EXPECT_THROW((void)backend->run_terrain({}), std::logic_error)
+        << backend->name();
+  }
+}
+
+TEST(EdgeCases, MismatchedRadarFrameRejected) {
+  CudaBackend cuda(simt::titan_x_pascal());
+  cuda.load(airfield::make_airfield(10, 1));
+  airfield::RadarFrame frame;
+  frame.resize(5);
+  EXPECT_THROW((void)cuda.run_task1(frame, {}), std::invalid_argument);
+}
+
+TEST(EdgeCases, FullSystemWithZeroAdvisoryCadenceCollapsesGracefully) {
+  extended::FullSystemConfig cfg;
+  cfg.aircraft = 50;
+  cfg.major_cycles = 1;
+  cfg.advisory_every_periods = 16;  // once per cycle only
+  auto backend = make_titan_x_pascal();
+  const auto result = extended::run_full_system(*backend, cfg);
+  EXPECT_EQ(result.monitor.task("advisory").scheduled(), 1u);
+}
+
+}  // namespace
+}  // namespace atm::tasks

@@ -1,0 +1,237 @@
+// Tests for the extended-system reference tasks: display update, automatic
+// voice advisory, and multi-tower correlation.
+#include <gtest/gtest.h>
+
+#include "src/airfield/setup.hpp"
+#include "src/airfield/towers.hpp"
+#include "src/atm/extended/advisory.hpp"
+#include "src/atm/extended/display.hpp"
+#include "src/atm/extended/multiradar.hpp"
+
+namespace atm::tasks::extended {
+namespace {
+
+using airfield::FlightDb;
+using airfield::kDiscarded;
+using airfield::kNone;
+using airfield::kRedundant;
+
+// --- display ----------------------------------------------------------------
+
+TEST(SectorOf, CornersAndCentre) {
+  // 16 x 16 sectors over [-128, 128]^2: sector (0,0) is the south-west
+  // corner, row-major ids.
+  EXPECT_EQ(sector_of(-128.0, -128.0, 16), 0);
+  EXPECT_EQ(sector_of(127.9, -128.0, 16), 15);
+  EXPECT_EQ(sector_of(-128.0, 127.9, 16), 240);
+  EXPECT_EQ(sector_of(127.9, 127.9, 16), 255);
+  EXPECT_EQ(sector_of(0.0, 0.0, 16), 8 * 16 + 8);
+}
+
+TEST(SectorOf, ClampsOutsideField) {
+  EXPECT_EQ(sector_of(-500.0, -500.0, 16), 0);
+  EXPECT_EQ(sector_of(500.0, 500.0, 16), 255);
+}
+
+TEST(DisplayUpdate, CountsOccupancyAndHandoffs) {
+  FlightDb db(3);
+  db.x[0] = db.x[1] = -100.0;
+  db.y[0] = db.y[1] = -100.0;
+  db.x[2] = 100.0;
+  db.y[2] = 100.0;
+
+  std::vector<std::int32_t> occupancy;
+  const DisplayStats first = display_update(db, occupancy);
+  EXPECT_EQ(first.handoffs, 0u);  // first update: no previous sector
+  EXPECT_EQ(first.occupied_sectors, 2u);
+  EXPECT_EQ(first.max_occupancy, 2u);
+
+  // Move aircraft 2 across a sector boundary; re-run.
+  db.x[2] += 16.0;
+  const DisplayStats second = display_update(db, occupancy);
+  EXPECT_EQ(second.handoffs, 1u);
+}
+
+TEST(DisplayUpdate, OccupancySumsToAircraft) {
+  FlightDb db = airfield::make_airfield(700, 8);
+  std::vector<std::int32_t> occupancy;
+  const DisplayStats stats = display_update(db, occupancy);
+  EXPECT_EQ(stats.aircraft, 700u);
+  long long total = 0;
+  for (const std::int32_t c : occupancy) total += c;
+  EXPECT_EQ(total, 700);
+}
+
+// --- advisory ----------------------------------------------------------------
+
+TEST(AdvisoryScan, ClassifiesAllThreeTypes) {
+  FlightDb db(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    db.x[i] = 0.0;
+    db.y[i] = 0.0;
+  }
+  db.col[0] = 1;            // conflict advisory
+  db.terrain_warn[1] = 1;   // terrain advisory
+  db.x[2] = 125.0;          // boundary advisory (within 8 nm of the edge)
+  // aircraft 3: nothing
+
+  std::vector<Advisory> queue;
+  const AdvisoryStats stats = advisory_scan(db, {}, queue);
+  EXPECT_EQ(stats.conflict, 1u);
+  EXPECT_EQ(stats.terrain, 1u);
+  EXPECT_EQ(stats.boundary, 1u);
+  EXPECT_EQ(stats.total(), 3u);
+  ASSERT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue[0], (Advisory{0, AdvisoryType::kConflict}));
+  EXPECT_EQ(queue[1], (Advisory{1, AdvisoryType::kTerrain}));
+  EXPECT_EQ(queue[2], (Advisory{2, AdvisoryType::kBoundary}));
+}
+
+TEST(AdvisoryScan, OneAircraftCanRaiseSeveral) {
+  FlightDb db(1);
+  db.col[0] = 1;
+  db.terrain_warn[0] = 1;
+  db.y[0] = -126.0;
+  std::vector<Advisory> queue;
+  const AdvisoryStats stats = advisory_scan(db, {}, queue);
+  EXPECT_EQ(stats.total(), 3u);
+  ASSERT_EQ(queue.size(), 3u);
+  // Type order within one aircraft: conflict, terrain, boundary.
+  EXPECT_EQ(queue[0].type, AdvisoryType::kConflict);
+  EXPECT_EQ(queue[1].type, AdvisoryType::kTerrain);
+  EXPECT_EQ(queue[2].type, AdvisoryType::kBoundary);
+}
+
+TEST(AdvisoryScan, BoundaryMarginConfigurable) {
+  FlightDb db(1);
+  db.x[0] = 110.0;
+  std::vector<Advisory> queue;
+  AdvisoryParams wide;
+  wide.boundary_warn_nm = 30.0;  // edge at 98 nm
+  EXPECT_EQ(advisory_scan(db, wide, queue).boundary, 1u);
+  AdvisoryParams narrow;
+  narrow.boundary_warn_nm = 5.0;  // edge at 123 nm
+  EXPECT_EQ(advisory_scan(db, narrow, queue).boundary, 0u);
+}
+
+// --- multi-tower correlation --------------------------------------------------
+
+/// Frame with explicit returns (no shuffle) for surgical cases.
+airfield::MultiRadarFrame frame_at(
+    std::initializer_list<core::Vec2> positions) {
+  airfield::MultiRadarFrame frame;
+  std::int32_t r = 0;
+  for (const auto& p : positions) {
+    frame.base.rx.push_back(p.x);
+    frame.base.ry.push_back(p.y);
+    frame.base.truth.push_back(r);
+    frame.tower.push_back(0);
+    ++r;
+  }
+  frame.base.rmatch_with.assign(frame.base.rx.size(), kNone);
+  return frame;
+}
+
+FlightDb parked(std::initializer_list<core::Vec2> positions) {
+  FlightDb db(positions.size());
+  std::size_t i = 0;
+  for (const auto& p : positions) {
+    db.x[i] = p.x;
+    db.y[i] = p.y;
+    db.alt[i] = 10000.0;
+    ++i;
+  }
+  return db;
+}
+
+TEST(MultiRadarCorrelate, ClosestReturnWinsOthersRedundant) {
+  FlightDb db = parked({{0, 0}});
+  auto frame = frame_at({{0.3, 0.0}, {0.1, 0.0}, {0.0, 0.2}});
+  const MultiRadarStats stats = correlate_multi(db, frame);
+  EXPECT_EQ(stats.matched_aircraft, 1u);
+  EXPECT_EQ(stats.redundant_returns, 2u);
+  EXPECT_EQ(stats.unmatched_returns, 0u);
+  // The winner is return 1 (distance 0.1 < 0.2 < 0.3).
+  EXPECT_EQ(frame.base.rmatch_with[1], 0);
+  EXPECT_EQ(frame.base.rmatch_with[0], kRedundant);
+  EXPECT_EQ(frame.base.rmatch_with[2], kRedundant);
+  EXPECT_DOUBLE_EQ(db.x[0], 0.1);
+}
+
+TEST(MultiRadarCorrelate, TieBreaksToLowestReturnIndex) {
+  FlightDb db = parked({{0, 0}});
+  auto frame = frame_at({{0.2, 0.0}, {-0.2, 0.0}});  // equal distance
+  correlate_multi(db, frame);
+  EXPECT_EQ(frame.base.rmatch_with[0], 0);
+  EXPECT_EQ(frame.base.rmatch_with[1], kRedundant);
+}
+
+TEST(MultiRadarCorrelate, AmbiguousReturnStillDiscarded) {
+  // One return covering two aircraft is ambiguous regardless of towers.
+  FlightDb db = parked({{0, 0}, {0.4, 0}});
+  auto frame = frame_at({{0.2, 0.0}});
+  const MultiRadarStats stats = correlate_multi(db, frame);
+  EXPECT_EQ(stats.discarded_returns, 1u);
+  EXPECT_EQ(stats.matched_aircraft, 0u);
+}
+
+TEST(MultiRadarCorrelate, SecondPassRecoversFarReturn) {
+  FlightDb db = parked({{0, 0}});
+  auto frame = frame_at({{0.8, 0.0}});  // outside pass-1 box (0.5)
+  const MultiRadarStats stats = correlate_multi(db, frame);
+  EXPECT_EQ(stats.matched_aircraft, 1u);
+  EXPECT_EQ(stats.passes, 2);
+}
+
+TEST(MultiRadarCorrelate, RealisticFieldQuality) {
+  const FlightDb initial = airfield::make_airfield(1500, 21);
+  FlightDb db = initial;
+  const auto towers = airfield::make_tower_layout(3);
+  core::Rng rng(4);
+  auto frame = airfield::generate_multi_radar(db, towers, rng);
+  const MultiRadarStats stats = correlate_multi(db, frame);
+
+  EXPECT_EQ(stats.returns, frame.size());
+  // Multi-coverage correlates nearly everyone...
+  EXPECT_GT(stats.matched_aircraft, 1400u);
+  // ...and produces plenty of redundant (multi-tower) returns.
+  EXPECT_GT(stats.redundant_returns, stats.matched_aircraft / 2);
+  // Accounting: every return is exactly one of the four dispositions.
+  std::size_t matched_returns = 0;
+  for (const std::int32_t m : frame.base.rmatch_with) {
+    if (m >= 0) ++matched_returns;
+  }
+  EXPECT_EQ(matched_returns + stats.redundant_returns +
+                stats.discarded_returns + stats.unmatched_returns,
+            stats.returns);
+  EXPECT_EQ(matched_returns, stats.matched_aircraft);
+}
+
+TEST(MultiRadarCorrelate, BetterAccuracyThanSingleRadar) {
+  // The whole point of processing all radar: picking the closest of
+  // several noisy returns tracks the aircraft more accurately than one
+  // noisy return. Compare mean position error after one update.
+  const FlightDb initial = airfield::make_airfield(800, 33);
+  const auto towers = airfield::make_tower_layout(3);
+
+  FlightDb multi_db = initial;
+  core::Rng rng_m(5);
+  auto multi_frame = airfield::generate_multi_radar(multi_db, towers, rng_m);
+  correlate_multi(multi_db, multi_frame);
+
+  double multi_err = 0.0;
+  int counted = 0;
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    const core::Vec2 truth = initial.expected(i);
+    multi_err += std::hypot(multi_db.x[i] - truth.x,
+                            multi_db.y[i] - truth.y);
+    ++counted;
+  }
+  multi_err /= counted;
+  // A single noisy return has mean |error| ~ noise/2 per axis; picking the
+  // best of several must land clearly below that.
+  EXPECT_LT(multi_err, 0.12);
+}
+
+}  // namespace
+}  // namespace atm::tasks::extended

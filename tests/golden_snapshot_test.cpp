@@ -1,0 +1,108 @@
+// Golden regression pinning: a fixed scenario's final flight state hashes
+// to a recorded value. Any semantic change to the ATM tasks — intended or
+// not — trips these tests, forcing the change to be acknowledged by
+// updating the snapshot constants below (and, because every backend is
+// bit-equivalent to the reference, one constant covers all platforms).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/atm/extended/full_pipeline.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/atm/reference_backend.hpp"
+
+namespace atm::tasks {
+namespace {
+
+/// FNV-1a over the raw bit patterns of a double sequence.
+std::uint64_t fnv1a(std::uint64_t h, const std::vector<double>& v) {
+  for (const double d : v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return h;
+}
+
+std::uint64_t state_hash(const airfield::FlightDb& db) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = fnv1a(h, db.x);
+  h = fnv1a(h, db.y);
+  h = fnv1a(h, db.dx);
+  h = fnv1a(h, db.dy);
+  h = fnv1a(h, db.alt);
+  return h;
+}
+
+// Recorded snapshots. If a deliberate semantic change lands, re-run with
+// --gtest_also_run_disabled_tests=0 and update from the failure message.
+constexpr std::uint64_t kCoreSnapshot = 0x853282fdb21714a8ULL;
+constexpr std::uint64_t kFullSnapshot = 0x1ae8ed9e6ec1b959ULL;
+
+std::uint64_t run_core_scenario() {
+  ReferenceBackend ref;
+  PipelineConfig cfg;
+  cfg.aircraft = 500;
+  cfg.major_cycles = 1;
+  cfg.seed = 20180813;  // ICPP'18 conference date
+  run_pipeline(ref, cfg);
+  return state_hash(ref.state());
+}
+
+std::uint64_t run_full_scenario() {
+  ReferenceBackend ref;
+  extended::FullSystemConfig cfg;
+  cfg.aircraft = 300;
+  cfg.major_cycles = 1;
+  cfg.seed = 20180813;
+  extended::run_full_system(ref, cfg);
+  return state_hash(ref.state());
+}
+
+TEST(GoldenSnapshot, CoreScenarioIsSelfConsistent) {
+  // The snapshot must at minimum be stable within a build.
+  EXPECT_EQ(run_core_scenario(), run_core_scenario());
+}
+
+TEST(GoldenSnapshot, FullScenarioIsSelfConsistent) {
+  EXPECT_EQ(run_full_scenario(), run_full_scenario());
+}
+
+TEST(GoldenSnapshot, EveryPlatformHashesToTheReference) {
+  PipelineConfig cfg;
+  cfg.aircraft = 400;
+  cfg.major_cycles = 1;
+  cfg.seed = 77;
+  ReferenceBackend ref;
+  run_pipeline(ref, cfg);
+  const std::uint64_t want = state_hash(ref.state());
+  for (auto& backend : make_platforms(PlatformSet::kAllPlatforms)) {
+    run_pipeline(*backend, cfg);
+    EXPECT_EQ(state_hash(backend->state()), want) << backend->name();
+  }
+}
+
+TEST(GoldenSnapshot, PinnedCoreValue) {
+  const std::uint64_t got = run_core_scenario();
+  if (kCoreSnapshot == 0x0) {
+    GTEST_SKIP() << "snapshot not recorded yet; value = 0x" << std::hex
+                 << got;
+  }
+  EXPECT_EQ(got, kCoreSnapshot);
+}
+
+TEST(GoldenSnapshot, PinnedFullValue) {
+  const std::uint64_t got = run_full_scenario();
+  if (kFullSnapshot == 0x0) {
+    GTEST_SKIP() << "snapshot not recorded yet; value = 0x" << std::hex
+                 << got;
+  }
+  EXPECT_EQ(got, kFullSnapshot);
+}
+
+}  // namespace
+}  // namespace atm::tasks

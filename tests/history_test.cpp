@@ -1,0 +1,145 @@
+// Tests for flight-history recording and retrace.
+#include "src/airfield/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+
+namespace atm::airfield {
+namespace {
+
+FlightDb db_at(double x, double y) {
+  FlightDb db(1);
+  db.x[0] = x;
+  db.y[0] = y;
+  db.alt[0] = 10000.0;
+  return db;
+}
+
+TEST(FlightRecorder, RejectsBadConstruction) {
+  EXPECT_THROW(FlightRecorder(5, 0), std::invalid_argument);
+  FlightRecorder rec(2, 4);
+  FlightDb wrong(3);
+  EXPECT_THROW(rec.record(wrong), std::invalid_argument);
+}
+
+TEST(FlightRecorder, EmptyRecorderAnswersNothing) {
+  FlightRecorder rec(3, 8);
+  EXPECT_EQ(rec.recorded(), 0);
+  EXPECT_EQ(rec.latest_period(), -1);
+  EXPECT_FALSE(rec.last_known(0).has_value());
+  EXPECT_TRUE(rec.retrace(0, 5).empty());
+  EXPECT_FALSE(rec.extrapolate(0, 10.0).has_value());
+}
+
+TEST(FlightRecorder, RetraceReturnsOldestFirst) {
+  FlightRecorder rec(1, 8);
+  for (int p = 0; p < 5; ++p) {
+    rec.record(db_at(static_cast<double>(p), 0.0));
+  }
+  const auto track = rec.retrace(0, 3);
+  ASSERT_EQ(track.size(), 3u);
+  EXPECT_EQ(track[0].period, 2);
+  EXPECT_DOUBLE_EQ(track[0].x, 2.0);
+  EXPECT_EQ(track[2].period, 4);
+  EXPECT_DOUBLE_EQ(track[2].x, 4.0);
+}
+
+TEST(FlightRecorder, RingBufferEvictsOldest) {
+  FlightRecorder rec(1, 4);
+  for (int p = 0; p < 10; ++p) {
+    rec.record(db_at(static_cast<double>(p), 0.0));
+  }
+  EXPECT_EQ(rec.recorded(), 4);
+  EXPECT_EQ(rec.latest_period(), 9);
+  const auto track = rec.retrace(0, 100);  // ask for more than held
+  ASSERT_EQ(track.size(), 4u);
+  EXPECT_EQ(track.front().period, 6);
+  EXPECT_EQ(track.back().period, 9);
+}
+
+TEST(FlightRecorder, LastKnownIsMostRecent) {
+  FlightRecorder rec(1, 4);
+  rec.record(db_at(1.0, 2.0));
+  rec.record(db_at(3.0, 4.0));
+  const auto last = rec.last_known(0);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_DOUBLE_EQ(last->x, 3.0);
+  EXPECT_DOUBLE_EQ(last->y, 4.0);
+}
+
+TEST(FlightRecorder, ExtrapolatesAlongLastLeg) {
+  FlightRecorder rec(1, 4);
+  rec.record(db_at(0.0, 0.0));
+  rec.record(db_at(1.0, -0.5));
+  const auto est = rec.extrapolate(0, 10.0);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->x, 11.0);
+  EXPECT_DOUBLE_EQ(est->y, -5.5);
+}
+
+TEST(FlightRecorder, OutOfRangeAircraftRejected) {
+  FlightRecorder rec(2, 4);
+  rec.record(FlightDb(2));
+  EXPECT_FALSE(rec.last_known(-1).has_value());
+  EXPECT_FALSE(rec.last_known(2).has_value());
+  EXPECT_TRUE(rec.retrace(5, 3).empty());
+}
+
+TEST(FlightRecorder, PipelineRecordsEveryPeriod) {
+  tasks::PipelineConfig cfg;
+  cfg.aircraft = 100;
+  cfg.major_cycles = 2;
+  FlightRecorder recorder(100, 64);
+  cfg.recorder = &recorder;
+  auto backend = tasks::make_titan_x_pascal();
+  tasks::run_pipeline(*backend, cfg);
+
+  EXPECT_EQ(recorder.recorded(), 32);
+  // The retrace ends exactly at the aircraft's current tracked position.
+  const auto last = recorder.last_known(7);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_DOUBLE_EQ(last->x, backend->state().x[7]);
+  EXPECT_DOUBLE_EQ(last->y, backend->state().y[7]);
+
+  // A full retrace is a plausible flight: per-period displacement bounded
+  // by max speed (600 knots = 1/12 nm per period) plus radar noise,
+  // except at grid re-entry jumps.
+  const auto track = recorder.retrace(7, 32);
+  ASSERT_EQ(track.size(), 32u);
+  for (std::size_t k = 1; k < track.size(); ++k) {
+    const double step = std::hypot(track[k].x - track[k - 1].x,
+                                   track[k].y - track[k - 1].y);
+    if (step > 1.0) continue;  // re-entry teleport to (-x, -y)
+    EXPECT_LE(step, 600.0 / 7200.0 + 0.5 + 1e-9);
+  }
+}
+
+TEST(FlightRecorder, SupportsDisappearedAircraftWorkflow) {
+  // The paper's scenario: an aircraft "disappears" (transponder off);
+  // the saved radar retraces it and extrapolates a search area.
+  tasks::PipelineConfig cfg;
+  cfg.aircraft = 50;
+  cfg.major_cycles = 1;
+  FlightRecorder recorder(50, 16);
+  cfg.recorder = &recorder;
+  auto backend = tasks::make_gtx_880m();
+  tasks::run_pipeline(*backend, cfg);
+
+  // "Lose" aircraft 13 now; retrace and extrapolate 2 minutes ahead.
+  const auto est = recorder.extrapolate(13, 240.0);
+  ASSERT_TRUE(est.has_value());
+  const auto last = recorder.last_known(13);
+  ASSERT_TRUE(last.has_value());
+  // The estimate continues the last leg. A leg is at most max speed
+  // (600 knots = 1/12 nm/period) plus the radar-noise delta between two
+  // tracked positions (up to ~0.7 nm), so the 240-period search point
+  // stays within 240 x 0.8 nm of the last known position.
+  EXPECT_LT(std::hypot(est->x - last->x, est->y - last->y), 240.0 * 0.8);
+  EXPECT_EQ(est->period, last->period + 240);
+}
+
+}  // namespace
+}  // namespace atm::airfield

@@ -1,0 +1,78 @@
+// Tests for the scenario presets.
+#include "src/atm/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/atm/platforms.hpp"
+
+namespace atm::tasks {
+namespace {
+
+TEST(Scenarios, AllHaveUniqueNamesAndDescriptions) {
+  std::set<std::string> names;
+  for (const Scenario& s : all_scenarios()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_GT(s.default_aircraft, 0u);
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(Scenarios, PaperAirfieldIsTheDefaults) {
+  const Scenario s = paper_airfield();
+  EXPECT_DOUBLE_EQ(s.setup.position_max_nm, core::kSetupPositionMaxNm);
+  EXPECT_DOUBLE_EQ(s.task23.band_nm, core::kBatcherBandNm);
+  EXPECT_DOUBLE_EQ(s.task1.box_half_nm, core::kCorrelationBoxHalfNm);
+}
+
+TEST(Scenarios, DroneSwarmMatchesFutureWorkDescription) {
+  const Scenario s = drone_swarm();
+  EXPECT_LE(s.setup.max_speed_knots, 100.0);
+  EXPECT_LE(s.setup.max_altitude_feet, 2000.0);
+  EXPECT_LT(s.task23.band_nm, 1.0);
+  EXPECT_GT(s.task23.turn_max_deg, 45.0);
+}
+
+class ScenarioRunTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioRunTest, EveryScenarioRunsCleanOnTheResearchCard) {
+  const Scenario scenario =
+      all_scenarios()[static_cast<std::size_t>(GetParam())];
+  auto backend = make_titan_x_pascal();
+  const PipelineConfig cfg = make_pipeline_config(scenario, 1, 7);
+  const PipelineResult result = run_pipeline(*backend, cfg);
+  EXPECT_EQ(result.monitor.total_missed(), 0u)
+      << scenario.name << " missed deadlines on the Titan X";
+  EXPECT_EQ(result.monitor.task("task1").scheduled(), 16u);
+  // The flight population survived intact.
+  EXPECT_EQ(backend->state().size(), scenario.default_aircraft);
+}
+
+TEST_P(ScenarioRunTest, FullSystemConfigCarriesScenarioParameters) {
+  const Scenario scenario =
+      all_scenarios()[static_cast<std::size_t>(GetParam())];
+  const extended::FullSystemConfig cfg = make_full_config(scenario, 2, 3);
+  EXPECT_EQ(cfg.aircraft, scenario.default_aircraft);
+  EXPECT_EQ(cfg.major_cycles, 2);
+  EXPECT_DOUBLE_EQ(cfg.task23.band_nm, scenario.task23.band_nm);
+  EXPECT_DOUBLE_EQ(cfg.radar.noise_nm, scenario.radar.noise_nm);
+  EXPECT_DOUBLE_EQ(cfg.advisory.boundary_warn_nm,
+                   scenario.advisory.boundary_warn_nm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ScenarioRunTest, ::testing::Range(0, 5),
+    [](const ::testing::TestParamInfo<int>& info) {
+      std::string name =
+          all_scenarios()[static_cast<std::size_t>(info.param)].name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace atm::tasks

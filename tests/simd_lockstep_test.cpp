@@ -1,0 +1,130 @@
+// Tests for the lock-step SIMD machine (src/simd/lockstep.hpp).
+#include "src/simd/lockstep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace atm::simd {
+namespace {
+
+TEST(MachineSpec, Csx600MatchesPaperDescription) {
+  const MachineSpec spec = csx600_spec();
+  // Paper Section 1.1: "two chips, each chip consisting of a SIMD system
+  // with 96 processing elements".
+  EXPECT_EQ(spec.pe_count, 192);
+  EXPECT_DOUBLE_EQ(spec.clock_mhz, 210.0);
+  EXPECT_EQ(csx600_single_chip_spec().pe_count, 96);
+}
+
+TEST(LockstepMachine, RejectsNonPositivePeCount) {
+  MachineSpec spec = csx600_spec();
+  spec.pe_count = 0;
+  EXPECT_THROW(LockstepMachine{spec}, std::invalid_argument);
+}
+
+TEST(LockstepMachine, VirtualizationRounds) {
+  LockstepMachine m(csx600_spec());
+  EXPECT_EQ(m.rounds(0), 0u);
+  EXPECT_EQ(m.rounds(1), 1u);
+  EXPECT_EQ(m.rounds(192), 1u);
+  EXPECT_EQ(m.rounds(193), 2u);
+  EXPECT_EQ(m.rounds(16000), 84u);
+}
+
+TEST(LockstepMachine, PolyAppliesToEveryElement) {
+  LockstepMachine m(csx600_spec());
+  std::vector<int> v(500, 0);
+  m.poly(v.size(), 1, [&](std::size_t i) { v[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], static_cast<int>(i));
+  }
+}
+
+TEST(LockstepMachine, PolyCostScalesWithRounds) {
+  LockstepMachine m(csx600_spec());
+  m.poly(192, 1, [](std::size_t) {});
+  const Cycles one_round = m.cycles();
+  m.reset();
+  m.poly(192 * 10, 1, [](std::size_t) {});
+  EXPECT_EQ(m.cycles(), one_round * 10);
+}
+
+TEST(LockstepMachine, PolyCostScalesWithWeight) {
+  LockstepMachine m(csx600_spec());
+  m.poly(100, 1, [](std::size_t) {});
+  const Cycles w1 = m.cycles();
+  m.reset();
+  m.poly(100, 7, [](std::size_t) {});
+  EXPECT_EQ(m.cycles(), w1 * 7);
+}
+
+TEST(LockstepMachine, BroadcastIsConstantCost) {
+  LockstepMachine m(csx600_spec());
+  m.broadcast();
+  const Cycles c = m.cycles();
+  EXPECT_EQ(c, csx600_spec().broadcast_cycles);
+}
+
+TEST(LockstepMachine, ReduceMinIndexFindsMaskedMinimum) {
+  LockstepMachine m(csx600_spec());
+  const std::vector<double> keys{5.0, 1.0, 3.0, 0.5, 9.0};
+  const std::vector<std::uint8_t> mask{1, 1, 1, 0, 1};  // 0.5 masked out
+  EXPECT_EQ(m.reduce_min_index(keys, mask), 1u);
+}
+
+TEST(LockstepMachine, ReduceMinIndexTiesToLowestIndex) {
+  LockstepMachine m(csx600_spec());
+  const std::vector<double> keys{2.0, 1.0, 1.0};
+  const std::vector<std::uint8_t> mask{1, 1, 1};
+  EXPECT_EQ(m.reduce_min_index(keys, mask), 1u);
+}
+
+TEST(LockstepMachine, ReduceMinIndexEmptyMask) {
+  LockstepMachine m(csx600_spec());
+  const std::vector<double> keys{1.0, 2.0};
+  const std::vector<std::uint8_t> mask{0, 0};
+  EXPECT_EQ(m.reduce_min_index(keys, mask), LockstepMachine::npos);
+}
+
+TEST(LockstepMachine, ReduceCount) {
+  LockstepMachine m(csx600_spec());
+  const std::vector<std::uint8_t> mask{1, 0, 1, 1, 0};
+  EXPECT_EQ(m.reduce_count(mask), 3u);
+  EXPECT_GT(m.cycles(), 0u);
+}
+
+TEST(LockstepMachine, RingShiftRotatesRightByOne) {
+  LockstepMachine m(csx600_spec());
+  const std::vector<double> in{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> out(4);
+  m.ring_shift(in, out);
+  EXPECT_EQ(out, (std::vector<double>{4.0, 1.0, 2.0, 3.0}));
+}
+
+TEST(LockstepMachine, RingShiftSizeMismatchThrows) {
+  LockstepMachine m(csx600_spec());
+  const std::vector<double> in(4);
+  std::vector<double> out(3);
+  EXPECT_THROW(m.ring_shift(in, out), std::invalid_argument);
+}
+
+TEST(LockstepMachine, ElapsedMsUsesClock) {
+  LockstepMachine m(csx600_spec());
+  m.charge_scalar(210);  // 210 op-cycle units => 420 cycles at 2 cyc/op
+  EXPECT_NEAR(m.elapsed_ms(), 420.0 / (210e6) * 1e3, 1e-12);
+  m.reset();
+  EXPECT_EQ(m.cycles(), 0u);
+}
+
+TEST(LockstepMachine, SingleChipIsTwiceAsSlowOnBigPoly) {
+  LockstepMachine two(csx600_spec());
+  LockstepMachine one(csx600_single_chip_spec());
+  two.poly(9600, 1, [](std::size_t) {});
+  one.poly(9600, 1, [](std::size_t) {});
+  EXPECT_EQ(one.cycles(), 2 * two.cycles());
+}
+
+}  // namespace
+}  // namespace atm::simd

@@ -1,0 +1,321 @@
+// Tests for the SIMT execution engine and its cost model (src/simt).
+#include "src/simt/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/simt/device_spec.hpp"
+
+namespace atm::simt {
+namespace {
+
+Device make_device() { return Device(titan_x_pascal()); }
+
+TEST(Dim3, CountAndLinearIndex) {
+  EXPECT_EQ((Dim3{4, 3, 2}.count()), 24u);
+  EXPECT_EQ((Dim3{}.count()), 1u);
+  EXPECT_EQ(linear_index(Dim3{1, 2, 0}, Dim3{4, 3, 2}), 9u);
+  EXPECT_EQ(linear_index(Dim3{0, 0, 1}, Dim3{4, 3, 2}), 12u);
+}
+
+TEST(OneThreadPerItem, PaperBlockShape) {
+  // Paper Section 6.1: 96 aircraft -> 1 block of 96 threads; more aircraft
+  // keep 96 threads/block and grow the block count.
+  const auto cfg1 = one_thread_per_item(96, 96);
+  EXPECT_EQ(cfg1.grid.x, 1u);
+  EXPECT_EQ(cfg1.block.x, 96u);
+  const auto cfg2 = one_thread_per_item(97, 96);
+  EXPECT_EQ(cfg2.grid.x, 2u);
+  const auto cfg3 = one_thread_per_item(16000, 96);
+  EXPECT_EQ(cfg3.grid.x, 167u);
+}
+
+TEST(OneThreadPerItem, ZeroItemsStillLaunchesOneBlock) {
+  const auto cfg = one_thread_per_item(0, 96);
+  EXPECT_EQ(cfg.grid.x, 1u);
+}
+
+TEST(OneThreadPerItem, RejectsNonPositiveBlock) {
+  EXPECT_THROW((void)one_thread_per_item(10, 0), std::invalid_argument);
+}
+
+TEST(Device, EveryLogicalThreadRunsExactlyOnce) {
+  Device dev = make_device();
+  std::vector<int> hits(1000, 0);
+  const auto cfg = one_thread_per_item(hits.size(), 96);
+  dev.launch(cfg, [&](ThreadCtx& ctx) {
+    if (ctx.global_id() < hits.size()) ++hits[ctx.global_id()];
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(Device, GlobalIdMatchesCudaFormula) {
+  Device dev = make_device();
+  const LaunchConfig cfg{.grid = Dim3{3}, .block = Dim3{4}};
+  std::vector<std::uint64_t> ids;
+  dev.launch(cfg, [&](ThreadCtx& ctx) {
+    EXPECT_EQ(ctx.global_id(),
+              ctx.block_idx().x * ctx.block_dim().x + ctx.thread_idx().x);
+    ids.push_back(ctx.global_id());
+  });
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(Device, RejectsOversizedBlock) {
+  Device dev(geforce_9800_gt());  // max 512 threads/block on CC 1.x
+  const LaunchConfig cfg{.grid = Dim3{1}, .block = Dim3{1024}};
+  EXPECT_THROW(dev.launch(cfg, [](ThreadCtx&) {}), std::invalid_argument);
+}
+
+TEST(Device, RejectsEmptyLaunch) {
+  Device dev = make_device();
+  const LaunchConfig cfg{.grid = Dim3{0}, .block = Dim3{32}};
+  EXPECT_THROW(dev.launch(cfg, [](ThreadCtx&) {}), std::invalid_argument);
+}
+
+TEST(Device, ModeledTimeIncludesLaunchOverhead) {
+  Device dev = make_device();
+  const auto stats =
+      dev.launch(one_thread_per_item(1, 96), [](ThreadCtx&) {});
+  EXPECT_GE(stats.modeled_ms, dev.spec().launch_overhead_us * 1e-3);
+}
+
+TEST(Device, MoreWorkMoreCycles) {
+  Device dev = make_device();
+  const auto cfg = one_thread_per_item(10000, 96);
+  const auto light = dev.launch(cfg, [](ThreadCtx& ctx) { ctx.charge(10); });
+  const auto heavy =
+      dev.launch(cfg, [](ThreadCtx& ctx) { ctx.charge(1000); });
+  EXPECT_GT(heavy.cycles, light.cycles * 50);
+}
+
+TEST(Device, WarpPaysItsLongestLane) {
+  // One divergent heavy thread per warp costs the warp the heavy path.
+  Device dev = make_device();
+  const LaunchConfig cfg{.grid = Dim3{1}, .block = Dim3{32}};
+  const auto uniform = dev.launch(cfg, [](ThreadCtx& ctx) { ctx.charge(100); });
+  const auto divergent = dev.launch(cfg, [](ThreadCtx& ctx) {
+    ctx.charge(ctx.thread_idx().x == 0 ? 100 : 1);
+  });
+  EXPECT_EQ(uniform.cycles, divergent.cycles);
+}
+
+TEST(Device, ThroughputBoundKicksInOnNarrowSm) {
+  // The 9800 GT has 8 cores/SM: a 96-thread block (3 warps) must serialize
+  // 32/8 = 4x per warp; the Titan X (128 cores/SM) runs the 3 warps at
+  // full width and pays only the longest warp.
+  const LaunchConfig cfg{.grid = Dim3{1}, .block = Dim3{96}};
+  Device narrow(geforce_9800_gt());
+  Device wide(titan_x_pascal());
+  const auto n = narrow.launch(cfg, [](ThreadCtx& ctx) { ctx.charge(1000); });
+  const auto w = wide.launch(cfg, [](ThreadCtx& ctx) { ctx.charge(1000); });
+  EXPECT_EQ(w.cycles, 1000u);
+  EXPECT_EQ(n.cycles, 3u * 1000u * 32u / 8u);
+}
+
+TEST(Device, BlocksSpreadOverSms) {
+  // sm_count identical blocks take one wave; sm_count+1 take two.
+  Device dev = make_device();
+  const int sms = dev.spec().sm_count;
+  const auto one_wave = dev.launch(
+      LaunchConfig{.grid = Dim3{static_cast<std::uint32_t>(sms)},
+                   .block = Dim3{32}},
+      [](ThreadCtx& ctx) { ctx.charge(500); });
+  const auto two_waves = dev.launch(
+      LaunchConfig{.grid = Dim3{static_cast<std::uint32_t>(sms + 1)},
+                   .block = Dim3{32}},
+      [](ThreadCtx& ctx) { ctx.charge(500); });
+  EXPECT_EQ(one_wave.cycles, 500u);
+  EXPECT_EQ(two_waves.cycles, 1000u);
+}
+
+TEST(Device, PhasedLaunchHasBarrierSemantics) {
+  // Phase 1 of every thread sees the phase-0 writes of *all* threads in
+  // the block.
+  Device dev = make_device();
+  const LaunchConfig cfg{.grid = Dim3{1}, .block = Dim3{64}};
+  std::vector<int> stage(64, 0);
+  bool barrier_respected = true;
+  dev.launch_phased(cfg, 2, [&](ThreadCtx& ctx, int phase) {
+    const auto t = ctx.thread_idx().x;
+    if (phase == 0) {
+      stage[t] = 1;
+    } else {
+      for (const int s : stage) {
+        if (s != 1) barrier_respected = false;
+      }
+    }
+  });
+  EXPECT_TRUE(barrier_respected);
+}
+
+TEST(Device, PhasedChargesAccumulateAcrossPhases) {
+  Device dev = make_device();
+  const LaunchConfig cfg{.grid = Dim3{1}, .block = Dim3{32}};
+  const auto stats = dev.launch_phased(
+      cfg, 3, [](ThreadCtx& ctx, int) { ctx.charge(100); });
+  EXPECT_EQ(stats.cycles, 300u);
+}
+
+TEST(Device, SharedMemoryBlockReduction) {
+  // Classic two-phase block sum: phase 0 accumulates into shared scratch,
+  // phase 1 (after the implicit barrier) reads the total.
+  Device dev = make_device();
+  const LaunchConfig cfg{.grid = Dim3{4}, .block = Dim3{64}};
+  std::vector<long long> block_totals(4, -1);
+  dev.launch_shared<long long>(
+      cfg, 1, 2, [&](ThreadCtx& ctx, std::span<long long> shared, int phase) {
+        if (phase == 0) {
+          ctx.atomic_add(shared[0],
+                         static_cast<long long>(ctx.thread_idx().x));
+          ctx.charge(cost::kSharedAccess);
+        } else if (ctx.thread_idx().x == 0) {
+          block_totals[ctx.block_idx().x] = shared[0];
+        }
+      });
+  for (const long long total : block_totals) {
+    EXPECT_EQ(total, 63LL * 64 / 2);  // every block sums 0..63
+  }
+}
+
+TEST(Device, SharedMemoryIsZeroedPerBlock) {
+  // A later block must not see an earlier block's scratch.
+  Device dev = make_device();
+  const LaunchConfig cfg{.grid = Dim3{8}, .block = Dim3{32}};
+  bool leaked = false;
+  dev.launch_shared<int>(
+      cfg, 4, 1, [&](ThreadCtx& ctx, std::span<int> shared, int) {
+        if (ctx.thread_idx().x == 0) {
+          for (const int v : shared) {
+            if (v != 0) leaked = true;
+          }
+        }
+        shared[ctx.thread_idx().x % 4] = 7;  // dirty it for the next block
+      });
+  EXPECT_FALSE(leaked);
+}
+
+TEST(Device, SharedMemoryZeroingSurvivesShuffledOrder) {
+  Device dev = make_device();
+  dev.set_thread_order(ThreadOrder::kShuffled);
+  const LaunchConfig cfg{.grid = Dim3{6}, .block = Dim3{48}};
+  std::vector<long long> block_totals(6, -1);
+  dev.launch_shared<long long>(
+      cfg, 1, 2, [&](ThreadCtx& ctx, std::span<long long> shared, int phase) {
+        if (phase == 0) {
+          ctx.atomic_add(shared[0], 1LL);
+        } else if (ctx.thread_idx().x == 0) {
+          block_totals[ctx.block_idx().x] = shared[0];
+        }
+      });
+  for (const long long total : block_totals) EXPECT_EQ(total, 48);
+}
+
+TEST(Device, SharedMemoryLimitEnforcedPerDevice) {
+  // CC 1.x: 16 KB per block. 3000 doubles = 24 KB must be rejected on the
+  // 9800 GT and accepted on the Kepler/Pascal cards.
+  Device old_card(geforce_9800_gt());
+  const LaunchConfig cfg{.grid = Dim3{1}, .block = Dim3{32}};
+  EXPECT_THROW(old_card.launch_shared<double>(
+                   cfg, 3000, 1,
+                   [](ThreadCtx&, std::span<double>, int) {}),
+               std::invalid_argument);
+  Device new_card(titan_x_pascal());
+  EXPECT_NO_THROW(new_card.launch_shared<double>(
+      cfg, 3000, 1, [](ThreadCtx&, std::span<double>, int) {}));
+}
+
+TEST(Device, ShuffledOrderStillRunsEveryThread) {
+  Device dev = make_device();
+  dev.set_thread_order(ThreadOrder::kShuffled);
+  std::vector<int> hits(500, 0);
+  dev.launch(one_thread_per_item(hits.size(), 96), [&](ThreadCtx& ctx) {
+    if (ctx.global_id() < hits.size()) ++hits[ctx.global_id()];
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(Device, TransfersModelLatencyPlusBandwidth) {
+  Device dev = make_device();
+  const auto small = dev.transfer(8);
+  const auto large = dev.transfer(100'000'000);
+  EXPECT_GE(small.modeled_ms, dev.spec().transfer_latency_us * 1e-3);
+  // 100 MB at 12 GB/s ~ 8.3 ms, far above the latency floor.
+  EXPECT_GT(large.modeled_ms, 10 * small.modeled_ms);
+}
+
+TEST(Device, BufferCopiesRoundTrip) {
+  Device dev = make_device();
+  auto buf = dev.alloc<double>(100);
+  std::vector<double> host(100);
+  std::iota(host.begin(), host.end(), 0.0);
+  dev.copy_to_device(buf, std::span<const double>(host));
+  std::vector<double> back(100, -1.0);
+  dev.copy_to_host(std::span<double>(back), buf);
+  EXPECT_EQ(host, back);
+  EXPECT_EQ(dev.totals().transfers, 2u);
+  EXPECT_EQ(dev.totals().bytes_moved, 2u * 100u * sizeof(double));
+}
+
+TEST(Device, BufferCopySizeMismatchThrows) {
+  Device dev = make_device();
+  auto buf = dev.alloc<int>(10);
+  std::vector<int> host(5);
+  EXPECT_THROW(dev.copy_to_device(buf, std::span<const int>(host)),
+               std::invalid_argument);
+}
+
+TEST(Device, TotalsAccumulateAndReset) {
+  Device dev = make_device();
+  dev.launch(one_thread_per_item(10, 96), [](ThreadCtx& ctx) {
+    ctx.charge(5);
+  });
+  dev.transfer(1024);
+  EXPECT_EQ(dev.totals().launches, 1u);
+  EXPECT_EQ(dev.totals().transfers, 1u);
+  EXPECT_GT(dev.totals().kernel_ms, 0.0);
+  dev.reset_totals();
+  EXPECT_EQ(dev.totals().launches, 0u);
+  EXPECT_EQ(dev.totals().kernel_ms, 0.0);
+}
+
+TEST(ThreadCtx, AtomicsBehaveAndCharge) {
+  ThreadCtx ctx(Dim3{}, Dim3{}, Dim3{32}, Dim3{1});
+  int x = 5;
+  EXPECT_EQ(ctx.atomic_cas(x, 5, 9), 5);
+  EXPECT_EQ(x, 9);
+  EXPECT_EQ(ctx.atomic_cas(x, 5, 1), 9);  // no-op, wrong expected
+  EXPECT_EQ(x, 9);
+  EXPECT_EQ(ctx.atomic_exch(x, 2), 9);
+  EXPECT_EQ(x, 2);
+  EXPECT_EQ(ctx.atomic_min(x, 7), 2);
+  EXPECT_EQ(x, 2);
+  EXPECT_EQ(ctx.atomic_min(x, -1), 2);
+  EXPECT_EQ(x, -1);
+  EXPECT_EQ(ctx.atomic_add(x, 10), -1);
+  EXPECT_EQ(x, 9);
+  EXPECT_EQ(ctx.cycles(), 6u * cost::kAtomic);
+}
+
+TEST(DeviceSpecs, PaperCatalogOrderingAndShapes) {
+  const auto cards = paper_device_catalog();
+  ASSERT_EQ(cards.size(), 3u);
+  EXPECT_EQ(cards[0].name, "GeForce 9800 GT");
+  EXPECT_EQ(cards[1].name, "GTX 880M");
+  EXPECT_EQ(cards[2].name, "Titan X (Pascal)");
+  // Compute capability and core counts match Section 6.1's description.
+  EXPECT_EQ(cards[0].compute_capability, 10);
+  EXPECT_EQ(cards[1].compute_capability, 30);
+  EXPECT_EQ(cards[2].compute_capability, 61);
+  EXPECT_EQ(cards[0].total_cores(), 112);
+  EXPECT_EQ(cards[1].total_cores(), 1536);
+  EXPECT_EQ(cards[2].total_cores(), 3584);
+}
+
+}  // namespace
+}  // namespace atm::simt

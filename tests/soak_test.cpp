@@ -1,0 +1,102 @@
+// Soak test: a long steady-state run — 30 major cycles (4 simulated
+// minutes) — checking that the system neither leaks state nor drifts into
+// inconsistency, and that the airfield reaches a believable steady state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/airfield/history.hpp"
+#include "src/airfield/setup.hpp"
+#include "src/atm/extended/full_pipeline.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+
+namespace atm::tasks {
+namespace {
+
+TEST(Soak, ThirtyMajorCyclesStayConsistent) {
+  constexpr std::size_t kAircraft = 600;
+  PipelineConfig cfg;
+  cfg.aircraft = kAircraft;
+  cfg.major_cycles = 30;
+  cfg.seed = 4242;
+  airfield::FlightRecorder recorder(kAircraft, 480);
+  cfg.recorder = &recorder;
+
+  auto backend = make_titan_x_pascal();
+  const PipelineResult result = run_pipeline(*backend, cfg);
+
+  // Scheduling: 480 Task 1 periods, 30 collision passes, zero misses.
+  EXPECT_EQ(result.monitor.task("task1").scheduled(), 480u);
+  EXPECT_EQ(result.monitor.task("task23").scheduled(), 30u);
+  EXPECT_EQ(result.monitor.total_missed(), 0u);
+  EXPECT_DOUBLE_EQ(result.virtual_end_ms, 30.0 * 8000.0);
+
+  // State integrity after 4 simulated minutes.
+  const airfield::FlightDb& db = backend->state();
+  const airfield::FlightDb initial =
+      airfield::make_airfield(kAircraft, cfg.seed);
+  ASSERT_EQ(db.size(), kAircraft);
+  for (std::size_t i = 0; i < kAircraft; ++i) {
+    ASSERT_TRUE(std::isfinite(db.x[i]) && std::isfinite(db.y[i]))
+        << "aircraft " << i;
+    // The paper's (-x, -y) re-entry preserves exit magnitude, so noisy
+    // edge oscillators random-walk outward ~noise * sqrt(periods) before
+    // their velocity carries them back: bound the 480-period drift at
+    // 8 nm (see airfield/flight_db.cpp).
+    ASSERT_LE(std::fabs(db.x[i]), core::kGridHalfExtentNm + 8.0);
+    ASSERT_LE(std::fabs(db.y[i]), core::kGridHalfExtentNm + 8.0);
+    ASSERT_NEAR(std::hypot(db.dx[i], db.dy[i]),
+                std::hypot(initial.dx[i], initial.dy[i]), 1e-9)
+        << "speed drifted for aircraft " << i;
+  }
+
+  // The recorder kept the last 480 periods and its tail matches reality.
+  EXPECT_EQ(recorder.recorded(), 480);
+  const auto last = recorder.last_known(0);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_DOUBLE_EQ(last->x, db.x[0]);
+
+  // Task 1 timing stays flat across the run (no monotically growing
+  // cost = no state accumulation bug): the last cycle's mean is within
+  // 3x the first cycle's.
+  double first = 0.0, final = 0.0;
+  for (int p = 0; p < 16; ++p) {
+    first += result.periods[static_cast<std::size_t>(p)].task1_ms;
+    final += result.periods[result.periods.size() - 16 +
+                            static_cast<std::size_t>(p)]
+                 .task1_ms;
+  }
+  EXPECT_LT(final, 3.0 * first + 1e-6);
+}
+
+TEST(Soak, FullSystemTenCyclesOnTheLaptopCard) {
+  extended::FullSystemConfig cfg;
+  cfg.aircraft = 500;
+  cfg.major_cycles = 10;
+  cfg.seed = 99;
+  auto backend = make_gtx_880m();
+  const auto result = extended::run_full_system(*backend, cfg);
+
+  EXPECT_EQ(result.monitor.task("task1").scheduled(), 160u);
+  EXPECT_EQ(result.monitor.task("display").scheduled(), 160u);
+  EXPECT_EQ(result.monitor.task("sporadic").scheduled(), 160u);
+  EXPECT_EQ(result.monitor.task("advisory").scheduled(), 20u);
+  EXPECT_EQ(result.monitor.task("task23").scheduled(), 10u);
+  EXPECT_EQ(result.monitor.task("terrain").scheduled(), 10u);
+  EXPECT_EQ(result.monitor.total_missed() + result.monitor.total_skipped(),
+            0u);
+
+  // Terrain discipline held: nobody is below clearance on their current
+  // sample path at run end.
+  const airfield::FlightDb& db = backend->state();
+  const airfield::TerrainMap& terrain = *backend->terrain();
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const double ground = terrain.elevation_at(db.x[i], db.y[i]);
+    ASSERT_GT(db.alt[i] - ground, -1e-9)
+        << "aircraft " << i << " underground";
+  }
+}
+
+}  // namespace
+}  // namespace atm::tasks

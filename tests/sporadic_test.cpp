@@ -1,0 +1,157 @@
+// Tests for the sporadic-requests task: semantics, cross-backend
+// equivalence, and the associative advantage.
+#include "src/atm/extended/sporadic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/extended/display.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/atm/reference_backend.hpp"
+
+namespace atm::tasks::extended {
+namespace {
+
+using airfield::FlightDb;
+
+TEST(QueryMatches, ByIdExactOnly) {
+  FlightDb db(3);
+  Query q;
+  q.kind = QueryKind::kById;
+  q.id = 1;
+  EXPECT_FALSE(query_matches(db, 0, q));
+  EXPECT_TRUE(query_matches(db, 1, q));
+  EXPECT_FALSE(query_matches(db, 2, q));
+}
+
+TEST(QueryMatches, InSectorUsesDisplayState) {
+  FlightDb db(2);
+  db.sector[0] = 42;
+  db.sector[1] = 7;
+  Query q;
+  q.kind = QueryKind::kInSector;
+  q.sector = 42;
+  EXPECT_TRUE(query_matches(db, 0, q));
+  EXPECT_FALSE(query_matches(db, 1, q));
+}
+
+TEST(QueryMatches, NearPointIsInclusiveDisk) {
+  FlightDb db(2);
+  db.x[0] = 3.0;
+  db.y[0] = 4.0;  // distance 5 from origin
+  db.x[1] = 10.0;
+  Query q;
+  q.kind = QueryKind::kNearPoint;
+  q.x = 0.0;
+  q.y = 0.0;
+  q.radius_nm = 5.0;
+  EXPECT_TRUE(query_matches(db, 0, q));  // exactly on the rim
+  EXPECT_FALSE(query_matches(db, 1, q));
+}
+
+TEST(AnswerQueries, CountsHitsAndOrdersIds) {
+  FlightDb db(5);
+  for (std::size_t i = 0; i < 5; ++i) db.x[i] = static_cast<double>(i);
+  Query q;
+  q.kind = QueryKind::kNearPoint;
+  q.x = 2.0;
+  q.radius_nm = 1.5;
+  std::vector<std::vector<std::int32_t>> answers;
+  const SporadicStats stats = answer_queries(db, {&q, 1}, answers);
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(answers[0], (std::vector<std::int32_t>{1, 2, 3}));
+}
+
+TEST(MakeQueryBatch, DeterministicAndWellFormed) {
+  const FlightDb db = airfield::make_airfield(100, 4);
+  core::Rng a(9), b(9);
+  SporadicParams params;
+  params.queries_per_batch = 20;
+  const auto batch_a = make_query_batch(db, a, params);
+  const auto batch_b = make_query_batch(db, b, params);
+  ASSERT_EQ(batch_a.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(batch_a[i].kind, batch_b[i].kind);
+    switch (batch_a[i].kind) {
+      case QueryKind::kById:
+        EXPECT_GE(batch_a[i].id, 0);
+        EXPECT_LT(batch_a[i].id, 100);
+        break;
+      case QueryKind::kInSector:
+        EXPECT_GE(batch_a[i].sector, 0);
+        break;
+      case QueryKind::kNearPoint:
+        EXPECT_LE(std::fabs(batch_a[i].x), core::kGridHalfExtentNm);
+        break;
+    }
+  }
+}
+
+TEST(MakeQueryBatch, EmptyDatabaseYieldsNoQueries) {
+  FlightDb db;
+  core::Rng rng(1);
+  EXPECT_TRUE(make_query_batch(db, rng, {}).empty());
+}
+
+TEST(Sporadic, EveryBackendAnswersIdentically) {
+  const FlightDb initial = airfield::make_airfield(500, 31);
+  // Give the database display sectors so kInSector queries have targets.
+  ReferenceBackend ref;
+  ref.load(initial);
+  (void)ref.run_display({});
+  core::Rng qrng(5);
+  SporadicParams params;
+  params.queries_per_batch = 12;
+  const auto batch = make_query_batch(ref.state(), qrng, params);
+  const SporadicResult want = ref.run_sporadic(batch, params);
+  EXPECT_GT(want.stats.hits, 0u);
+
+  for (auto make : {&make_geforce_9800_gt, &make_gtx_880m,
+                    &make_titan_x_pascal, &make_staran, &make_clearspeed,
+                    &make_xeon, &make_xeon_phi}) {
+    auto backend = make();
+    backend->load(initial);
+    (void)backend->run_display({});
+    const SporadicResult got = backend->run_sporadic(batch, params);
+    EXPECT_EQ(got.stats, want.stats) << backend->name();
+    EXPECT_EQ(got.answers, want.answers) << backend->name();
+  }
+}
+
+TEST(Sporadic, ApQueryCostIndependentOfFleetSize) {
+  // The associative pitch: one query = one constant-time search. Two
+  // fleets, 100 vs 10000 aircraft, same per-query machine time up to the
+  // responder readout of the hits.
+  Query q;
+  q.kind = QueryKind::kById;
+  q.id = 5;
+  SporadicParams params;
+  auto small = make_staran();
+  auto large = make_staran();
+  small->load(airfield::make_airfield(100, 1));
+  large->load(airfield::make_airfield(10000, 1));
+  const double t_small = small->run_sporadic({&q, 1}, params).modeled_ms;
+  const double t_large = large->run_sporadic({&q, 1}, params).modeled_ms;
+  EXPECT_DOUBLE_EQ(t_small, t_large);
+
+  // While a scan-based platform pays linearly.
+  auto cpu_small = make_xeon_phi();
+  auto cpu_large = make_xeon_phi();
+  cpu_small->load(airfield::make_airfield(100, 1));
+  cpu_large->load(airfield::make_airfield(10000, 1));
+  EXPECT_GT(cpu_large->run_sporadic({&q, 1}, params).modeled_ms,
+            cpu_small->run_sporadic({&q, 1}, params).modeled_ms);
+}
+
+TEST(Sporadic, EmptyBatchIsFree) {
+  auto backend = make_titan_x_pascal();
+  backend->load(airfield::make_airfield(50, 2));
+  const SporadicResult r = backend->run_sporadic({}, {});
+  EXPECT_EQ(r.stats.queries, 0u);
+  EXPECT_EQ(r.answers.size(), 0u);
+  EXPECT_DOUBLE_EQ(r.modeled_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace atm::tasks::extended

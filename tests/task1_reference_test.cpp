@@ -1,0 +1,239 @@
+// Tests for the reference Task 1 implementation (tracking & correlation,
+// paper Section 5.1 / Algorithm 1).
+#include "src/atm/reference/correlate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/airfield/setup.hpp"
+
+namespace atm::tasks::reference {
+namespace {
+
+using airfield::FlightDb;
+using airfield::kDiscarded;
+using airfield::kNone;
+using airfield::MatchState;
+using airfield::RadarFrame;
+
+/// Hand-built field: aircraft at given positions, zero velocity.
+FlightDb parked_aircraft(std::initializer_list<core::Vec2> positions) {
+  FlightDb db(positions.size());
+  std::size_t i = 0;
+  for (const auto& p : positions) {
+    db.x[i] = p.x;
+    db.y[i] = p.y;
+    db.alt[i] = 10000.0;
+    ++i;
+  }
+  return db;
+}
+
+RadarFrame radar_at(std::initializer_list<core::Vec2> positions) {
+  RadarFrame frame;
+  frame.resize(positions.size());
+  std::size_t r = 0;
+  for (const auto& p : positions) {
+    frame.rx[r] = p.x;
+    frame.ry[r] = p.y;
+    frame.truth[r] = static_cast<std::int32_t>(r);
+    ++r;
+  }
+  return frame;
+}
+
+TEST(Task1Reference, CleanOneToOneMatch) {
+  FlightDb db = parked_aircraft({{0, 0}, {20, 0}, {0, 20}});
+  RadarFrame frame = radar_at({{0.1, 0.1}, {20.2, -0.1}, {-0.2, 19.9}});
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 3u);
+  EXPECT_EQ(stats.unmatched_radars, 0u);
+  EXPECT_EQ(stats.discarded_radars, 0u);
+  EXPECT_EQ(stats.passes, 1);
+  // Matched aircraft take the radar position exactly.
+  EXPECT_DOUBLE_EQ(db.x[0], 0.1);
+  EXPECT_DOUBLE_EQ(db.y[0], 0.1);
+  EXPECT_DOUBLE_EQ(db.x[1], 20.2);
+  EXPECT_EQ(frame.rmatch_with[0], 0);
+  EXPECT_EQ(frame.rmatch_with[1], 1);
+  EXPECT_EQ(frame.rmatch_with[2], 2);
+}
+
+TEST(Task1Reference, ExpectedPositionUsesVelocity) {
+  FlightDb db = parked_aircraft({{0, 0}});
+  db.dx[0] = 1.0;
+  db.dy[0] = -0.5;
+  // Radar near the *expected* position (1, -0.5), not the current one.
+  RadarFrame frame = radar_at({{1.1, -0.4}});
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 1u);
+  EXPECT_DOUBLE_EQ(db.x[0], 1.1);
+}
+
+TEST(Task1Reference, UnmatchedAircraftFliesToExpectedPosition) {
+  FlightDb db = parked_aircraft({{0, 0}});
+  db.dx[0] = 0.5;
+  RadarFrame frame = radar_at({{100.0, 100.0}});  // radar far away
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 0u);
+  // Radar stays unmatched after the final (4 nm) pass.
+  EXPECT_EQ(stats.unmatched_radars, 1u);
+  EXPECT_EQ(stats.passes, 3);
+  EXPECT_DOUBLE_EQ(db.x[0], 0.5);
+  EXPECT_DOUBLE_EQ(db.y[0], 0.0);
+}
+
+TEST(Task1Reference, RadarCoveringTwoAircraftIsDiscarded) {
+  // Two aircraft 0.4 nm apart; a radar between them covers both.
+  FlightDb db = parked_aircraft({{0, 0}, {0.4, 0}});
+  RadarFrame frame = radar_at({{0.2, 0.0}});
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 0u);
+  EXPECT_EQ(stats.discarded_radars, 1u);
+  EXPECT_EQ(frame.rmatch_with[0], kDiscarded);
+  // Both aircraft keep expected (= current, zero velocity) positions.
+  EXPECT_DOUBLE_EQ(db.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(db.x[1], 0.4);
+}
+
+TEST(Task1Reference, AircraftCoveredByTwoRadarsBecomesAmbiguous) {
+  FlightDb db = parked_aircraft({{0, 0}});
+  RadarFrame frame = radar_at({{0.1, 0.0}, {-0.1, 0.0}});
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 0u);
+  EXPECT_EQ(stats.ambiguous_aircraft, 1u);
+  EXPECT_EQ(db.rmatch[0], static_cast<std::int8_t>(MatchState::kAmbiguous));
+  // Both radars recorded the aircraft id but failed the commit check.
+  EXPECT_EQ(frame.rmatch_with[0], 0);
+  EXPECT_EQ(frame.rmatch_with[1], 0);
+  EXPECT_DOUBLE_EQ(db.x[0], 0.0);
+}
+
+TEST(Task1Reference, SecondPassDoublesBox) {
+  // Radar 0.7 nm away: outside the 0.5 nm half-box, inside the 1.0 nm one.
+  FlightDb db = parked_aircraft({{0, 0}});
+  RadarFrame frame = radar_at({{0.7, 0.0}});
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 1u);
+  EXPECT_EQ(stats.passes, 2);
+  EXPECT_DOUBLE_EQ(db.x[0], 0.7);
+}
+
+TEST(Task1Reference, ThirdPassDoublesAgain) {
+  // Radar 1.7 nm away: needs the 2.0 nm half-box of pass 3.
+  FlightDb db = parked_aircraft({{0, 0}});
+  RadarFrame frame = radar_at({{1.7, 0.0}});
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 1u);
+  EXPECT_EQ(stats.passes, 3);
+}
+
+TEST(Task1Reference, NoFourthPass) {
+  // Radar 2.5 nm away: beyond even the 2.0 nm half-box. Stays unmatched.
+  FlightDb db = parked_aircraft({{0, 0}});
+  RadarFrame frame = radar_at({{2.5, 0.0}});
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 0u);
+  EXPECT_EQ(stats.unmatched_radars, 1u);
+  EXPECT_EQ(stats.passes, 3);
+}
+
+TEST(Task1Reference, MatchedAircraftNotRescannedInLaterPasses) {
+  // Aircraft 0 matches radar 0 in pass 1. Radar 1 sits 0.8 nm from
+  // aircraft 0 and would cover it in pass 2 — but aircraft 0 is spoken
+  // for, so radar 1 must stay unmatched rather than discard anything.
+  FlightDb db = parked_aircraft({{0, 0}});
+  RadarFrame frame = radar_at({{0.1, 0.0}, {0.8, 0.0}});
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 1u);
+  EXPECT_EQ(frame.rmatch_with[0], 0);
+  EXPECT_EQ(frame.rmatch_with[1], kNone);
+  EXPECT_EQ(stats.unmatched_radars, 1u);
+}
+
+TEST(Task1Reference, AmbiguousAircraftStaysOutInLaterPasses) {
+  // Aircraft 0 is hit by two radars in pass 1 (ambiguous). A third radar
+  // 0.8 nm away must not match it in pass 2.
+  FlightDb db = parked_aircraft({{0, 0}});
+  RadarFrame frame = radar_at({{0.1, 0.0}, {-0.1, 0.0}, {0.8, 0.0}});
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 0u);
+  EXPECT_EQ(stats.ambiguous_aircraft, 1u);
+  EXPECT_EQ(frame.rmatch_with[2], kNone);
+}
+
+TEST(Task1Reference, EmptyInputs) {
+  FlightDb db;
+  RadarFrame frame;
+  const Task1Stats stats = correlate_and_track(db, frame);
+  EXPECT_EQ(stats.matched, 0u);
+  EXPECT_EQ(stats.radars, 0u);
+  EXPECT_EQ(stats.passes, 0);
+}
+
+TEST(Task1Reference, ScratchReuseGivesSameResult) {
+  const FlightDb initial = airfield::make_airfield(300, 17);
+  core::Rng rng(4);
+  FlightDb db1 = initial;
+  RadarFrame f1 = airfield::generate_radar(db1, rng, {});
+  RadarFrame f2 = f1;
+  FlightDb db2 = initial;
+
+  Task1Scratch scratch;
+  const Task1Stats a = correlate_and_track(db1, f1, scratch);
+  const Task1Stats b = correlate_and_track(db2, f2);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(db1.same_flight_state(db2));
+}
+
+class Task1RealisticSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Task1RealisticSweep, InvariantsHoldOnGeneratedAirfields) {
+  const std::size_t n = GetParam();
+  FlightDb db = airfield::make_airfield(n, 1000 + n);
+  core::Rng rng(n);
+  RadarFrame frame = airfield::generate_radar(db, rng, {});
+  const Task1Stats stats = correlate_and_track(db, frame);
+
+  // Accounting invariants.
+  EXPECT_EQ(stats.radars, n);
+  EXPECT_EQ(stats.matched, stats.updated_aircraft);
+  EXPECT_LE(stats.matched + stats.discarded_radars + stats.unmatched_radars,
+            n);
+  EXPECT_GE(stats.passes, 1);
+  EXPECT_LE(stats.passes, 3);
+
+  // Every committed radar points at an aircraft marked matched, and each
+  // matched aircraft is pointed at by exactly one radar.
+  std::vector<int> claims(n, 0);
+  for (std::size_t r = 0; r < frame.size(); ++r) {
+    const std::int32_t a = frame.rmatch_with[r];
+    if (a >= 0 &&
+        db.rmatch[static_cast<std::size_t>(a)] ==
+            static_cast<std::int8_t>(MatchState::kMatched)) {
+      ++claims[static_cast<std::size_t>(a)];
+    }
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    if (db.rmatch[a] == static_cast<std::int8_t>(MatchState::kMatched)) {
+      EXPECT_EQ(claims[a], 1) << "aircraft " << a;
+    }
+  }
+
+  // With 0.25 nm noise and a sparse field, the overwhelming majority of
+  // returns correlate, and correlated radars are correct.
+  EXPECT_GT(stats.matched, n * 7 / 10);
+  // Correlation is not just plentiful but (almost always) *correct*:
+  // radars point at the aircraft that produced them. (rmatch_with is also
+  // set for spent radars of ambiguous aircraft, so this is >=, and a
+  // dense field can produce the occasional confidently-wrong match.)
+  const std::size_t correct = airfield::count_correct_matches(frame);
+  EXPECT_GT(correct, n * 7 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Task1RealisticSweep,
+                         ::testing::Values(64, 96, 250, 1000, 2500));
+
+}  // namespace
+}  // namespace atm::tasks::reference

@@ -1,0 +1,155 @@
+// Tests for the terrain substrate and the terrain-avoidance task.
+#include "src/airfield/terrain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/extended/terrain_task.hpp"
+
+namespace atm {
+namespace {
+
+using airfield::TerrainMap;
+using airfield::TerrainParams;
+using tasks::extended::scan_terrain;
+using tasks::extended::scan_terrain_path;
+using tasks::extended::terrain_avoidance;
+using tasks::TerrainTaskParams;
+
+TEST(TerrainMap, DeterministicPerSeed) {
+  const TerrainMap a(7), b(7), c(8);
+  for (double x = -120.0; x <= 120.0; x += 17.0) {
+    for (double y = -120.0; y <= 120.0; y += 17.0) {
+      ASSERT_DOUBLE_EQ(a.elevation_at(x, y), b.elevation_at(x, y));
+    }
+  }
+  bool any_diff = false;
+  for (double x = -120.0; x <= 120.0 && !any_diff; x += 17.0) {
+    if (a.elevation_at(x, 0.0) != c.elevation_at(x, 0.0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TerrainMap, ElevationsWithinConfiguredPeak) {
+  TerrainParams params;
+  params.max_peak_feet = 9000.0;
+  const TerrainMap map(3, params);
+  EXPECT_NEAR(map.peak_feet(), 9000.0, 1e-6);
+  for (double x = -128.0; x <= 128.0; x += 8.0) {
+    for (double y = -128.0; y <= 128.0; y += 8.0) {
+      const double z = map.elevation_at(x, y);
+      ASSERT_GE(z, 0.0);
+      ASSERT_LE(z, 9000.0 + 1e-9);
+    }
+  }
+}
+
+TEST(TerrainMap, BilinearIsContinuous) {
+  const TerrainMap map(11);
+  // Sample pairs a small step apart: elevation must not jump.
+  for (double x = -100.0; x < 100.0; x += 13.7) {
+    for (double y = -100.0; y < 100.0; y += 11.3) {
+      const double z0 = map.elevation_at(x, y);
+      const double z1 = map.elevation_at(x + 0.01, y);
+      ASSERT_LT(std::fabs(z1 - z0), 50.0) << "jump at " << x << "," << y;
+    }
+  }
+}
+
+TEST(TerrainMap, ClampsOutsideGrid) {
+  const TerrainMap map(5);
+  EXPECT_DOUBLE_EQ(map.elevation_at(-500.0, 0.0),
+                   map.elevation_at(-128.0, 0.0));
+  EXPECT_DOUBLE_EQ(map.elevation_at(0.0, 999.0),
+                   map.elevation_at(0.0, 128.0));
+}
+
+TEST(TerrainScan, HighAircraftNeverWarns) {
+  const TerrainMap map(5);  // peak 14000 ft by default
+  airfield::FlightDb db(1);
+  db.alt[0] = 30000.0;
+  db.dx[0] = 0.05;
+  const auto scan = scan_terrain(db, 0, map, {});
+  EXPECT_FALSE(scan.warn);
+}
+
+TEST(TerrainScan, LowAircraftOverPeakWarns) {
+  TerrainParams params;
+  params.hill_count = 1;
+  params.max_peak_feet = 10000.0;
+  const TerrainMap map(5, params);
+  // Park an aircraft path crossing wherever the single peak is: probe for
+  // the highest sampled elevation on a coarse grid first.
+  double px = 0.0, py = 0.0, peak = -1.0;
+  for (double x = -120.0; x <= 120.0; x += 4.0) {
+    for (double y = -120.0; y <= 120.0; y += 4.0) {
+      const double z = map.elevation_at(x, y);
+      if (z > peak) {
+        peak = z;
+        px = x;
+        py = y;
+      }
+    }
+  }
+  ASSERT_GT(peak, 9000.0);
+  airfield::FlightDb db(1);
+  db.x[0] = px;
+  db.y[0] = py;
+  db.alt[0] = peak + 200.0;  // within the 1000 ft clearance
+  const auto scan = scan_terrain(db, 0, map, {});
+  EXPECT_TRUE(scan.warn);
+  EXPECT_GE(scan.required_alt_feet, peak + 1000.0);
+}
+
+TEST(TerrainTask, ClimbRestoresClearanceAlongPath) {
+  const TerrainMap map(21);
+  airfield::FlightDb db = airfield::make_airfield(400, 5);
+  // Force everyone low so warnings are plentiful.
+  for (std::size_t i = 0; i < db.size(); ++i) db.alt[i] = 500.0;
+  const auto stats = terrain_avoidance(db, map, {});
+  EXPECT_GT(stats.warnings, 0u);
+  EXPECT_EQ(stats.warnings, stats.climbs);  // everyone low had to climb
+  // After climbing, a re-scan reports no warnings.
+  const auto again = terrain_avoidance(db, map, {});
+  EXPECT_EQ(again.warnings, 0u);
+  EXPECT_EQ(again.climbs, 0u);
+}
+
+TEST(TerrainTask, SamplesCounterCountsWork) {
+  const TerrainMap map(9);
+  airfield::FlightDb db = airfield::make_airfield(50, 2);
+  TerrainTaskParams params;
+  params.samples = 8;
+  const auto stats = terrain_avoidance(db, map, params);
+  EXPECT_EQ(stats.samples, 50u * 8u);
+  EXPECT_EQ(stats.aircraft, 50u);
+}
+
+TEST(TerrainTask, WarnFlagClearedWhenPathSafeAgain) {
+  const TerrainMap map(9);
+  airfield::FlightDb db(1);
+  db.alt[0] = 100.0;
+  terrain_avoidance(db, map, {});
+  // The climb may have fixed it; force the flag and re-run high.
+  db.terrain_warn[0] = 1;
+  db.alt[0] = 39000.0;
+  terrain_avoidance(db, map, {});
+  EXPECT_EQ(db.terrain_warn[0], 0);
+}
+
+TEST(TerrainScanPath, MatchesDbOverload) {
+  const TerrainMap map(4);
+  airfield::FlightDb db = airfield::make_airfield(20, 9);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto a = scan_terrain(db, i, map, {});
+    const auto b = scan_terrain_path(db.x[i], db.y[i], db.dx[i], db.dy[i],
+                                     db.alt[i], map, {});
+    ASSERT_EQ(a.warn, b.warn);
+    ASSERT_DOUBLE_EQ(a.required_alt_feet, b.required_alt_feet);
+  }
+}
+
+}  // namespace
+}  // namespace atm

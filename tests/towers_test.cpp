@@ -1,0 +1,134 @@
+// Tests for the multi-tower radar environment.
+#include "src/airfield/towers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/airfield/setup.hpp"
+
+namespace atm::airfield {
+namespace {
+
+TEST(TowerLayout, GridSquaredTowers) {
+  TowerLayoutParams params;
+  params.grid = 3;
+  const auto towers = make_tower_layout(1, params);
+  EXPECT_EQ(towers.size(), 9u);
+  for (const RadarTower& t : towers) {
+    EXPECT_DOUBLE_EQ(t.range_nm, params.range_nm);
+    // Jittered grid points stay comfortably inside (or near) the field.
+    EXPECT_LE(std::fabs(t.x), core::kGridHalfExtentNm);
+    EXPECT_LE(std::fabs(t.y), core::kGridHalfExtentNm);
+  }
+}
+
+TEST(TowerLayout, DeterministicPerSeed) {
+  const auto a = make_tower_layout(5);
+  const auto b = make_tower_layout(5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(MultiRadar, CoverageMatchesPaperTwoToSix) {
+  // The default layout should reproduce the paper's observation that most
+  // aircraft are within range of 2 to 6 radars.
+  const FlightDb db = make_airfield(2000, 3);
+  const auto towers = make_tower_layout(7);
+  core::Rng rng(9);
+  const MultiRadarFrame frame = generate_multi_radar(db, towers, rng);
+  const double coverage = mean_coverage(frame, db.size());
+  EXPECT_GE(coverage, 2.0);
+  EXPECT_LE(coverage, 6.0);
+
+  // Per-aircraft coverage histogram: almost everyone seen at least twice.
+  std::map<std::int32_t, int> per_aircraft;
+  for (const std::int32_t t : frame.base.truth) ++per_aircraft[t];
+  std::size_t below_two = 0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto it = per_aircraft.find(static_cast<std::int32_t>(i));
+    if (it == per_aircraft.end() || it->second < 2) ++below_two;
+  }
+  EXPECT_LT(below_two, db.size() / 5);
+}
+
+TEST(MultiRadar, ReturnsOnlyFromCoveringTowers) {
+  const FlightDb db = make_airfield(300, 4);
+  const auto towers = make_tower_layout(2);
+  core::Rng rng(1);
+  RadarParams params;
+  params.noise_nm = 0.1;
+  const MultiRadarFrame frame = generate_multi_radar(db, towers, rng, params);
+  for (std::size_t r = 0; r < frame.size(); ++r) {
+    const auto a = static_cast<std::size_t>(frame.base.truth[r]);
+    const auto t = static_cast<std::size_t>(frame.tower[r]);
+    const core::Vec2 expected = db.expected(a);
+    const double dx = expected.x - towers[t].x;
+    const double dy = expected.y - towers[t].y;
+    ASSERT_LE(std::hypot(dx, dy), towers[t].range_nm + 1e-9)
+        << "return " << r << " from a tower that cannot see the aircraft";
+    // The return is near the expected position (tower noise only).
+    ASSERT_LE(std::fabs(frame.base.rx[r] - expected.x), params.noise_nm);
+    ASSERT_LE(std::fabs(frame.base.ry[r] - expected.y), params.noise_nm);
+  }
+}
+
+TEST(MultiRadar, IndependentNoisePerTower) {
+  // Two towers seeing the same aircraft produce different returns.
+  FlightDb db(1);
+  db.x[0] = 0.0;
+  db.y[0] = 0.0;
+  std::vector<RadarTower> towers{{-10.0, 0.0, 100.0}, {10.0, 0.0, 100.0}};
+  core::Rng rng(2);
+  const MultiRadarFrame frame = generate_multi_radar(db, towers, rng);
+  ASSERT_EQ(frame.size(), 2u);
+  EXPECT_NE(frame.base.rx[0], frame.base.rx[1]);
+}
+
+TEST(MultiRadar, DropoutRemovesReturns) {
+  const FlightDb db = make_airfield(500, 4);
+  const auto towers = make_tower_layout(3);
+  core::Rng rng_a(5), rng_b(5);
+  RadarParams no_drop;
+  RadarParams with_drop;
+  with_drop.dropout_probability = 0.5;
+  const auto full = generate_multi_radar(db, towers, rng_a, no_drop);
+  const auto dropped = generate_multi_radar(db, towers, rng_b, with_drop);
+  EXPECT_LT(dropped.size(), full.size());
+  EXPECT_GT(dropped.size(), full.size() / 4);
+}
+
+TEST(MultiRadar, ShuffleIsAPermutationAcrossAllArrays) {
+  const FlightDb db = make_airfield(200, 6);
+  const auto towers = make_tower_layout(3);
+  core::Rng rng(7);
+  const MultiRadarFrame frame = generate_multi_radar(db, towers, rng);
+  // Each (truth, tower) pair appears exactly once.
+  std::map<std::pair<std::int32_t, std::int32_t>, int> pairs;
+  for (std::size_t r = 0; r < frame.size(); ++r) {
+    ++pairs[{frame.base.truth[r], frame.tower[r]}];
+  }
+  for (const auto& [key, count] : pairs) EXPECT_EQ(count, 1);
+  // And the frame is not in aircraft-major order (shuffle happened).
+  bool sorted = true;
+  for (std::size_t r = 1; r < frame.size(); ++r) {
+    if (frame.base.truth[r] < frame.base.truth[r - 1]) {
+      sorted = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(sorted);
+}
+
+TEST(MultiRadar, MeanCoverageHandlesZeroAircraft) {
+  MultiRadarFrame frame;
+  EXPECT_DOUBLE_EQ(mean_coverage(frame, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace atm::airfield

@@ -1,0 +1,116 @@
+// Tests for the wide-vector future-work backend (Section 7.2) and its
+// cost model.
+#include "src/atm/vector_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/mimd/vector_model.hpp"
+
+namespace atm::tasks {
+namespace {
+
+TEST(VectorModel, ScalesWithOpsAndSpeedsUpWithLanes) {
+  const mimd::VectorModel phi(mimd::xeon_phi_spec());
+  EXPECT_GT(phi.model_ms(10'000'000, 1), phi.model_ms(1'000'000, 1));
+
+  mimd::VectorSpec narrow = mimd::xeon_phi_spec();
+  narrow.lanes = 1;
+  const mimd::VectorModel scalar(narrow);
+  EXPECT_GT(scalar.model_ms(10'000'000, 1), phi.model_ms(10'000'000, 1));
+}
+
+TEST(VectorModel, SerialFractionBoundsSpeedup) {
+  // Amdahl: with 2% serial work, the machine cannot be more than 50x
+  // faster than scalar no matter its width.
+  mimd::VectorSpec huge = mimd::xeon_phi_spec();
+  huge.cores = 10000;
+  mimd::VectorSpec one = huge;
+  one.cores = 1;
+  one.lanes = 1;
+  one.gather_efficiency = 1.0;
+  const double wide_ms = mimd::VectorModel(huge).model_ms(100'000'000, 0);
+  const double scalar_ms = mimd::VectorModel(one).model_ms(100'000'000, 0);
+  EXPECT_LT(scalar_ms / wide_ms, 1.0 / huge.serial_fraction + 1.0);
+}
+
+TEST(VectorModel, PeakGops) {
+  const mimd::VectorModel phi(mimd::xeon_phi_spec());
+  EXPECT_NEAR(phi.peak_gops(), 61 * 1.238 * 16, 1e-9);
+}
+
+TEST(VectorBackend, ComputesReferenceResults) {
+  const airfield::FlightDb initial = airfield::make_airfield(500, 3);
+  VectorBackend vec;
+  ReferenceBackend ref;
+  vec.load(initial);
+  ref.load(initial);
+  core::Rng ra(1), rb(1);
+  auto fa = vec.generate_radar(ra, {}, nullptr);
+  auto fb = ref.generate_radar(rb, {}, nullptr);
+  const Task1Result r1v = vec.run_task1(fa, {});
+  const Task1Result r1r = ref.run_task1(fb, {});
+  EXPECT_EQ(r1v.stats, r1r.stats);
+  const Task23Result r23v = vec.run_task23({});
+  const Task23Result r23r = ref.run_task23({});
+  EXPECT_EQ(r23v.stats, r23r.stats);
+  EXPECT_TRUE(vec.state().same_flight_state(ref.state()));
+}
+
+TEST(VectorBackend, DeterministicTiming) {
+  const airfield::FlightDb initial = airfield::make_airfield(400, 5);
+  VectorBackend a, b;
+  a.load(initial);
+  b.load(initial);
+  EXPECT_TRUE(a.deterministic());
+  const double ta = a.run_task23({}).modeled_ms;
+  const double tb = b.run_task23({}).modeled_ms;
+  EXPECT_DOUBLE_EQ(ta, tb);
+}
+
+TEST(VectorBackend, LandsBetweenGpuAndLockBasedMulticore) {
+  // The Section 7.2 expectation: a wide vector machine is slower than the
+  // big GPUs (less raw width) but far faster than the contended 16-core
+  // baseline.
+  const airfield::FlightDb initial = airfield::make_airfield(2000, 7);
+  VectorBackend phi;
+  auto titan = make_titan_x_pascal();
+  auto xeon = make_xeon();
+  phi.load(initial);
+  titan->load(initial);
+  xeon->load(initial);
+  const double t_phi = phi.run_task23({}).modeled_ms;
+  const double t_titan = titan->run_task23({}).modeled_ms;
+  const double t_xeon = xeon->run_task23({}).modeled_ms;
+  EXPECT_GT(t_phi, t_titan);
+  EXPECT_LT(t_phi, t_xeon);
+}
+
+TEST(VectorBackend, HoldsDeadlinesInPipeline) {
+  PipelineConfig cfg;
+  cfg.aircraft = 2000;
+  cfg.major_cycles = 1;
+  VectorBackend phi;
+  const PipelineResult result = run_pipeline(phi, cfg);
+  EXPECT_EQ(result.monitor.total_missed(), 0u);
+  EXPECT_EQ(result.monitor.total_skipped(), 0u);
+}
+
+TEST(VectorBackend, Avx512DesktopFasterThanPhiPerCore) {
+  const airfield::FlightDb initial = airfield::make_airfield(1000, 9);
+  VectorBackend phi(mimd::xeon_phi_spec());
+  VectorBackend desktop(mimd::avx512_desktop_spec());
+  phi.load(initial);
+  desktop.load(initial);
+  const double t_phi = phi.run_task23({}).modeled_ms;
+  const double t_desktop = desktop.run_task23({}).modeled_ms;
+  // 61 weak cores vs 8 fast ones: the Phi still wins on total width...
+  EXPECT_LT(t_phi, t_desktop * 10.0);
+  // ...but not by its 8x core advantage (clock + gather efficiency).
+  EXPECT_GT(t_phi * 16.0, t_desktop);
+}
+
+}  // namespace
+}  // namespace atm::tasks

@@ -1,0 +1,45 @@
+// Throwaway-ish calibration probe: prints modeled task times per platform
+// across aircraft counts, so the cost-model constants can be sanity-checked
+// against the figure shapes before the full benches run. Kept in tools/
+// (not part of the default build) for future re-calibration.
+#include <cstdio>
+
+#include "src/airfield/setup.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/rt/clock.hpp"
+
+int main() {
+  using namespace atm;
+  const std::size_t ns[] = {500, 1000, 2000, 4000, 8000};
+  for (const std::size_t n : ns) {
+    const airfield::FlightDb field = airfield::make_airfield(n, 42);
+    std::printf("== n = %zu ==\n", n);
+    auto platforms = tasks::make_platforms(tasks::PlatformSet::kAllPlatforms);
+    platforms.push_back(tasks::make_reference());
+    for (auto& p : platforms) {
+      rt::Stopwatch wall;
+      p->load(field);
+      core::Rng rng(7);
+      double radar_ms = 0.0;
+      airfield::RadarFrame frame = p->generate_radar(rng, {}, &radar_ms);
+      const auto r1 = p->run_task1(frame, {});
+      const auto r23 = p->run_task23({});
+      std::printf(
+          "  %-32s t1=%10.3f ms  t23=%10.3f ms  radar=%6.3f ms  "
+          "[match=%llu disc=%llu unm=%llu amb=%llu | conf=%llu crit=%llu "
+          "res=%llu unres=%llu rescans=%llu]  wall=%.0f ms\n",
+          p->name().c_str(), r1.modeled_ms, r23.modeled_ms, radar_ms,
+          (unsigned long long)r1.stats.matched,
+          (unsigned long long)r1.stats.discarded_radars,
+          (unsigned long long)r1.stats.unmatched_radars,
+          (unsigned long long)r1.stats.ambiguous_aircraft,
+          (unsigned long long)r23.stats.conflicts,
+          (unsigned long long)r23.stats.critical,
+          (unsigned long long)r23.stats.resolved,
+          (unsigned long long)r23.stats.unresolved,
+          (unsigned long long)r23.stats.rescans, wall.elapsed_ms());
+    }
+  }
+  return 0;
+}

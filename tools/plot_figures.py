@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Plot the figure-reproduction CSVs as PNGs.
+
+Usage:
+    mkdir -p out && ATM_BENCH_CSV_DIR=out ./build/bench/bench_fig4_task1_all_platforms
+    ... (any of the figure benches; each writes <out>/<figure-slug>.csv)
+    python3 tools/plot_figures.py out
+
+Requires matplotlib. Each CSV has an `aircraft` column followed by one
+`<platform> [ms]` column per series; the plot uses a log y-axis, which is
+how the paper's wide-dynamic-range comparisons are easiest to read.
+"""
+import csv
+import pathlib
+import sys
+
+
+def plot_csv(path: pathlib.Path, out_dir: pathlib.Path) -> None:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    header, data = rows[0], rows[1:]
+    xs = [float(r[0]) for r in data]
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for col in range(1, len(header)):
+        ys = [float(r[col]) for r in data]
+        label = header[col].replace(" [ms]", "")
+        ax.plot(xs, ys, marker="o", label=label)
+    ax.set_xlabel("aircraft")
+    ax.set_ylabel("modeled task time [ms]")
+    ax.set_yscale("log")
+    ax.set_title(path.stem.replace("-", " "))
+    ax.grid(True, which="both", alpha=0.3)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    out = out_dir / (path.stem + ".png")
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    csv_dir = pathlib.Path(sys.argv[1])
+    csvs = sorted(csv_dir.glob("*.csv"))
+    if not csvs:
+        print(f"no CSVs in {csv_dir}; run the benches with "
+              f"ATM_BENCH_CSV_DIR={csv_dir} first")
+        return 1
+    for path in csvs:
+        plot_csv(path, csv_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
