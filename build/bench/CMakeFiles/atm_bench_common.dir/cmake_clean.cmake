@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_bench_common.dir/common.cpp.o"
+  "CMakeFiles/atm_bench_common.dir/common.cpp.o.d"
+  "libatm_bench_common.a"
+  "libatm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_pair_mapping.cpp" "bench/CMakeFiles/bench_ablation_pair_mapping.dir/bench_ablation_pair_mapping.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_pair_mapping.dir/bench_ablation_pair_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/atm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/atm_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/atm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/atm_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/atm_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mimd/CMakeFiles/atm_mimd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/atm_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfield/CMakeFiles/atm_airfield.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

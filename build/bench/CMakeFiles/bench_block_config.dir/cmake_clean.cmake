@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_config.dir/bench_block_config.cpp.o"
+  "CMakeFiles/bench_block_config.dir/bench_block_config.cpp.o.d"
+  "bench_block_config"
+  "bench_block_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadline_misses.dir/bench_deadline_misses.cpp.o"
+  "CMakeFiles/bench_deadline_misses.dir/bench_deadline_misses.cpp.o.d"
+  "bench_deadline_misses"
+  "bench_deadline_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadline_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

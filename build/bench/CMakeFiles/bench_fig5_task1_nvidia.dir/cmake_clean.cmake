@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_task1_nvidia.dir/bench_fig5_task1_nvidia.cpp.o"
+  "CMakeFiles/bench_fig5_task1_nvidia.dir/bench_fig5_task1_nvidia.cpp.o.d"
+  "bench_fig5_task1_nvidia"
+  "bench_fig5_task1_nvidia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_task1_nvidia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

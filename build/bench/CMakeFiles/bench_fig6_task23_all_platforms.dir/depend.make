@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_task23_all_platforms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_curvefit_task1_880m.dir/bench_fig8_curvefit_task1_880m.cpp.o"
+  "CMakeFiles/bench_fig8_curvefit_task1_880m.dir/bench_fig8_curvefit_task1_880m.cpp.o.d"
+  "bench_fig8_curvefit_task1_880m"
+  "bench_fig8_curvefit_task1_880m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_curvefit_task1_880m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

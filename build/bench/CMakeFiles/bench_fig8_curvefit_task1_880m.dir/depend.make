@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_curvefit_task1_880m.
+# This may be replaced when dependencies are built.

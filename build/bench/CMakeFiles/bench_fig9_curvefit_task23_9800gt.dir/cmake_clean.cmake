@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_curvefit_task23_9800gt.dir/bench_fig9_curvefit_task23_9800gt.cpp.o"
+  "CMakeFiles/bench_fig9_curvefit_task23_9800gt.dir/bench_fig9_curvefit_task23_9800gt.cpp.o.d"
+  "bench_fig9_curvefit_task23_9800gt"
+  "bench_fig9_curvefit_task23_9800gt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_curvefit_task23_9800gt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_curvefit_task23_9800gt.
+# This may be replaced when dependencies are built.

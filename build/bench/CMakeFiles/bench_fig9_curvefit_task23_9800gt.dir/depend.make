@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_curvefit_task23_9800gt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simdization_normalized.dir/bench_simdization_normalized.cpp.o"
+  "CMakeFiles/bench_simdization_normalized.dir/bench_simdization_normalized.cpp.o.d"
+  "bench_simdization_normalized"
+  "bench_simdization_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simdization_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sporadic_queries.dir/bench_sporadic_queries.cpp.o"
+  "CMakeFiles/bench_sporadic_queries.dir/bench_sporadic_queries.cpp.o.d"
+  "bench_sporadic_queries"
+  "bench_sporadic_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sporadic_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sporadic_queries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfield_sim.dir/airfield_sim.cpp.o"
+  "CMakeFiles/airfield_sim.dir/airfield_sim.cpp.o.d"
+  "airfield_sim"
+  "airfield_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfield_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_cli.dir/atm_cli.cpp.o"
+  "CMakeFiles/atm_cli.dir/atm_cli.cpp.o.d"
+  "atm_cli"
+  "atm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_monitor.dir/deadline_monitor.cpp.o"
+  "CMakeFiles/deadline_monitor.dir/deadline_monitor.cpp.o.d"
+  "deadline_monitor"
+  "deadline_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

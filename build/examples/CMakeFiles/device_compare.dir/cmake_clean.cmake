@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_compare.dir/device_compare.cpp.o"
+  "CMakeFiles/device_compare.dir/device_compare.cpp.o.d"
+  "device_compare"
+  "device_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_atm.dir/full_atm.cpp.o"
+  "CMakeFiles/full_atm.dir/full_atm.cpp.o.d"
+  "full_atm"
+  "full_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

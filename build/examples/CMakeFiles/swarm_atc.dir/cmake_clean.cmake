@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_atc.dir/swarm_atc.cpp.o"
+  "CMakeFiles/swarm_atc.dir/swarm_atc.cpp.o.d"
+  "swarm_atc"
+  "swarm_atc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_atc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/airfield/flight_db.cpp" "src/airfield/CMakeFiles/atm_airfield.dir/flight_db.cpp.o" "gcc" "src/airfield/CMakeFiles/atm_airfield.dir/flight_db.cpp.o.d"
+  "/root/repo/src/airfield/history.cpp" "src/airfield/CMakeFiles/atm_airfield.dir/history.cpp.o" "gcc" "src/airfield/CMakeFiles/atm_airfield.dir/history.cpp.o.d"
+  "/root/repo/src/airfield/radar.cpp" "src/airfield/CMakeFiles/atm_airfield.dir/radar.cpp.o" "gcc" "src/airfield/CMakeFiles/atm_airfield.dir/radar.cpp.o.d"
+  "/root/repo/src/airfield/setup.cpp" "src/airfield/CMakeFiles/atm_airfield.dir/setup.cpp.o" "gcc" "src/airfield/CMakeFiles/atm_airfield.dir/setup.cpp.o.d"
+  "/root/repo/src/airfield/terrain.cpp" "src/airfield/CMakeFiles/atm_airfield.dir/terrain.cpp.o" "gcc" "src/airfield/CMakeFiles/atm_airfield.dir/terrain.cpp.o.d"
+  "/root/repo/src/airfield/towers.cpp" "src/airfield/CMakeFiles/atm_airfield.dir/towers.cpp.o" "gcc" "src/airfield/CMakeFiles/atm_airfield.dir/towers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_airfield.dir/flight_db.cpp.o"
+  "CMakeFiles/atm_airfield.dir/flight_db.cpp.o.d"
+  "CMakeFiles/atm_airfield.dir/history.cpp.o"
+  "CMakeFiles/atm_airfield.dir/history.cpp.o.d"
+  "CMakeFiles/atm_airfield.dir/radar.cpp.o"
+  "CMakeFiles/atm_airfield.dir/radar.cpp.o.d"
+  "CMakeFiles/atm_airfield.dir/setup.cpp.o"
+  "CMakeFiles/atm_airfield.dir/setup.cpp.o.d"
+  "CMakeFiles/atm_airfield.dir/terrain.cpp.o"
+  "CMakeFiles/atm_airfield.dir/terrain.cpp.o.d"
+  "CMakeFiles/atm_airfield.dir/towers.cpp.o"
+  "CMakeFiles/atm_airfield.dir/towers.cpp.o.d"
+  "libatm_airfield.a"
+  "libatm_airfield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_airfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

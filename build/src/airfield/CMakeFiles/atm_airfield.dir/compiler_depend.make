@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for atm_airfield.
+# This may be replaced when dependencies are built.

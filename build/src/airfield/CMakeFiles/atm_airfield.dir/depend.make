@@ -1,0 +1,2 @@
+# Empty dependencies file for atm_airfield.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_ap.dir/ap_machine.cpp.o"
+  "CMakeFiles/atm_ap.dir/ap_machine.cpp.o.d"
+  "libatm_ap.a"
+  "libatm_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

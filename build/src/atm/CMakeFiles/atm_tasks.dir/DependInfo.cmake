@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atm/ap_backend.cpp" "src/atm/CMakeFiles/atm_tasks.dir/ap_backend.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/ap_backend.cpp.o.d"
+  "/root/repo/src/atm/backend.cpp" "src/atm/CMakeFiles/atm_tasks.dir/backend.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/backend.cpp.o.d"
+  "/root/repo/src/atm/batcher.cpp" "src/atm/CMakeFiles/atm_tasks.dir/batcher.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/batcher.cpp.o.d"
+  "/root/repo/src/atm/clearspeed_backend.cpp" "src/atm/CMakeFiles/atm_tasks.dir/clearspeed_backend.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/clearspeed_backend.cpp.o.d"
+  "/root/repo/src/atm/cuda_backend.cpp" "src/atm/CMakeFiles/atm_tasks.dir/cuda_backend.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/cuda_backend.cpp.o.d"
+  "/root/repo/src/atm/cuda_kernels.cpp" "src/atm/CMakeFiles/atm_tasks.dir/cuda_kernels.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/cuda_kernels.cpp.o.d"
+  "/root/repo/src/atm/extended/advisory.cpp" "src/atm/CMakeFiles/atm_tasks.dir/extended/advisory.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/extended/advisory.cpp.o.d"
+  "/root/repo/src/atm/extended/display.cpp" "src/atm/CMakeFiles/atm_tasks.dir/extended/display.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/extended/display.cpp.o.d"
+  "/root/repo/src/atm/extended/full_pipeline.cpp" "src/atm/CMakeFiles/atm_tasks.dir/extended/full_pipeline.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/extended/full_pipeline.cpp.o.d"
+  "/root/repo/src/atm/extended/multiradar.cpp" "src/atm/CMakeFiles/atm_tasks.dir/extended/multiradar.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/extended/multiradar.cpp.o.d"
+  "/root/repo/src/atm/extended/sporadic.cpp" "src/atm/CMakeFiles/atm_tasks.dir/extended/sporadic.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/extended/sporadic.cpp.o.d"
+  "/root/repo/src/atm/extended/terrain_task.cpp" "src/atm/CMakeFiles/atm_tasks.dir/extended/terrain_task.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/extended/terrain_task.cpp.o.d"
+  "/root/repo/src/atm/mimd_backend.cpp" "src/atm/CMakeFiles/atm_tasks.dir/mimd_backend.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/mimd_backend.cpp.o.d"
+  "/root/repo/src/atm/pipeline.cpp" "src/atm/CMakeFiles/atm_tasks.dir/pipeline.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/pipeline.cpp.o.d"
+  "/root/repo/src/atm/platforms.cpp" "src/atm/CMakeFiles/atm_tasks.dir/platforms.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/platforms.cpp.o.d"
+  "/root/repo/src/atm/reference/collision.cpp" "src/atm/CMakeFiles/atm_tasks.dir/reference/collision.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/reference/collision.cpp.o.d"
+  "/root/repo/src/atm/reference/correlate.cpp" "src/atm/CMakeFiles/atm_tasks.dir/reference/correlate.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/reference/correlate.cpp.o.d"
+  "/root/repo/src/atm/reference_backend.cpp" "src/atm/CMakeFiles/atm_tasks.dir/reference_backend.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/reference_backend.cpp.o.d"
+  "/root/repo/src/atm/scenarios.cpp" "src/atm/CMakeFiles/atm_tasks.dir/scenarios.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/scenarios.cpp.o.d"
+  "/root/repo/src/atm/vector_backend.cpp" "src/atm/CMakeFiles/atm_tasks.dir/vector_backend.cpp.o" "gcc" "src/atm/CMakeFiles/atm_tasks.dir/vector_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/atm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/atm_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/atm_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mimd/CMakeFiles/atm_mimd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/atm_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfield/CMakeFiles/atm_airfield.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_core.dir/curvefit.cpp.o"
+  "CMakeFiles/atm_core.dir/curvefit.cpp.o.d"
+  "CMakeFiles/atm_core.dir/rng.cpp.o"
+  "CMakeFiles/atm_core.dir/rng.cpp.o.d"
+  "CMakeFiles/atm_core.dir/stats.cpp.o"
+  "CMakeFiles/atm_core.dir/stats.cpp.o.d"
+  "CMakeFiles/atm_core.dir/table.cpp.o"
+  "CMakeFiles/atm_core.dir/table.cpp.o.d"
+  "libatm_core.a"
+  "libatm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mimd/thread_pool.cpp" "src/mimd/CMakeFiles/atm_mimd.dir/thread_pool.cpp.o" "gcc" "src/mimd/CMakeFiles/atm_mimd.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/mimd/vector_model.cpp" "src/mimd/CMakeFiles/atm_mimd.dir/vector_model.cpp.o" "gcc" "src/mimd/CMakeFiles/atm_mimd.dir/vector_model.cpp.o.d"
+  "/root/repo/src/mimd/xeon_model.cpp" "src/mimd/CMakeFiles/atm_mimd.dir/xeon_model.cpp.o" "gcc" "src/mimd/CMakeFiles/atm_mimd.dir/xeon_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

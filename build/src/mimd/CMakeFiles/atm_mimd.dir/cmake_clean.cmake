@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_mimd.dir/thread_pool.cpp.o"
+  "CMakeFiles/atm_mimd.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/atm_mimd.dir/vector_model.cpp.o"
+  "CMakeFiles/atm_mimd.dir/vector_model.cpp.o.d"
+  "CMakeFiles/atm_mimd.dir/xeon_model.cpp.o"
+  "CMakeFiles/atm_mimd.dir/xeon_model.cpp.o.d"
+  "libatm_mimd.a"
+  "libatm_mimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_mimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

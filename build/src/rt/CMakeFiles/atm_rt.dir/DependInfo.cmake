@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/deadline.cpp" "src/rt/CMakeFiles/atm_rt.dir/deadline.cpp.o" "gcc" "src/rt/CMakeFiles/atm_rt.dir/deadline.cpp.o.d"
+  "/root/repo/src/rt/schedule.cpp" "src/rt/CMakeFiles/atm_rt.dir/schedule.cpp.o" "gcc" "src/rt/CMakeFiles/atm_rt.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

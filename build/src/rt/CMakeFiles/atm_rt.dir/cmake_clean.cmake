@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_rt.dir/deadline.cpp.o"
+  "CMakeFiles/atm_rt.dir/deadline.cpp.o.d"
+  "CMakeFiles/atm_rt.dir/schedule.cpp.o"
+  "CMakeFiles/atm_rt.dir/schedule.cpp.o.d"
+  "libatm_rt.a"
+  "libatm_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

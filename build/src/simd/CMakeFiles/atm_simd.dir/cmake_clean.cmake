@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_simd.dir/lockstep.cpp.o"
+  "CMakeFiles/atm_simd.dir/lockstep.cpp.o.d"
+  "libatm_simd.a"
+  "libatm_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_simt.dir/device.cpp.o"
+  "CMakeFiles/atm_simt.dir/device.cpp.o.d"
+  "CMakeFiles/atm_simt.dir/device_spec.cpp.o"
+  "CMakeFiles/atm_simt.dir/device_spec.cpp.o.d"
+  "libatm_simt.a"
+  "libatm_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfield_test.dir/airfield_test.cpp.o"
+  "CMakeFiles/airfield_test.dir/airfield_test.cpp.o.d"
+  "airfield_test"
+  "airfield_test.pdb"
+  "airfield_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

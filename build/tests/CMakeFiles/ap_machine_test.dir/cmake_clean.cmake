@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_machine_test.dir/ap_machine_test.cpp.o"
+  "CMakeFiles/ap_machine_test.dir/ap_machine_test.cpp.o.d"
+  "ap_machine_test"
+  "ap_machine_test.pdb"
+  "ap_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_adapter_test.dir/assoc_adapter_test.cpp.o"
+  "CMakeFiles/assoc_adapter_test.dir/assoc_adapter_test.cpp.o.d"
+  "assoc_adapter_test"
+  "assoc_adapter_test.pdb"
+  "assoc_adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

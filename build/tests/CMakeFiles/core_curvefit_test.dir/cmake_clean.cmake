@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_curvefit_test.dir/core_curvefit_test.cpp.o"
+  "CMakeFiles/core_curvefit_test.dir/core_curvefit_test.cpp.o.d"
+  "core_curvefit_test"
+  "core_curvefit_test.pdb"
+  "core_curvefit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_curvefit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda_kernels_test.dir/cuda_kernels_test.cpp.o"
+  "CMakeFiles/cuda_kernels_test.dir/cuda_kernels_test.cpp.o.d"
+  "cuda_kernels_test"
+  "cuda_kernels_test.pdb"
+  "cuda_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_tasks_test.dir/extended_tasks_test.cpp.o"
+  "CMakeFiles/extended_tasks_test.dir/extended_tasks_test.cpp.o.d"
+  "extended_tasks_test"
+  "extended_tasks_test.pdb"
+  "extended_tasks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

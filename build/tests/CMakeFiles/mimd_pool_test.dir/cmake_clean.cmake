@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimd_pool_test.dir/mimd_pool_test.cpp.o"
+  "CMakeFiles/mimd_pool_test.dir/mimd_pool_test.cpp.o.d"
+  "mimd_pool_test"
+  "mimd_pool_test.pdb"
+  "mimd_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimd_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

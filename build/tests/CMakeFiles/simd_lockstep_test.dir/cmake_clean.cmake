@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_lockstep_test.dir/simd_lockstep_test.cpp.o"
+  "CMakeFiles/simd_lockstep_test.dir/simd_lockstep_test.cpp.o.d"
+  "simd_lockstep_test"
+  "simd_lockstep_test.pdb"
+  "simd_lockstep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_lockstep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_engine_test.dir/simt_engine_test.cpp.o"
+  "CMakeFiles/simt_engine_test.dir/simt_engine_test.cpp.o.d"
+  "simt_engine_test"
+  "simt_engine_test.pdb"
+  "simt_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sporadic_test.dir/sporadic_test.cpp.o"
+  "CMakeFiles/sporadic_test.dir/sporadic_test.cpp.o.d"
+  "sporadic_test"
+  "sporadic_test.pdb"
+  "sporadic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sporadic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

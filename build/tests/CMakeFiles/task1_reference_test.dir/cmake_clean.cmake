@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task1_reference_test.dir/task1_reference_test.cpp.o"
+  "CMakeFiles/task1_reference_test.dir/task1_reference_test.cpp.o.d"
+  "task1_reference_test"
+  "task1_reference_test.pdb"
+  "task1_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task1_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

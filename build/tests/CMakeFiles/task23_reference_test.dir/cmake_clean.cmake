@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task23_reference_test.dir/task23_reference_test.cpp.o"
+  "CMakeFiles/task23_reference_test.dir/task23_reference_test.cpp.o.d"
+  "task23_reference_test"
+  "task23_reference_test.pdb"
+  "task23_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task23_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

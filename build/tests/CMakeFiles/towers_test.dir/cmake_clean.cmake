@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/towers_test.dir/towers_test.cpp.o"
+  "CMakeFiles/towers_test.dir/towers_test.cpp.o.d"
+  "towers_test"
+  "towers_test.pdb"
+  "towers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/towers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_backend_test.dir/vector_backend_test.cpp.o"
+  "CMakeFiles/vector_backend_test.dir/vector_backend_test.cpp.o.d"
+  "vector_backend_test"
+  "vector_backend_test.pdb"
+  "vector_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

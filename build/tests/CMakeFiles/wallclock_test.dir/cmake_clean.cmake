@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallclock_test.dir/wallclock_test.cpp.o"
+  "CMakeFiles/wallclock_test.dir/wallclock_test.cpp.o.d"
+  "wallclock_test"
+  "wallclock_test.pdb"
+  "wallclock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallclock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
