@@ -29,6 +29,7 @@ int main() {
       cfg.aircraft = n;
       cfg.major_cycles = 1;
       cfg.seed = 42 + n;
+      cfg.trace = bench::bench_trace_sink();
       const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
       const rt::TaskRecord& t1 = result.monitor.task("task1");
       const rt::TaskRecord& t23 = result.monitor.task("task23");

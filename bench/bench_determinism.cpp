@@ -53,6 +53,7 @@ int main() {
       tasks::PipelineConfig cfg;
       cfg.aircraft = kAircraft;
       cfg.major_cycles = 1;
+      cfg.trace = bench::bench_trace_sink();
       const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
       const double mean_t1 = result.task1_ms.mean();
       stats.add(mean_t1);
@@ -73,6 +74,7 @@ int main() {
   tasks::PipelineConfig cfg;
   cfg.aircraft = kAircraft;
   cfg.major_cycles = 2;
+  cfg.trace = bench::bench_trace_sink();
   const tasks::PipelineResult result = tasks::run_pipeline(*titan, cfg);
   const auto& t1 = result.monitor.task("task1").duration_ms;
   core::TextTable wc({"mean [ms]", "max [ms]", "max/mean",

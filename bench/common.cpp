@@ -5,10 +5,31 @@
 #include <cstdlib>
 #include <iostream>
 
+#include <memory>
+
 #include "src/airfield/setup.hpp"
 #include "src/core/table.hpp"
+#include "src/obs/jsonl_sink.hpp"
 
 namespace atm::bench {
+
+obs::TraceSink* bench_trace_sink() {
+  static const std::unique_ptr<obs::JsonlTraceSink> sink = [] {
+    std::unique_ptr<obs::JsonlTraceSink> s;
+    if (const char* path = std::getenv("ATM_BENCH_TRACE")) {
+      if (*path != '\0') {
+        s = std::make_unique<obs::JsonlTraceSink>(std::string(path));
+        if (!s->ok()) {
+          std::cerr << "warning: cannot open ATM_BENCH_TRACE file " << path
+                    << "; tracing disabled\n";
+          s.reset();
+        }
+      }
+    }
+    return s;
+  }();
+  return sink.get();
+}
 
 std::vector<std::size_t> default_sweep() {
   // Starts at 500: below that, fixed launch overheads put the platforms
@@ -22,12 +43,17 @@ Series measure_series(tasks::Backend& backend, Task task,
                       int task1_periods, std::uint64_t seed) {
   Series series;
   series.platform = backend.name();
+  // Route every figure sweep through the shared sink (no-op when the
+  // ATM_BENCH_TRACE environment variable is unset).
+  obs::TraceSink* trace = bench_trace_sink();
+  backend.set_trace_sink(trace);
   for (const std::size_t n : sweep) {
     backend.load(airfield::make_airfield(n, seed + n));
     core::Rng radar_rng(seed ^ n);
     double ms = 0.0;
     if (task == Task::kTask1) {
       for (int p = 0; p < task1_periods; ++p) {
+        backend.set_trace_context(-1, p);
         airfield::RadarFrame frame =
             backend.generate_radar(radar_rng, {}, nullptr);
         ms += backend.run_task1(frame, {}).modeled_ms;
@@ -44,6 +70,9 @@ Series measure_series(tasks::Backend& backend, Task task,
     series.n.push_back(static_cast<double>(n));
     series.ms.push_back(ms);
   }
+  backend.set_trace_sink(nullptr);
+  backend.set_trace_context(-1, -1);
+  if (trace != nullptr) trace->flush();
   return series;
 }
 

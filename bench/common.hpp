@@ -13,8 +13,17 @@
 
 #include "src/atm/backend.hpp"
 #include "src/core/curvefit.hpp"
+#include "src/obs/trace.hpp"
 
 namespace atm::bench {
+
+/// Process-wide trace sink for the figure benches. When the
+/// ATM_BENCH_TRACE environment variable names a file, every
+/// measure_series() sweep (and any pipeline bench that passes this sink
+/// through PipelineConfig::trace) writes JSONL task events there for
+/// tools/trace_summary.py and tools/plot_figures.py to consume; returns
+/// nullptr when the variable is unset.
+[[nodiscard]] obs::TraceSink* bench_trace_sink();
 
 /// Aircraft counts swept by the figure benches. The paper's exact sweep is
 /// not published; this range shows every relationship the figures assert

@@ -2,9 +2,10 @@
 //
 //   $ ./airfield_sim [aircraft] [major_cycles]
 //
-// Demonstrates: driving the pipeline cycle by cycle with
-// run_pipeline_loaded, watching the airfield evolve (correlation quality,
-// conflicts, grid re-entries), and reading per-period logs.
+// Demonstrates: driving the pipeline cycle by cycle on a pre-loaded
+// backend (PipelineConfig::preloaded), watching the airfield evolve
+// (correlation quality, conflicts, grid re-entries), and reading
+// per-period logs.
 #include <cstdlib>
 #include <iostream>
 
@@ -35,8 +36,8 @@ int main(int argc, char** argv) {
     cfg.aircraft = aircraft;  // informational; state already loaded
     cfg.major_cycles = 1;
     cfg.seed = 31 + static_cast<std::uint64_t>(cycle);
-    const tasks::PipelineResult result =
-        tasks::run_pipeline_loaded(*backend, cfg);
+    cfg.preloaded = true;
+    const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
 
     std::size_t wrapped = 0;
     for (const tasks::PeriodLog& log : result.periods) {

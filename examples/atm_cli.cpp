@@ -17,6 +17,9 @@
 //                          advisory, sporadic) instead of the core tasks
 //   --retrace ID           after the run, print aircraft ID's last 16
 //                          recorded positions (core pipeline only)
+//   --trace FILE.jsonl     write one JSONL trace event per line (spans,
+//                          tasks, deadline outcomes); summarize with
+//                          tools/trace_summary.py
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -28,6 +31,7 @@
 #include "src/atm/platforms.hpp"
 #include "src/atm/scenarios.hpp"
 #include "src/core/table.hpp"
+#include "src/obs/jsonl_sink.hpp"
 
 namespace {
 
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
   bool multi_radar = false;
   bool full_system = false;
   int retrace_id = -1;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +95,12 @@ int main(int argc, char** argv) {
       full_system = true;
     } else if (arg == "--retrace") {
       retrace_id = std::atoi(next());
+    } else if (arg == "--trace") {
+      trace_path = next();
+      if (trace_path.empty()) {
+        std::cerr << "--trace needs a file path\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown option " << arg << " (try --list)\n";
       return 2;
@@ -114,6 +125,15 @@ int main(int argc, char** argv) {
   std::cout << "platform : " << backend->name() << "\n"
             << "scenario : " << scenario->name << "\n";
 
+  std::unique_ptr<obs::JsonlTraceSink> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<obs::JsonlTraceSink>(trace_path);
+    if (!trace->ok()) {
+      std::cerr << "cannot open trace file " << trace_path << "\n";
+      return 2;
+    }
+  }
+
   if (full_system) {
     tasks::extended::FullSystemConfig cfg =
         tasks::make_full_config(*scenario, cycles, seed);
@@ -122,7 +142,14 @@ int main(int argc, char** argv) {
     std::cout << "aircraft : " << cfg.aircraft << "\nmode     : complete "
               << "ATM system" << (multi_radar ? " + multi-tower radar" : "")
               << "\n\n";
+    // The full-system executive has its own config type; attach the sink
+    // straight to the backend so every task entry point still emits.
+    if (trace) backend->set_trace_sink(trace.get());
     const auto result = tasks::extended::run_full_system(*backend, cfg);
+    if (trace) {
+      backend->set_trace_sink(nullptr);
+      trace->flush();
+    }
     std::cout << result.monitor.summary() << "\n";
     const auto bad =
         result.monitor.total_missed() + result.monitor.total_skipped();
@@ -138,6 +165,7 @@ int main(int argc, char** argv) {
   airfield::FlightRecorder recorder(cfg.aircraft,
                                     16 * std::max(1, cycles));
   cfg.recorder = &recorder;
+  cfg.trace = trace.get();
   const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
   std::cout << result.monitor.summary() << "\n";
 

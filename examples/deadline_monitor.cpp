@@ -1,18 +1,23 @@
 // Real-time executive demo: watch a deterministic platform hold every
 // deadline while the shared-memory multi-core misses and skips.
 //
-//   $ ./deadline_monitor [aircraft]
+//   $ ./deadline_monitor [aircraft] [--trace FILE.jsonl]
 //
 // Demonstrates: per-period deadline outcomes, the skip cascade when a
 // platform overruns (paper Section 3: tasks whose period already ended
 // must be skipped), and the difference between deterministic and
-// MIMD-jittered timing.
+// MIMD-jittered timing. With --trace, both platforms' runs are appended
+// to one JSONL trace file (inspect with tools/trace_summary.py).
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "src/atm/pipeline.hpp"
 #include "src/atm/platforms.hpp"
 #include "src/core/table.hpp"
+#include "src/obs/jsonl_sink.hpp"
 
 namespace {
 
@@ -33,14 +38,26 @@ const char* outcome_str(atm::rt::Outcome outcome) {
 int main(int argc, char** argv) {
   using namespace atm;
 
-  const std::size_t aircraft =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4000;
+  std::size_t aircraft = 4000;
+  std::unique_ptr<obs::JsonlTraceSink> trace;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace = std::make_unique<obs::JsonlTraceSink>(std::string(argv[++i]));
+      if (!trace->ok()) {
+        std::cerr << "cannot open trace file " << argv[i] << "\n";
+        return 2;
+      }
+    } else {
+      aircraft = static_cast<std::size_t>(std::atoll(argv[i]));
+    }
+  }
 
   for (auto make : {&tasks::make_titan_x_pascal, &tasks::make_xeon}) {
     auto backend = make();
     tasks::PipelineConfig cfg;
     cfg.aircraft = aircraft;
     cfg.major_cycles = 1;
+    cfg.trace = trace.get();
     const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
 
     std::cout << "\n== " << backend->name() << " — one major cycle, "

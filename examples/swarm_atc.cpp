@@ -66,8 +66,8 @@ int main(int argc, char** argv) {
     cfg.radar = radar;
     cfg.task1 = tracking;
     cfg.task23 = separation;
-    const tasks::PipelineResult result =
-        tasks::run_pipeline_loaded(*backend, cfg);
+    cfg.preloaded = true;
+    const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
     table.begin_row();
     table.add_cell(static_cast<long long>(cycle));
     table.add_cell(static_cast<long long>(result.last_task1.matched));

@@ -65,8 +65,14 @@ class ApBackend final : public Backend {
     machine_ = std::make_unique<ApAssocMachine>(db_.size(), model_);
   }
 
-  Task1Result run_task1(airfield::RadarFrame& frame,
-                        const Task1Params& params) override {
+  [[nodiscard]] const airfield::FlightDb& state() const override {
+    return db_;
+  }
+  airfield::FlightDb& mutable_state() override { return db_; }
+
+ protected:
+  Task1Result do_run_task1(airfield::RadarFrame& frame,
+                           const Task1Params& params) override {
     machine_->reset();
     Task1Result result;
     result.stats = assoc::assoc_task1(*machine_, db_, frame, params);
@@ -74,7 +80,7 @@ class ApBackend final : public Backend {
     return result;
   }
 
-  Task23Result run_task23(const Task23Params& params) override {
+  Task23Result do_run_task23(const Task23Params& params) override {
     machine_->reset();
     Task23Result result;
     result.stats = assoc::assoc_task23(*machine_, db_, params);
@@ -82,23 +88,18 @@ class ApBackend final : public Backend {
     return result;
   }
 
-  [[nodiscard]] const airfield::FlightDb& state() const override {
-    return db_;
-  }
-  airfield::FlightDb& mutable_state() override { return db_; }
-
-  TerrainResult run_terrain(const TerrainTaskParams& params) override {
-    if (terrain_ == nullptr) {
+  TerrainResult do_run_terrain(const TerrainTaskParams& params) override {
+    if (terrain_map() == nullptr) {
       throw std::logic_error("ApBackend::run_terrain: no terrain attached");
     }
     machine_->reset();
     TerrainResult result;
-    result.stats = assoc::assoc_terrain(*machine_, db_, *terrain_, params);
+    result.stats = assoc::assoc_terrain(*machine_, db_, *terrain_map(), params);
     result.modeled_ms = machine_->elapsed_ms();
     return result;
   }
 
-  DisplayResult run_display(const DisplayParams& params) override {
+  DisplayResult do_run_display(const DisplayParams& params) override {
     machine_->reset();
     DisplayResult result;
     std::vector<std::int32_t> occupancy;
@@ -107,7 +108,7 @@ class ApBackend final : public Backend {
     return result;
   }
 
-  AdvisoryResult run_advisory(const AdvisoryParams& params) override {
+  AdvisoryResult do_run_advisory(const AdvisoryParams& params) override {
     machine_->reset();
     AdvisoryResult result;
     result.stats =
@@ -116,7 +117,7 @@ class ApBackend final : public Backend {
     return result;
   }
 
-  MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
+  MultiRadarResult do_run_multi_task1(airfield::MultiRadarFrame& frame,
                                    const Task1Params& params) override {
     machine_->reset();
     MultiRadarResult result;
@@ -125,7 +126,7 @@ class ApBackend final : public Backend {
     return result;
   }
 
-  SporadicResult run_sporadic(std::span<const Query> queries,
+  SporadicResult do_run_sporadic(std::span<const Query> queries,
                               const SporadicParams& params) override {
     (void)params;
     machine_->reset();

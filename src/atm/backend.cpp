@@ -11,31 +11,126 @@
 
 namespace atm::tasks {
 
+void Backend::emit_task_event(std::string_view task, double modeled_ms,
+                              double measured_ms, int passes,
+                              std::int64_t conflicts,
+                              std::int64_t resolved) {
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kTask;
+  ev.name = task;
+  ev.backend = name();
+  ev.cycle = trace_cycle_;
+  ev.period = trace_period_;
+  ev.modeled_ms = modeled_ms;
+  ev.measured_ms = measured_ms;
+  ev.aircraft = aircraft_count();
+  ev.passes = passes;
+  ev.conflicts = conflicts;
+  ev.resolved = resolved;
+  trace_->record(ev);
+}
+
+Task1Result Backend::run_task1(airfield::RadarFrame& frame,
+                               const Task1Params& params) {
+  if (trace_ == nullptr) return do_run_task1(frame, params);
+  const rt::Stopwatch sw;
+  const Task1Result result = do_run_task1(frame, params);
+  emit_task_event("task1", result.modeled_ms, sw.elapsed_ms(),
+                  result.stats.passes);
+  return result;
+}
+
+Task23Result Backend::run_task23(const Task23Params& params) {
+  if (trace_ == nullptr) return do_run_task23(params);
+  const rt::Stopwatch sw;
+  const Task23Result result = do_run_task23(params);
+  emit_task_event("task23", result.modeled_ms, sw.elapsed_ms(), -1,
+                  static_cast<std::int64_t>(result.stats.conflicts),
+                  static_cast<std::int64_t>(result.stats.resolved));
+  return result;
+}
+
 airfield::RadarFrame Backend::generate_radar(
+    core::Rng& rng, const airfield::RadarParams& params,
+    double* modeled_ms) {
+  if (trace_ == nullptr) return do_generate_radar(rng, params, modeled_ms);
+  double local_ms = 0.0;
+  if (modeled_ms == nullptr) modeled_ms = &local_ms;
+  const rt::Stopwatch sw;
+  airfield::RadarFrame frame = do_generate_radar(rng, params, modeled_ms);
+  emit_task_event("radar", *modeled_ms, sw.elapsed_ms());
+  return frame;
+}
+
+TerrainResult Backend::run_terrain(const TerrainTaskParams& params) {
+  if (trace_ == nullptr) return do_run_terrain(params);
+  const rt::Stopwatch sw;
+  const TerrainResult result = do_run_terrain(params);
+  emit_task_event("terrain", result.modeled_ms, sw.elapsed_ms());
+  return result;
+}
+
+DisplayResult Backend::run_display(const DisplayParams& params) {
+  if (trace_ == nullptr) return do_run_display(params);
+  const rt::Stopwatch sw;
+  const DisplayResult result = do_run_display(params);
+  emit_task_event("display", result.modeled_ms, sw.elapsed_ms());
+  return result;
+}
+
+AdvisoryResult Backend::run_advisory(const AdvisoryParams& params) {
+  if (trace_ == nullptr) return do_run_advisory(params);
+  const rt::Stopwatch sw;
+  AdvisoryResult result = do_run_advisory(params);
+  emit_task_event("advisory", result.modeled_ms, sw.elapsed_ms());
+  return result;
+}
+
+MultiRadarResult Backend::run_multi_task1(airfield::MultiRadarFrame& frame,
+                                          const Task1Params& params) {
+  if (trace_ == nullptr) return do_run_multi_task1(frame, params);
+  const rt::Stopwatch sw;
+  const MultiRadarResult result = do_run_multi_task1(frame, params);
+  emit_task_event("multi_task1", result.modeled_ms, sw.elapsed_ms(),
+                  result.stats.passes);
+  return result;
+}
+
+SporadicResult Backend::run_sporadic(std::span<const Query> queries,
+                                     const SporadicParams& params) {
+  if (trace_ == nullptr) return do_run_sporadic(queries, params);
+  const rt::Stopwatch sw;
+  SporadicResult result = do_run_sporadic(queries, params);
+  emit_task_event("sporadic", result.modeled_ms, sw.elapsed_ms());
+  return result;
+}
+
+void Backend::set_terrain(
+    std::shared_ptr<const airfield::TerrainMap> terrain) {
+  terrain_ = std::move(terrain);
+  on_terrain_attached();
+}
+
+airfield::RadarFrame Backend::do_generate_radar(
     core::Rng& rng, const airfield::RadarParams& params,
     double* modeled_ms) {
   if (modeled_ms != nullptr) *modeled_ms = 0.0;
   return airfield::generate_radar(state(), rng, params);
 }
 
-void Backend::set_terrain(
-    std::shared_ptr<const airfield::TerrainMap> terrain) {
-  terrain_ = std::move(terrain);
-}
-
-TerrainResult Backend::run_terrain(const TerrainTaskParams& params) {
-  if (terrain_ == nullptr) {
+TerrainResult Backend::do_run_terrain(const TerrainTaskParams& params) {
+  if (terrain_map() == nullptr) {
     throw std::logic_error("Backend::run_terrain: no terrain attached");
   }
   const rt::Stopwatch sw;
   TerrainResult result;
   result.stats =
-      extended::terrain_avoidance(mutable_state(), *terrain_, params);
+      extended::terrain_avoidance(mutable_state(), *terrain_map(), params);
   result.modeled_ms = sw.elapsed_ms();
   return result;
 }
 
-DisplayResult Backend::run_display(const DisplayParams& params) {
+DisplayResult Backend::do_run_display(const DisplayParams& params) {
   const rt::Stopwatch sw;
   DisplayResult result;
   std::vector<std::int32_t> occupancy;
@@ -44,7 +139,7 @@ DisplayResult Backend::run_display(const DisplayParams& params) {
   return result;
 }
 
-AdvisoryResult Backend::run_advisory(const AdvisoryParams& params) {
+AdvisoryResult Backend::do_run_advisory(const AdvisoryParams& params) {
   const rt::Stopwatch sw;
   AdvisoryResult result;
   result.stats = extended::advisory_scan(state(), params, result.queue);
@@ -52,8 +147,8 @@ AdvisoryResult Backend::run_advisory(const AdvisoryParams& params) {
   return result;
 }
 
-MultiRadarResult Backend::run_multi_task1(airfield::MultiRadarFrame& frame,
-                                          const Task1Params& params) {
+MultiRadarResult Backend::do_run_multi_task1(airfield::MultiRadarFrame& frame,
+                                             const Task1Params& params) {
   const rt::Stopwatch sw;
   MultiRadarResult result;
   result.stats = extended::correlate_multi(mutable_state(), frame, params);
@@ -61,8 +156,8 @@ MultiRadarResult Backend::run_multi_task1(airfield::MultiRadarFrame& frame,
   return result;
 }
 
-SporadicResult Backend::run_sporadic(std::span<const Query> queries,
-                                     const SporadicParams& params) {
+SporadicResult Backend::do_run_sporadic(std::span<const Query> queries,
+                                        const SporadicParams& params) {
   (void)params;
   const rt::Stopwatch sw;
   SporadicResult result;

@@ -10,6 +10,13 @@
 // flight states stay identical — the cross-backend equivalence the test
 // suite enforces — while their modeled times differ the way the paper's
 // platforms differ.
+//
+// The task entry points are non-virtual (NVI): the public `run_*` methods
+// time the host execution, delegate to the protected `do_run_*` hooks the
+// platform backends override, and emit one obs::TraceEvent per execution
+// when a trace sink is attached — so every caller (executive, benches,
+// tests) gets uniform telemetry without each backend repeating the
+// instrumentation.
 #pragma once
 
 #include <memory>
@@ -23,6 +30,7 @@
 #include "src/atm/extended/ext_types.hpp"
 #include "src/atm/task_types.hpp"
 #include "src/core/rng.hpp"
+#include "src/obs/trace.hpp"
 
 namespace atm::tasks {
 
@@ -43,11 +51,11 @@ class Backend {
 
   /// Task 1 for one period. Fills `frame.rmatch_with` and advances the
   /// backend's aircraft by one period.
-  virtual Task1Result run_task1(airfield::RadarFrame& frame,
-                                const Task1Params& params) = 0;
+  Task1Result run_task1(airfield::RadarFrame& frame,
+                        const Task1Params& params);
 
   /// Tasks 2+3 for one major cycle.
-  virtual Task23Result run_task23(const Task23Params& params) = 0;
+  Task23Result run_task23(const Task23Params& params);
 
   /// Host-visible view of the backend's current flight state.
   [[nodiscard]] virtual const airfield::FlightDb& state() const = 0;
@@ -62,24 +70,39 @@ class Backend {
   /// period deadline. The default implementation runs the host generator;
   /// the CUDA backend overrides it to model the paper's device-generate /
   /// host-shuffle round trip.
-  virtual airfield::RadarFrame generate_radar(
-      core::Rng& rng, const airfield::RadarParams& params,
-      double* modeled_ms);
+  airfield::RadarFrame generate_radar(core::Rng& rng,
+                                      const airfield::RadarParams& params,
+                                      double* modeled_ms);
 
   /// Convenience: number of aircraft loaded.
   [[nodiscard]] std::size_t aircraft_count() const { return state().size(); }
 
+  // --- Observability ------------------------------------------------------
+
+  /// Attach (or detach, with nullptr) the sink receiving one task event
+  /// per `run_*` execution. The sink is borrowed, never owned; tracing is
+  /// disabled by default and costs one branch per task when off.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// Stamp subsequent task events with an executive position (the
+  /// pipeline calls this each period; -1 means "not in a pipeline").
+  void set_trace_context(int cycle, int period) {
+    trace_cycle_ = cycle;
+    trace_period_ = period;
+  }
+
   // --- Extended system: the paper's Section 7.2 "complete ATM system" ----
   //
-  // The base-class implementations run the reference algorithms on the
-  // backend's state and report measured host wall time; every platform
-  // backend overrides them with its own execution + cost model, exactly
-  // like the core tasks. The terrain model is attached once (it is static
-  // data; the CUDA backend models its one-time upload).
+  // The base-class `do_run_*` implementations run the reference
+  // algorithms on the backend's state and report measured host wall time;
+  // every platform backend overrides them with its own execution + cost
+  // model, exactly like the core tasks. The terrain model is attached
+  // once (it is static data; the CUDA backend models its one-time upload
+  // in its on_terrain_attached hook).
 
   /// Attach the terrain model used by run_terrain.
-  virtual void set_terrain(
-      std::shared_ptr<const airfield::TerrainMap> terrain);
+  void set_terrain(std::shared_ptr<const airfield::TerrainMap> terrain);
 
   /// Terrain map currently attached (may be null).
   [[nodiscard]] const airfield::TerrainMap* terrain() const {
@@ -88,27 +111,62 @@ class Backend {
 
   /// Terrain avoidance: flag and climb aircraft whose projected path
   /// violates ground clearance. Runs once per major cycle.
-  virtual TerrainResult run_terrain(const TerrainTaskParams& params);
+  TerrainResult run_terrain(const TerrainTaskParams& params);
 
   /// Controller display update: sector binning, handoffs, occupancy.
   /// Runs every period.
-  virtual DisplayResult run_display(const DisplayParams& params);
+  DisplayResult run_display(const DisplayParams& params);
 
   /// Automatic voice advisory scan. Runs every 4 seconds.
-  virtual AdvisoryResult run_advisory(const AdvisoryParams& params);
+  AdvisoryResult run_advisory(const AdvisoryParams& params);
 
   /// Multi-tower Task 1: correlation over a frame with several returns
   /// per aircraft (the unsimplified radar environment).
-  virtual MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
-                                           const Task1Params& params);
+  MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
+                                   const Task1Params& params);
 
   /// Sporadic requests: answer a batch of controller queries against the
   /// flight database.
-  virtual SporadicResult run_sporadic(std::span<const Query> queries,
-                                      const SporadicParams& params);
+  SporadicResult run_sporadic(std::span<const Query> queries,
+                              const SporadicParams& params);
 
  protected:
+  // Platform hooks behind the public entry points above.
+  virtual Task1Result do_run_task1(airfield::RadarFrame& frame,
+                                   const Task1Params& params) = 0;
+  virtual Task23Result do_run_task23(const Task23Params& params) = 0;
+  virtual airfield::RadarFrame do_generate_radar(
+      core::Rng& rng, const airfield::RadarParams& params,
+      double* modeled_ms);
+  virtual TerrainResult do_run_terrain(const TerrainTaskParams& params);
+  virtual DisplayResult do_run_display(const DisplayParams& params);
+  virtual AdvisoryResult do_run_advisory(const AdvisoryParams& params);
+  virtual MultiRadarResult do_run_multi_task1(
+      airfield::MultiRadarFrame& frame, const Task1Params& params);
+  virtual SporadicResult do_run_sporadic(std::span<const Query> queries,
+                                         const SporadicParams& params);
+
+  /// Called after set_terrain stores the new map (which may be null);
+  /// platforms model their upload cost here.
+  virtual void on_terrain_attached() {}
+
+  /// The attached terrain map (nullptr when none) — subclasses read the
+  /// state through this accessor; the owning pointer is private.
+  [[nodiscard]] const airfield::TerrainMap* terrain_map() const {
+    return terrain_.get();
+  }
+
+ private:
+  /// Shared helper: emit one kTask event (only called with a sink).
+  void emit_task_event(std::string_view task, double modeled_ms,
+                       double measured_ms, int passes = -1,
+                       std::int64_t conflicts = -1,
+                       std::int64_t resolved = -1);
+
   std::shared_ptr<const airfield::TerrainMap> terrain_;
+  obs::TraceSink* trace_ = nullptr;
+  int trace_cycle_ = -1;
+  int trace_period_ = -1;
 };
 
 }  // namespace atm::tasks

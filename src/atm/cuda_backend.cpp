@@ -88,12 +88,12 @@ double CudaBackend::setup_flights_on_device(
   return stats.modeled_ms;
 }
 
-airfield::RadarFrame CudaBackend::generate_radar(
+airfield::RadarFrame CudaBackend::do_generate_radar(
     core::Rng& rng, const airfield::RadarParams& params,
     double* modeled_ms) {
   if (params.dropout_probability > 0.0) {
     // Dropout decisions are a host-generator feature; fall back.
-    return Backend::generate_radar(rng, params, modeled_ms);
+    return Backend::do_generate_radar(rng, params, modeled_ms);
   }
   const std::size_t n = db_.size();
   // Draw the noise in the host generator's exact order so the frame is
@@ -131,7 +131,7 @@ airfield::RadarFrame CudaBackend::generate_radar(
   return frame;
 }
 
-Task1Result CudaBackend::run_task1(airfield::RadarFrame& frame,
+Task1Result CudaBackend::do_run_task1(airfield::RadarFrame& frame,
                                    const Task1Params& params) {
   const std::size_t n = db_.size();
   Task1Result result;
@@ -244,7 +244,7 @@ Task1Stats CudaBackend::collect_task1_stats(
   return stats;
 }
 
-Task23Result CudaBackend::run_task23(const Task23Params& params) {
+Task23Result CudaBackend::do_run_task23(const Task23Params& params) {
   const std::size_t n = db_.size();
   Task23Result result;
   counters_.assign(cuda::kCounterSlots, 0);
@@ -401,18 +401,16 @@ Task23Result CudaBackend::run_task23_pairgrid(const Task23Params& params) {
 
 // --- Extended system --------------------------------------------------------
 
-void CudaBackend::set_terrain(
-    std::shared_ptr<const airfield::TerrainMap> terrain) {
-  Backend::set_terrain(std::move(terrain));
-  if (terrain_ != nullptr) {
+void CudaBackend::on_terrain_attached() {
+  if (terrain_map() != nullptr) {
     // One-time upload of the heightmap (static data, like the paper's
     // initial drone upload).
-    device_.transfer(terrain_->cells().size() * sizeof(double));
+    device_.transfer(terrain_map()->cells().size() * sizeof(double));
   }
 }
 
-TerrainResult CudaBackend::run_terrain(const TerrainTaskParams& params) {
-  if (terrain_ == nullptr) {
+TerrainResult CudaBackend::do_run_terrain(const TerrainTaskParams& params) {
+  if (terrain_map() == nullptr) {
     throw std::logic_error("CudaBackend::run_terrain: no terrain attached");
   }
   const std::size_t n = db_.size();
@@ -420,7 +418,7 @@ TerrainResult CudaBackend::run_terrain(const TerrainTaskParams& params) {
   counters_.assign(cuda::kCounterSlots, 0);
   const auto cfg = simt::one_thread_per_item(n, threads_per_block_);
   const cuda::DroneView drone = drone_view();
-  const airfield::TerrainMap& terrain = *terrain_;
+  const airfield::TerrainMap& terrain = *terrain_map();
   result.modeled_ms +=
       device_
           .launch(cfg,
@@ -436,7 +434,7 @@ TerrainResult CudaBackend::run_terrain(const TerrainTaskParams& params) {
   return result;
 }
 
-DisplayResult CudaBackend::run_display(const DisplayParams& params) {
+DisplayResult CudaBackend::do_run_display(const DisplayParams& params) {
   const std::size_t n = db_.size();
   DisplayResult result;
   counters_.assign(cuda::kCounterSlots, 0);
@@ -467,7 +465,7 @@ DisplayResult CudaBackend::run_display(const DisplayParams& params) {
   return result;
 }
 
-AdvisoryResult CudaBackend::run_advisory(const AdvisoryParams& params) {
+AdvisoryResult CudaBackend::do_run_advisory(const AdvisoryParams& params) {
   const std::size_t n = db_.size();
   AdvisoryResult result;
   flags_a_.assign(n, 0);
@@ -505,7 +503,7 @@ AdvisoryResult CudaBackend::run_advisory(const AdvisoryParams& params) {
   return result;
 }
 
-SporadicResult CudaBackend::run_sporadic(std::span<const Query> queries,
+SporadicResult CudaBackend::do_run_sporadic(std::span<const Query> queries,
                                          const SporadicParams& params) {
   (void)params;
   const std::size_t n = db_.size();
@@ -540,7 +538,7 @@ SporadicResult CudaBackend::run_sporadic(std::span<const Query> queries,
   return result;
 }
 
-MultiRadarResult CudaBackend::run_multi_task1(
+MultiRadarResult CudaBackend::do_run_multi_task1(
     airfield::MultiRadarFrame& frame, const Task1Params& params) {
   const std::size_t n = db_.size();
   const std::size_t returns = frame.size();

@@ -20,9 +20,6 @@ class CudaBackend final : public Backend {
   [[nodiscard]] std::string name() const override;
 
   void load(const airfield::FlightDb& db) override;
-  Task1Result run_task1(airfield::RadarFrame& frame,
-                        const Task1Params& params) override;
-  Task23Result run_task23(const Task23Params& params) override;
 
   /// A-3 ablation: detection mapped one-thread-per-*pair* on a 2-D grid
   /// (atomic-min folding) instead of the paper's one-thread-per-aircraft
@@ -41,36 +38,40 @@ class CudaBackend final : public Backend {
   }
   airfield::FlightDb& mutable_state() override { return db_; }
 
-  /// GenerateRadarData on the device + the paper's device->host shuffle
-  /// round trip (Section 4.1), with the shuffle itself on the host.
-  airfield::RadarFrame generate_radar(core::Rng& rng,
-                                      const airfield::RadarParams& params,
-                                      double* modeled_ms) override;
-
   /// SetupFlight as a device kernel: initialize n aircraft from a seed
   /// (distribution-equivalent to airfield::make_airfield; per-thread RNG
   /// streams). Returns the modeled kernel time.
   double setup_flights_on_device(std::size_t n, std::uint64_t seed,
                                  const airfield::SetupParams& params = {});
 
-  // --- Extended system ----------------------------------------------------
-
-  /// Attaching terrain models the one-time host->device upload of the
-  /// heightmap.
-  void set_terrain(
-      std::shared_ptr<const airfield::TerrainMap> terrain) override;
-  TerrainResult run_terrain(const TerrainTaskParams& params) override;
-  DisplayResult run_display(const DisplayParams& params) override;
-  AdvisoryResult run_advisory(const AdvisoryParams& params) override;
-  MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
-                                   const Task1Params& params) override;
-  SporadicResult run_sporadic(std::span<const Query> queries,
-                              const SporadicParams& params) override;
-
   /// The simulated device (for occupancy experiments and totals).
   [[nodiscard]] simt::Device& device() { return device_; }
   [[nodiscard]] int threads_per_block() const { return threads_per_block_; }
   void set_threads_per_block(int tpb) { threads_per_block_ = tpb; }
+
+ protected:
+  Task1Result do_run_task1(airfield::RadarFrame& frame,
+                           const Task1Params& params) override;
+  Task23Result do_run_task23(const Task23Params& params) override;
+
+  /// GenerateRadarData on the device + the paper's device->host shuffle
+  /// round trip (Section 4.1), with the shuffle itself on the host.
+  airfield::RadarFrame do_generate_radar(
+      core::Rng& rng, const airfield::RadarParams& params,
+      double* modeled_ms) override;
+
+  // --- Extended system ----------------------------------------------------
+
+  /// Attaching terrain models the one-time host->device upload of the
+  /// heightmap.
+  void on_terrain_attached() override;
+  TerrainResult do_run_terrain(const TerrainTaskParams& params) override;
+  DisplayResult do_run_display(const DisplayParams& params) override;
+  AdvisoryResult do_run_advisory(const AdvisoryParams& params) override;
+  MultiRadarResult do_run_multi_task1(airfield::MultiRadarFrame& frame,
+                                      const Task1Params& params) override;
+  SporadicResult do_run_sporadic(std::span<const Query> queries,
+                                 const SporadicParams& params) override;
 
  private:
   cuda::DroneView drone_view();

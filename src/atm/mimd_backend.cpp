@@ -42,7 +42,7 @@ void MimdBackend::load(const airfield::FlightDb& db) {
   resolved_.resize(n);
 }
 
-Task1Result MimdBackend::run_task1(airfield::RadarFrame& frame,
+Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
                                    const Task1Params& params) {
   const std::size_t n = db_.size();
   Task1Result result;
@@ -177,7 +177,7 @@ Task1Result MimdBackend::run_task1(airfield::RadarFrame& frame,
   return result;
 }
 
-Task23Result MimdBackend::run_task23(const Task23Params& params) {
+Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
   const std::size_t n = db_.size();
   Task23Result result;
   result.stats.aircraft = n;
@@ -271,8 +271,8 @@ Task23Result MimdBackend::run_task23(const Task23Params& params) {
 
 // --- Extended system --------------------------------------------------------
 
-TerrainResult MimdBackend::run_terrain(const TerrainTaskParams& params) {
-  if (terrain_ == nullptr) {
+TerrainResult MimdBackend::do_run_terrain(const TerrainTaskParams& params) {
+  if (terrain_map() == nullptr) {
     throw std::logic_error("MimdBackend::run_terrain: no terrain attached");
   }
   const std::size_t n = db_.size();
@@ -283,7 +283,7 @@ TerrainResult MimdBackend::run_terrain(const TerrainTaskParams& params) {
   work.items = n;
   std::atomic<std::uint64_t> warnings{0}, climbs{0};
 
-  const airfield::TerrainMap& terrain = *terrain_;
+  const airfield::TerrainMap& terrain = *terrain_map();
   pool_.parallel_for(0, n, kChunk, [&](std::size_t i) {
     const extended::TerrainScan scan =
         extended::scan_terrain(db_, i, terrain, params);
@@ -307,7 +307,7 @@ TerrainResult MimdBackend::run_terrain(const TerrainTaskParams& params) {
   return result;
 }
 
-DisplayResult MimdBackend::run_display(const DisplayParams& params) {
+DisplayResult MimdBackend::do_run_display(const DisplayParams& params) {
   const std::size_t n = db_.size();
   DisplayResult result;
   result.stats.aircraft = n;
@@ -345,7 +345,7 @@ DisplayResult MimdBackend::run_display(const DisplayParams& params) {
   return result;
 }
 
-AdvisoryResult MimdBackend::run_advisory(const AdvisoryParams& params) {
+AdvisoryResult MimdBackend::do_run_advisory(const AdvisoryParams& params) {
   const std::size_t n = db_.size();
   AdvisoryResult result;
   result.stats.aircraft = n;
@@ -391,7 +391,7 @@ AdvisoryResult MimdBackend::run_advisory(const AdvisoryParams& params) {
   return result;
 }
 
-SporadicResult MimdBackend::run_sporadic(std::span<const Query> queries,
+SporadicResult MimdBackend::do_run_sporadic(std::span<const Query> queries,
                                          const SporadicParams& params) {
   (void)params;
   const std::size_t n = db_.size();
@@ -434,7 +434,7 @@ SporadicResult MimdBackend::run_sporadic(std::span<const Query> queries,
   return result;
 }
 
-MultiRadarResult MimdBackend::run_multi_task1(
+MultiRadarResult MimdBackend::do_run_multi_task1(
     airfield::MultiRadarFrame& frame, const Task1Params& params) {
   const std::size_t n = db_.size();
   const std::size_t returns = frame.size();

@@ -36,25 +36,28 @@ class MimdBackend final : public Backend {
   [[nodiscard]] bool deterministic() const override { return false; }
 
   void load(const airfield::FlightDb& db) override;
-  Task1Result run_task1(airfield::RadarFrame& frame,
-                        const Task1Params& params) override;
-  Task23Result run_task23(const Task23Params& params) override;
 
   [[nodiscard]] const airfield::FlightDb& state() const override {
     return db_;
   }
   airfield::FlightDb& mutable_state() override { return db_; }
 
+ protected:
+  Task1Result do_run_task1(airfield::RadarFrame& frame,
+                           const Task1Params& params) override;
+  Task23Result do_run_task23(const Task23Params& params) override;
+
   // Extended system (see backend.hpp): thread-pool execution with the
   // shared-database locking discipline, modeled through the Xeon model.
-  TerrainResult run_terrain(const TerrainTaskParams& params) override;
-  DisplayResult run_display(const DisplayParams& params) override;
-  AdvisoryResult run_advisory(const AdvisoryParams& params) override;
-  MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
-                                   const Task1Params& params) override;
-  SporadicResult run_sporadic(std::span<const Query> queries,
-                              const SporadicParams& params) override;
+  TerrainResult do_run_terrain(const TerrainTaskParams& params) override;
+  DisplayResult do_run_display(const DisplayParams& params) override;
+  AdvisoryResult do_run_advisory(const AdvisoryParams& params) override;
+  MultiRadarResult do_run_multi_task1(airfield::MultiRadarFrame& frame,
+                                      const Task1Params& params) override;
+  SporadicResult do_run_sporadic(std::span<const Query> queries,
+                                 const SporadicParams& params) override;
 
+ public:
   /// Work performed by the most recent task run (model inputs; exposed for
   /// tests and the determinism bench).
   [[nodiscard]] const mimd::WorkCounters& last_work() const {

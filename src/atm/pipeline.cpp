@@ -1,5 +1,6 @@
 #include "src/atm/pipeline.hpp"
 
+#include <chrono>
 #include <thread>
 
 #include "src/airfield/setup.hpp"
@@ -8,29 +9,79 @@
 
 namespace atm::tasks {
 
-PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg) {
-  backend.load(airfield::make_airfield(cfg.aircraft, cfg.seed, cfg.setup));
-  return run_pipeline_loaded(backend, cfg);
-}
+namespace {
 
-PipelineResult run_pipeline_loaded(Backend& backend,
-                                   const PipelineConfig& cfg) {
+/// Restores the borrowed trace wiring when the run leaves scope, so the
+/// caller's backend (and the monitor copy inside the returned result)
+/// never retain a pointer into state the caller may destroy first.
+class TraceWiring {
+ public:
+  TraceWiring(Backend& backend, rt::DeadlineMonitor& monitor,
+              obs::TraceSink* sink)
+      : backend_(backend), monitor_(monitor) {
+    backend_.set_trace_sink(sink);
+    monitor_.set_trace(sink);
+  }
+  ~TraceWiring() {
+    backend_.set_trace_sink(nullptr);
+    monitor_.set_trace(nullptr);
+    backend_.set_trace_context(-1, -1);
+    monitor_.set_trace_context({}, -1, -1);
+  }
+
+ private:
+  Backend& backend_;
+  rt::DeadlineMonitor& monitor_;
+};
+
+}  // namespace
+
+PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg) {
+  if (!cfg.preloaded) {
+    backend.load(airfield::make_airfield(cfg.aircraft, cfg.seed, cfg.setup));
+  }
+
   PipelineResult result;
-  rt::VirtualClock clock;
   const rt::MajorCycleSchedule schedule =
       rt::MajorCycleSchedule::paper_schedule();
-  const double period_ms = schedule.period_ms();
+  const bool wallclock = cfg.clock_mode == ClockMode::kWallclock;
+  const double period_ms =
+      wallclock ? cfg.real_period_ms : schedule.period_ms();
 
   // Radar noise stream: independent of everything else so the frames a
   // backend sees depend only on (seed, its own flight state).
   core::Rng radar_rng(cfg.seed ^ 0x4ADA1257A3ABCDEFULL);
 
+  // Executive clock: virtual mode advances by modeled task times;
+  // wall-clock mode reads the host's steady clock.
+  rt::VirtualClock vclock;
+  using HostClock = std::chrono::steady_clock;
+  const auto t0 = HostClock::now();
+  const auto now_ms = [&] {
+    if (!wallclock) return vclock.now_ms();
+    return std::chrono::duration<double, std::milli>(HostClock::now() - t0)
+        .count();
+  };
+
+  obs::TraceSink* trace = cfg.trace;
+  const TraceWiring wiring(backend, result.monitor, trace);
+  const std::string backend_name =
+      trace != nullptr ? backend.name() : std::string();
+  obs::Counter wrapped_counter("wrapped_aircraft");
+
   int global_period = 0;
   for (int cycle = 0; cycle < cfg.major_cycles; ++cycle) {
+    const obs::Span cycle_span(trace, "cycle", backend_name, cycle);
     for (int period = 0; period < schedule.periods_per_cycle(); ++period) {
       PeriodLog log;
       log.cycle = cycle;
       log.period = period;
+      if (trace != nullptr) {
+        backend.set_trace_context(cycle, period);
+        result.monitor.set_trace_context(backend_name, cycle, period);
+      }
+      const obs::Span period_span(trace, "period", backend_name, cycle,
+                                  period);
 
       // Radar creation precedes the period and is not an ATM task
       // (Section 4.2), so it does not consume period budget.
@@ -46,16 +97,19 @@ PipelineResult run_pipeline_loaded(Backend& backend,
           static_cast<double>(global_period + 1) * period_ms;
 
       // Task 1.
-      if (clock.now_ms() >= period_deadline) {
+      if (now_ms() >= period_deadline) {
         result.monitor.record_skip("task1");
         log.task1_outcome = rt::Outcome::kSkipped;
       } else {
+        const double start = now_ms();
         const Task1Result r1 = backend.run_task1(frame, cfg.task1);
-        log.task1_ms = r1.modeled_ms;
-        log.task1_outcome = result.monitor.record(
-            "task1", clock.now_ms(), r1.modeled_ms, period_deadline);
-        clock.advance_ms(r1.modeled_ms);
-        result.task1_ms.add(r1.modeled_ms);
+        const double duration =
+            wallclock ? now_ms() - start : r1.modeled_ms;
+        log.task1_ms = duration;
+        log.task1_outcome = result.monitor.record("task1", start, duration,
+                                                  period_deadline);
+        if (!wallclock) vclock.advance_ms(duration);
+        result.task1_ms.add(duration);
         result.last_task1 = r1.stats;
       }
 
@@ -63,6 +117,7 @@ PipelineResult run_pipeline_loaded(Backend& backend,
       // the airfield simulation, not of ATM).
       if (cfg.apply_reentry) {
         log.wrapped = airfield::apply_reentry_all(backend.mutable_state());
+        wrapped_counter.add(log.wrapped);
       }
       // Save this period's tracked positions ("all radar is saved").
       if (cfg.recorder != nullptr) {
@@ -71,17 +126,20 @@ PipelineResult run_pipeline_loaded(Backend& backend,
 
       // Tasks 2+3 in the final period of the cycle, after Task 1.
       if (period == schedule.periods_per_cycle() - 1) {
-        if (clock.now_ms() >= period_deadline) {
+        if (now_ms() >= period_deadline) {
           result.monitor.record_skip("task23");
           log.task23_outcome = rt::Outcome::kSkipped;
         } else {
+          const double start = now_ms();
           const Task23Result r23 = backend.run_task23(cfg.task23);
+          const double duration =
+              wallclock ? now_ms() - start : r23.modeled_ms;
           log.task23_ran = true;
-          log.task23_ms = r23.modeled_ms;
+          log.task23_ms = duration;
           log.task23_outcome = result.monitor.record(
-              "task23", clock.now_ms(), r23.modeled_ms, period_deadline);
-          clock.advance_ms(r23.modeled_ms);
-          result.task23_ms.add(r23.modeled_ms);
+              "task23", start, duration, period_deadline);
+          if (!wallclock) vclock.advance_ms(duration);
+          result.task23_ms.add(duration);
           result.last_task23 = r23.stats;
         }
       }
@@ -89,96 +147,52 @@ PipelineResult run_pipeline_loaded(Backend& backend,
       // Wait out the remainder of the period so the next one does not
       // start ahead of schedule (Section 4.2). Overruns are *not* given
       // back: a late finish delays subsequent periods.
-      clock.advance_to_ms(period_deadline);
-      ++global_period;
-      result.periods.push_back(log);
-    }
-  }
-  result.virtual_end_ms = clock.now_ms();
-  return result;
-}
-
-PipelineResult run_pipeline_wallclock(Backend& backend,
-                                      const PipelineConfig& cfg,
-                                      double real_period_ms) {
-  backend.load(airfield::make_airfield(cfg.aircraft, cfg.seed, cfg.setup));
-
-  PipelineResult result;
-  const rt::MajorCycleSchedule schedule =
-      rt::MajorCycleSchedule::paper_schedule();
-  core::Rng radar_rng(cfg.seed ^ 0x4ADA1257A3ABCDEFULL);
-
-  using Clock = std::chrono::steady_clock;
-  const auto t0 = Clock::now();
-  const auto period =
-      std::chrono::duration<double, std::milli>(real_period_ms);
-  const auto now_ms = [&] {
-    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
-        .count();
-  };
-
-  int global_period = 0;
-  for (int cycle = 0; cycle < cfg.major_cycles; ++cycle) {
-    for (int p = 0; p < schedule.periods_per_cycle(); ++p) {
-      PeriodLog log;
-      log.cycle = cycle;
-      log.period = p;
-      airfield::RadarFrame frame =
-          backend.generate_radar(radar_rng, cfg.radar, &log.radar_ms);
-
-      const double deadline =
-          static_cast<double>(global_period + 1) * real_period_ms;
-
-      if (now_ms() >= deadline) {
-        result.monitor.record_skip("task1");
-        log.task1_outcome = rt::Outcome::kSkipped;
+      if (wallclock) {
+        const auto target =
+            t0 + std::chrono::duration_cast<HostClock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         period_ms * (global_period + 1)));
+        if (HostClock::now() < target) std::this_thread::sleep_until(target);
       } else {
-        const double start = now_ms();
-        const Task1Result r1 = backend.run_task1(frame, cfg.task1);
-        const double duration = now_ms() - start;
-        log.task1_ms = duration;
-        log.task1_outcome =
-            result.monitor.record("task1", start, duration, deadline);
-        result.task1_ms.add(duration);
-        result.last_task1 = r1.stats;
+        vclock.advance_to_ms(period_deadline);
       }
-
-      if (cfg.apply_reentry) {
-        log.wrapped = airfield::apply_reentry_all(backend.mutable_state());
-      }
-      if (cfg.recorder != nullptr) {
-        cfg.recorder->record(backend.state());
-      }
-
-      if (p == schedule.periods_per_cycle() - 1) {
-        if (now_ms() >= deadline) {
-          result.monitor.record_skip("task23");
-          log.task23_outcome = rt::Outcome::kSkipped;
-        } else {
-          const double start = now_ms();
-          const Task23Result r23 = backend.run_task23(cfg.task23);
-          const double duration = now_ms() - start;
-          log.task23_ran = true;
-          log.task23_ms = duration;
-          log.task23_outcome =
-              result.monitor.record("task23", start, duration, deadline);
-          result.task23_ms.add(duration);
-          result.last_task23 = r23.stats;
-        }
-      }
-
-      // "Whatever time is left, we wait that long before executing the
-      // next period" (Section 4.2) — on the real clock this time.
-      const auto target =
-          t0 + std::chrono::duration_cast<Clock::duration>(
-                   period * (global_period + 1));
-      if (Clock::now() < target) std::this_thread::sleep_until(target);
       ++global_period;
       result.periods.push_back(log);
     }
   }
   result.virtual_end_ms = now_ms();
+  wrapped_counter.publish(trace);
+  if (trace != nullptr) trace->flush();
   return result;
 }
+
+// The deprecated wrappers forward into the unified entry point; they are
+// kept one release so downstream callers migrate at their own pace, and
+// exercised by a single back-compat test.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+PipelineResult run_pipeline_loaded(Backend& backend,
+                                   const PipelineConfig& cfg) {
+  PipelineConfig unified = cfg;
+  unified.preloaded = true;
+  return run_pipeline(backend, unified);
+}
+
+PipelineResult run_pipeline_wallclock(Backend& backend,
+                                      const PipelineConfig& cfg,
+                                      double real_period_ms) {
+  PipelineConfig unified = cfg;
+  unified.clock_mode = ClockMode::kWallclock;
+  unified.real_period_ms = real_period_ms;
+  unified.preloaded = false;
+  return run_pipeline(backend, unified);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace atm::tasks

@@ -3,6 +3,12 @@
 // Task 1 every period, Tasks 2+3 at the end of the 16th period, deadline
 // accounting throughout, and waiting out the remainder of each period so
 // nothing starts ahead of schedule.
+//
+// One entry point drives every mode: `run_pipeline(backend, cfg)` reads
+// the clock mode (virtual modeled time vs. the paper's real wall-clock
+// executive), whether the backend is pre-loaded, and the optional trace
+// sink from the PipelineConfig. The legacy three-way surface survives as
+// thin deprecated wrappers.
 #pragma once
 
 #include <vector>
@@ -10,11 +16,27 @@
 #include "src/airfield/history.hpp"
 #include "src/airfield/setup.hpp"
 #include "src/atm/backend.hpp"
+#include "src/obs/trace.hpp"
 #include "src/rt/clock.hpp"
 #include "src/rt/deadline.hpp"
 #include "src/rt/schedule.hpp"
 
 namespace atm::tasks {
+
+/// How the executive keeps time.
+enum class ClockMode {
+  /// Advance a virtual clock by each task's *modeled* platform time —
+  /// deterministic, instant, the mode behind the paper's platform
+  /// comparisons.
+  kVirtual,
+  /// The paper's actual executive loop: run each period's tasks, then
+  /// wait out the remainder of the period on the host's real clock so
+  /// nothing starts ahead of schedule (Section 4.2), counting misses
+  /// against real deadlines. Durations are the backend's *measured host
+  /// execution* times, so this mode demonstrates and tests the executive
+  /// mechanics on real time.
+  kWallclock,
+};
 
 struct PipelineConfig {
   std::size_t aircraft = 1000;
@@ -30,6 +52,20 @@ struct PipelineConfig {
   /// this recorder after every Task 1 (the paper's "all radar is saved"
   /// retrace capability; untimed bookkeeping).
   airfield::FlightRecorder* recorder = nullptr;
+
+  ClockMode clock_mode = ClockMode::kVirtual;
+  /// Real period length in kWallclock mode. 500.0 is the paper's rate;
+  /// small values keep demos/tests fast. Ignored in kVirtual mode (the
+  /// virtual period is always the paper's 500 ms).
+  double real_period_ms = 500.0;
+  /// Skip the initial load: run on the backend's current flight state
+  /// (so callers can share one airfield across platforms or chain runs).
+  bool preloaded = false;
+  /// When non-null, the run emits cycle/period spans, per-task events,
+  /// and deadline outcomes into this sink (borrowed, never owned).
+  /// Tracing never alters results: a run with a sink produces the exact
+  /// PipelineResult of a run without one.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// What happened in one half-second period.
@@ -52,28 +88,24 @@ struct PipelineResult {
   core::StreamingStats task23_ms;  ///< Over started Task 2+3 instances.
   Task1Stats last_task1;
   Task23Stats last_task23;
-  double virtual_end_ms = 0.0;     ///< Simulated clock at run end.
+  double virtual_end_ms = 0.0;     ///< Executive clock at run end.
 };
 
-/// Initialize `backend` with a fresh airfield of cfg.aircraft flights
-/// (seeded by cfg.seed) and run cfg.major_cycles full major cycles.
+/// Run cfg.major_cycles full major cycles on `backend` in the configured
+/// clock mode. Unless cfg.preloaded is set, the backend is first loaded
+/// with a fresh airfield of cfg.aircraft flights (seeded by cfg.seed).
 PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg);
 
-/// Run the pipeline on an already-loaded backend (so callers can share one
-/// airfield across platforms or chain runs).
+/// Deprecated spelling of `cfg.preloaded = true`.
+[[deprecated("set PipelineConfig::preloaded = true and call run_pipeline")]]
 PipelineResult run_pipeline_loaded(Backend& backend,
                                    const PipelineConfig& cfg);
 
-/// Wall-clock mode: the paper's actual executive loop — run each period's
-/// tasks, then wait out the remainder of the period on the host's real
-/// clock so nothing starts ahead of schedule (Section 4.2), counting
-/// misses against real deadlines.
-///
-/// Durations are the backend's *measured host execution* times, so this
-/// mode demonstrates and tests the executive mechanics on real time; the
-/// platform comparisons use the virtual-clock mode, where durations are
-/// the platforms' modeled times. `real_period_ms` scales the period (use
-/// small values to keep demos/tests fast; 500.0 is the paper's real rate).
+/// Deprecated spelling of `cfg.clock_mode = ClockMode::kWallclock` with
+/// `cfg.real_period_ms = real_period_ms`.
+[[deprecated(
+    "set PipelineConfig::clock_mode = ClockMode::kWallclock and call "
+    "run_pipeline")]]
 PipelineResult run_pipeline_wallclock(Backend& backend,
                                       const PipelineConfig& cfg,
                                       double real_period_ms);

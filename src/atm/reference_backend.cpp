@@ -5,8 +5,8 @@
 
 namespace atm::tasks {
 
-Task1Result ReferenceBackend::run_task1(airfield::RadarFrame& frame,
-                                        const Task1Params& params) {
+Task1Result ReferenceBackend::do_run_task1(airfield::RadarFrame& frame,
+                                           const Task1Params& params) {
   const rt::Stopwatch sw;
   Task1Result result;
   result.stats = reference::correlate_and_track(db_, frame, scratch_, params);
@@ -14,7 +14,7 @@ Task1Result ReferenceBackend::run_task1(airfield::RadarFrame& frame,
   return result;
 }
 
-Task23Result ReferenceBackend::run_task23(const Task23Params& params) {
+Task23Result ReferenceBackend::do_run_task23(const Task23Params& params) {
   const rt::Stopwatch sw;
   Task23Result result;
   result.stats = reference::detect_and_resolve(db_, params);

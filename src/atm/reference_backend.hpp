@@ -17,14 +17,15 @@ class ReferenceBackend : public Backend {
 
   void load(const airfield::FlightDb& db) override { db_ = db; }
 
-  Task1Result run_task1(airfield::RadarFrame& frame,
-                        const Task1Params& params) override;
-  Task23Result run_task23(const Task23Params& params) override;
-
   [[nodiscard]] const airfield::FlightDb& state() const override {
     return db_;
   }
   airfield::FlightDb& mutable_state() override { return db_; }
+
+ protected:
+  Task1Result do_run_task1(airfield::RadarFrame& frame,
+                           const Task1Params& params) override;
+  Task23Result do_run_task23(const Task23Params& params) override;
 
  private:
   airfield::FlightDb db_;

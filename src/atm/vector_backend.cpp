@@ -2,9 +2,9 @@
 
 namespace atm::tasks {
 
-Task1Result VectorBackend::run_task1(airfield::RadarFrame& frame,
+Task1Result VectorBackend::do_run_task1(airfield::RadarFrame& frame,
                                      const Task1Params& params) {
-  Task1Result result = ReferenceBackend::run_task1(frame, params);
+  Task1Result result = ReferenceBackend::do_run_task1(frame, params);
   const std::uint64_t ops =
       result.stats.box_tests + 4 * aircraft_count();
   result.modeled_ms = model_.model_ms(
@@ -12,8 +12,8 @@ Task1Result VectorBackend::run_task1(airfield::RadarFrame& frame,
   return result;
 }
 
-Task23Result VectorBackend::run_task23(const Task23Params& params) {
-  Task23Result result = ReferenceBackend::run_task23(params);
+Task23Result VectorBackend::do_run_task23(const Task23Params& params) {
+  Task23Result result = ReferenceBackend::do_run_task23(params);
   const std::uint64_t n = aircraft_count();
   const std::uint64_t sweep = n > 0 ? n - 1 : 0;
   const std::uint64_t ops =
@@ -22,36 +22,36 @@ Task23Result VectorBackend::run_task23(const Task23Params& params) {
   return result;
 }
 
-TerrainResult VectorBackend::run_terrain(const TerrainTaskParams& params) {
-  TerrainResult result = ReferenceBackend::run_terrain(params);
+TerrainResult VectorBackend::do_run_terrain(const TerrainTaskParams& params) {
+  TerrainResult result = ReferenceBackend::do_run_terrain(params);
   result.modeled_ms = model_.model_ms(result.stats.samples * 5, 1);
   return result;
 }
 
-DisplayResult VectorBackend::run_display(const DisplayParams& params) {
-  DisplayResult result = ReferenceBackend::run_display(params);
+DisplayResult VectorBackend::do_run_display(const DisplayParams& params) {
+  DisplayResult result = ReferenceBackend::do_run_display(params);
   result.modeled_ms = model_.model_ms(4 * aircraft_count(), 1);
   return result;
 }
 
-AdvisoryResult VectorBackend::run_advisory(const AdvisoryParams& params) {
-  AdvisoryResult result = ReferenceBackend::run_advisory(params);
+AdvisoryResult VectorBackend::do_run_advisory(const AdvisoryParams& params) {
+  AdvisoryResult result = ReferenceBackend::do_run_advisory(params);
   result.modeled_ms =
       model_.model_ms(4 * aircraft_count() + result.queue.size(), 1);
   return result;
 }
 
-SporadicResult VectorBackend::run_sporadic(std::span<const Query> queries,
+SporadicResult VectorBackend::do_run_sporadic(std::span<const Query> queries,
                                            const SporadicParams& params) {
-  SporadicResult result = ReferenceBackend::run_sporadic(queries, params);
+  SporadicResult result = ReferenceBackend::do_run_sporadic(queries, params);
   result.modeled_ms = model_.model_ms(
       static_cast<std::uint64_t>(queries.size()) * aircraft_count(), 1);
   return result;
 }
 
-MultiRadarResult VectorBackend::run_multi_task1(
+MultiRadarResult VectorBackend::do_run_multi_task1(
     airfield::MultiRadarFrame& frame, const Task1Params& params) {
-  MultiRadarResult result = ReferenceBackend::run_multi_task1(frame, params);
+  MultiRadarResult result = ReferenceBackend::do_run_multi_task1(frame, params);
   // Phase 1 + phase 2 are both frame-by-table sweeps.
   const std::uint64_t ops =
       2 * result.stats.box_tests + 4 * aircraft_count();

@@ -33,18 +33,19 @@ class VectorBackend final : public ReferenceBackend {
     return model_.spec().name;
   }
 
-  Task1Result run_task1(airfield::RadarFrame& frame,
-                        const Task1Params& params) override;
-  Task23Result run_task23(const Task23Params& params) override;
-  TerrainResult run_terrain(const TerrainTaskParams& params) override;
-  DisplayResult run_display(const DisplayParams& params) override;
-  AdvisoryResult run_advisory(const AdvisoryParams& params) override;
-  MultiRadarResult run_multi_task1(airfield::MultiRadarFrame& frame,
-                                   const Task1Params& params) override;
-  SporadicResult run_sporadic(std::span<const Query> queries,
-                              const SporadicParams& params) override;
-
   [[nodiscard]] const mimd::VectorModel& model() const { return model_; }
+
+ protected:
+  Task1Result do_run_task1(airfield::RadarFrame& frame,
+                           const Task1Params& params) override;
+  Task23Result do_run_task23(const Task23Params& params) override;
+  TerrainResult do_run_terrain(const TerrainTaskParams& params) override;
+  DisplayResult do_run_display(const DisplayParams& params) override;
+  AdvisoryResult do_run_advisory(const AdvisoryParams& params) override;
+  MultiRadarResult do_run_multi_task1(airfield::MultiRadarFrame& frame,
+                                      const Task1Params& params) override;
+  SporadicResult do_run_sporadic(std::span<const Query> queries,
+                                 const SporadicParams& params) override;
 
  private:
   mimd::VectorModel model_;

@@ -1,0 +1,107 @@
+#include "src/obs/jsonl_sink.hpp"
+
+#include <cstdio>
+
+namespace atm::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void field_str(std::string& out, const char* key, std::string_view value) {
+  out += ",\"";
+  out += key;
+  out += "\":\"";
+  append_escaped(out, value);
+  out += '"';
+}
+
+void field_int(std::string& out, const char* key, long long value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void field_ms(std::string& out, const char* key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, ",\"%s\":%.6f", key, value);
+  out += buf;
+}
+
+}  // namespace
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : file_(path, std::ios::trunc) {
+  if (file_.is_open()) out_ = &file_;
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+std::string JsonlTraceSink::to_json(const TraceEvent& ev) {
+  std::string line = "{\"kind\":\"";
+  line += to_string(ev.kind);
+  line += '"';
+  field_str(line, "name", ev.name);
+  if (!ev.backend.empty()) field_str(line, "backend", ev.backend);
+  if (ev.cycle >= 0) field_int(line, "cycle", ev.cycle);
+  if (ev.period >= 0) field_int(line, "period", ev.period);
+  if (ev.modeled_ms >= 0.0) field_ms(line, "modeled_ms", ev.modeled_ms);
+  if (ev.measured_ms >= 0.0) field_ms(line, "measured_ms", ev.measured_ms);
+  if (!ev.outcome.empty()) {
+    field_str(line, "outcome", ev.outcome);
+    if (ev.outcome != "skipped") field_ms(line, "slack_ms", ev.slack_ms);
+  }
+  if (ev.aircraft > 0) {
+    field_int(line, "aircraft", static_cast<long long>(ev.aircraft));
+  }
+  if (ev.passes >= 0) field_int(line, "passes", ev.passes);
+  if (ev.conflicts >= 0) {
+    field_int(line, "conflicts", static_cast<long long>(ev.conflicts));
+  }
+  if (ev.resolved >= 0) {
+    field_int(line, "resolved", static_cast<long long>(ev.resolved));
+  }
+  if (ev.kind == EventKind::kCounter) {
+    field_int(line, "value", static_cast<long long>(ev.value));
+  }
+  line += '}';
+  return line;
+}
+
+void JsonlTraceSink::record(const TraceEvent& event) {
+  if (!ok()) return;
+  *out_ << to_json(event) << '\n';
+}
+
+void JsonlTraceSink::flush() {
+  if (out_ != nullptr) out_->flush();
+}
+
+}  // namespace atm::obs

@@ -1,0 +1,38 @@
+// TraceSink writing one JSON object per line (JSONL), the interchange
+// format consumed by tools/trace_summary.py and tools/plot_figures.py.
+// Fields carrying their sentinel defaults are omitted, so every line
+// contains exactly the fields meaningful for its event kind (the schema
+// is documented field-by-field in docs/TRACING.md).
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "src/obs/trace.hpp"
+
+namespace atm::obs {
+
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Open `path` for writing (truncating). `ok()` reports failure —
+  /// recording into a failed sink is a safe no-op.
+  explicit JsonlTraceSink(const std::string& path);
+
+  /// Write to a caller-owned stream (kept alive by the caller).
+  explicit JsonlTraceSink(std::ostream& out);
+
+  void record(const TraceEvent& event) override;
+  void flush() override;
+
+  [[nodiscard]] bool ok() const { return out_ != nullptr && out_->good(); }
+
+  /// Serialize one event to a JSON object (no trailing newline).
+  [[nodiscard]] static std::string to_json(const TraceEvent& event);
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+};
+
+}  // namespace atm::obs

@@ -1,0 +1,85 @@
+#include "src/obs/trace.hpp"
+
+#include <chrono>
+
+namespace atm::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin:
+      return "span_begin";
+    case EventKind::kSpanEnd:
+      return "span_end";
+    case EventKind::kTask:
+      return "task";
+    case EventKind::kDeadline:
+      return "deadline";
+    case EventKind::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+std::size_t RecordingSink::count(EventKind kind,
+                                 std::string_view name) const {
+  std::size_t n = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == kind && (name.empty() || ev.name == name)) ++n;
+  }
+  return n;
+}
+
+std::size_t RecordingSink::count_outcome(std::string_view task,
+                                         std::string_view outcome) const {
+  std::size_t n = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == EventKind::kDeadline && ev.name == task &&
+        ev.outcome == outcome) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Span::Span(TraceSink* sink, std::string_view name, std::string_view backend,
+           int cycle, int period)
+    : sink_(sink) {
+  if (sink_ == nullptr) return;
+  event_.kind = EventKind::kSpanBegin;
+  event_.name = name;
+  event_.backend = backend;
+  event_.cycle = cycle;
+  event_.period = period;
+  start_ns_ = now_ns();
+  sink_->record(event_);
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  event_.kind = EventKind::kSpanEnd;
+  event_.measured_ms =
+      static_cast<double>(now_ns() - start_ns_) / 1e6;
+  sink_->record(event_);
+}
+
+void Counter::publish(TraceSink* sink) const {
+  if (sink == nullptr) return;
+  TraceEvent ev;
+  ev.kind = EventKind::kCounter;
+  ev.name = name_;
+  ev.value = value_;
+  sink->record(ev);
+}
+
+}  // namespace atm::obs

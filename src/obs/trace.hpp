@@ -1,0 +1,126 @@
+// Lightweight observability primitives for the ATM executive.
+//
+// The paper's contribution is timing evidence (per-task times, deadline
+// misses, platform crossover points), so the executive needs a way to
+// export *per-instance* telemetry — which period missed, on which
+// backend, and by how much — not just end-of-run aggregates. A TraceSink
+// receives one TraceEvent per interesting occurrence: a task execution
+// (emitted by the Backend entry points), a deadline classification
+// (emitted by rt::DeadlineMonitor), a period/cycle span (emitted by the
+// pipeline), or a named counter publication.
+//
+// Everything here is designed for near-zero overhead when tracing is
+// off: every emit site is guarded by a null check on the sink pointer,
+// and no event object is constructed unless a sink is attached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atm::obs {
+
+/// What a TraceEvent describes.
+enum class EventKind : std::uint8_t {
+  kSpanBegin,  ///< A period/cycle (or other) span opened.
+  kSpanEnd,    ///< The matching span closed; measured_ms holds its length.
+  kTask,       ///< One backend task execution (task1, task23, terrain, ...).
+  kDeadline,   ///< A DeadlineMonitor classification (met/missed/skipped).
+  kCounter,    ///< A named counter published its value.
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+/// One telemetry record. Fields that do not apply to an event kind keep
+/// their sentinel defaults (negative, or empty strings) and sinks are
+/// expected to omit them.
+struct TraceEvent {
+  EventKind kind = EventKind::kTask;
+  std::string name;         ///< Task, span, or counter name.
+  std::string backend;      ///< Platform display name ("" when unknown).
+  int cycle = -1;           ///< Major cycle index ("" when unknown).
+  int period = -1;          ///< Period within the cycle.
+  double modeled_ms = -1.0; ///< Modeled platform time of a task.
+  double measured_ms = -1.0;///< Measured host wall time (task or span).
+  std::string outcome;      ///< "met" | "missed" | "skipped" (kDeadline).
+  double slack_ms = 0.0;    ///< deadline - completion; negative on a miss.
+  std::uint64_t aircraft = 0;   ///< Aircraft count the task ran over.
+  int passes = -1;              ///< Task-1 bounding-box retry passes.
+  std::int64_t conflicts = -1;  ///< Tasks 2+3 conflict count.
+  std::int64_t resolved = -1;   ///< Tasks 2+3 resolution count.
+  std::uint64_t value = 0;      ///< Counter value (kCounter).
+};
+
+/// Receiver interface. Implementations must tolerate events arriving
+/// from a single thread in program order; they are never called
+/// concurrently by the instrumented code paths.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void record(const TraceEvent& event) = 0;
+
+  /// Push buffered output to its destination (no-op by default).
+  virtual void flush() {}
+};
+
+/// In-memory sink for tests and programmatic inspection.
+class RecordingSink final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// Number of recorded events of `kind` (any name), or of (`kind`,
+  /// `name`) when `name` is non-empty.
+  [[nodiscard]] std::size_t count(EventKind kind,
+                                  std::string_view name = {}) const;
+
+  /// Number of kDeadline events for `task` with the given outcome.
+  [[nodiscard]] std::size_t count_outcome(std::string_view task,
+                                          std::string_view outcome) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: emits kSpanBegin at construction and kSpanEnd (carrying the
+/// measured host duration) at destruction. A null sink makes both no-ops.
+class Span {
+ public:
+  Span(TraceSink* sink, std::string_view name, std::string_view backend = {},
+       int cycle = -1, int period = -1);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSink* sink_;
+  TraceEvent event_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// A named monotonic counter that can publish its value to a sink as one
+/// kCounter event. Increments are plain integer adds — safe on hot paths.
+class Counter {
+ public:
+  explicit Counter(std::string_view name) : name_(name) {}
+
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+  /// Emit the current value (no-op on a null sink).
+  void publish(TraceSink* sink) const;
+
+ private:
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace atm::obs

@@ -7,11 +7,29 @@
 
 namespace atm::rt {
 
+void DeadlineMonitor::emit(const std::string& task, std::string_view outcome,
+                           double slack_ms, double duration_ms) {
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kDeadline;
+  ev.name = task;
+  ev.backend = trace_backend_;
+  ev.cycle = trace_cycle_;
+  ev.period = trace_period_;
+  ev.outcome = outcome;
+  ev.slack_ms = slack_ms;
+  if (duration_ms >= 0.0) ev.modeled_ms = duration_ms;
+  trace_->record(ev);
+}
+
 Outcome DeadlineMonitor::record(const std::string& task, double start_ms,
                                 double duration_ms, double deadline_ms) {
   TaskRecord& rec = tasks_[task];
   rec.duration_ms.add(duration_ms);
-  const bool met = start_ms + duration_ms <= deadline_ms;
+  const double slack_ms = deadline_ms - (start_ms + duration_ms);
+  const bool met = slack_ms >= 0.0;
+  if (trace_ != nullptr) {
+    emit(task, met ? "met" : "missed", slack_ms, duration_ms);
+  }
   if (met) {
     ++rec.met;
     return Outcome::kMet;
@@ -22,6 +40,7 @@ Outcome DeadlineMonitor::record(const std::string& task, double start_ms,
 
 void DeadlineMonitor::record_skip(const std::string& task) {
   ++tasks_[task].skipped;
+  if (trace_ != nullptr) emit(task, "skipped", 0.0, -1.0);
 }
 
 const TaskRecord& DeadlineMonitor::task(const std::string& name) const {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/core/stats.hpp"
+#include "src/obs/trace.hpp"
 
 namespace atm::rt {
 
@@ -54,8 +55,30 @@ class DeadlineMonitor {
 
   void reset() { tasks_.clear(); }
 
+  // --- Observability -------------------------------------------------------
+
+  /// Attach (or detach, with nullptr) a sink that receives one kDeadline
+  /// event per record()/record_skip() call, carrying the outcome and the
+  /// slack to the period deadline. The sink is borrowed, never owned.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Stamp subsequent deadline events with the executive position and the
+  /// platform being driven (the pipeline updates this each period).
+  void set_trace_context(std::string backend, int cycle, int period) {
+    trace_backend_ = std::move(backend);
+    trace_cycle_ = cycle;
+    trace_period_ = period;
+  }
+
  private:
+  void emit(const std::string& task, std::string_view outcome,
+            double slack_ms, double duration_ms);
+
   std::map<std::string, TaskRecord> tasks_;
+  obs::TraceSink* trace_ = nullptr;
+  std::string trace_backend_;
+  int trace_cycle_ = -1;
+  int trace_period_ = -1;
 };
 
 }  // namespace atm::rt

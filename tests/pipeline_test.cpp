@@ -58,15 +58,15 @@ TEST(Pipeline, FastPlatformNeverMissesDeadlines) {
 TEST(Pipeline, OverloadedPlatformMissesAndSkips) {
   // A pathologically slow platform: every task blows the period.
   class SlowBackend final : public ReferenceBackend {
-   public:
-    Task1Result run_task1(airfield::RadarFrame& frame,
-                          const Task1Params& params) override {
-      Task1Result r = ReferenceBackend::run_task1(frame, params);
+   protected:
+    Task1Result do_run_task1(airfield::RadarFrame& frame,
+                             const Task1Params& params) override {
+      Task1Result r = ReferenceBackend::do_run_task1(frame, params);
       r.modeled_ms = 1200.0;  // > 2 periods
       return r;
     }
-    Task23Result run_task23(const Task23Params& params) override {
-      Task23Result r = ReferenceBackend::run_task23(params);
+    Task23Result do_run_task23(const Task23Params& params) override {
+      Task23Result r = ReferenceBackend::do_run_task23(params);
       r.modeled_ms = 5000.0;
       return r;
     }
@@ -158,14 +158,16 @@ TEST(Pipeline, RadarTimeReportedButNotCharged) {
   EXPECT_EQ(result.monitor.total_missed(), 0u);
 }
 
-TEST(Pipeline, RunPipelineLoadedContinuesExistingState) {
+TEST(Pipeline, PreloadedRunContinuesExistingState) {
   auto backend = make_titan_x_pascal();
   PipelineConfig cfg;
   cfg.aircraft = 200;
   cfg.major_cycles = 1;
   run_pipeline(*backend, cfg);
   const airfield::FlightDb after_first = backend->state();
-  const PipelineResult second = run_pipeline_loaded(*backend, cfg);
+  PipelineConfig second_cfg = cfg;
+  second_cfg.preloaded = true;
+  const PipelineResult second = run_pipeline(*backend, second_cfg);
   (void)second;
   // State moved on: the second run did not reload the initial airfield.
   EXPECT_FALSE(backend->state().same_flight_state(after_first));

@@ -17,9 +17,11 @@ TEST(WallClock, SmallWorkloadHoldsRealDeadlines) {
   PipelineConfig cfg;
   cfg.aircraft = 100;
   cfg.major_cycles = 1;
+  cfg.clock_mode = ClockMode::kWallclock;
+  cfg.real_period_ms = 40.0;
   ReferenceBackend ref;
   const rt::Stopwatch sw;
-  const PipelineResult result = run_pipeline_wallclock(ref, cfg, 40.0);
+  const PipelineResult result = run_pipeline(ref, cfg);
   const double elapsed = sw.elapsed_ms();
 
   EXPECT_EQ(result.monitor.total_missed(), 0u);
@@ -35,8 +37,10 @@ TEST(WallClock, ImpossiblePeriodMissesAndSkips) {
   PipelineConfig cfg;
   cfg.aircraft = 2000;
   cfg.major_cycles = 1;
+  cfg.clock_mode = ClockMode::kWallclock;
+  cfg.real_period_ms = 1.0;
   ReferenceBackend ref;
-  const PipelineResult result = run_pipeline_wallclock(ref, cfg, 1.0);
+  const PipelineResult result = run_pipeline(ref, cfg);
   EXPECT_GT(result.monitor.total_missed() + result.monitor.total_skipped(),
             0u);
 }
@@ -47,8 +51,10 @@ TEST(WallClock, DurationsAreRealNotModeled) {
   PipelineConfig cfg;
   cfg.aircraft = 64;
   cfg.major_cycles = 1;
+  cfg.clock_mode = ClockMode::kWallclock;
+  cfg.real_period_ms = 25.0;
   ReferenceBackend ref;
-  const PipelineResult result = run_pipeline_wallclock(ref, cfg, 25.0);
+  const PipelineResult result = run_pipeline(ref, cfg);
   EXPECT_GT(result.task1_ms.mean(), 0.0);
   EXPECT_LT(result.task1_ms.max(), 25.0);
 }
@@ -59,8 +65,10 @@ TEST(WallClock, RecorderWorksInWallClockModeToo) {
   cfg.major_cycles = 1;
   airfield::FlightRecorder recorder(32, 20);
   cfg.recorder = &recorder;
+  cfg.clock_mode = ClockMode::kWallclock;
+  cfg.real_period_ms = 10.0;
   ReferenceBackend ref;
-  run_pipeline_wallclock(ref, cfg, 10.0);
+  run_pipeline(ref, cfg);
   EXPECT_EQ(recorder.recorded(), 16);
 }
 

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Summarize a JSONL execution trace from the obs layer.
+
+Usage:
+    ./build/examples/atm_cli --platform titanx --cycles 2 --trace out.jsonl
+    python3 tools/trace_summary.py out.jsonl
+
+    ATM_BENCH_TRACE=fig6.jsonl ./build/bench/bench_fig6_task2_cuda_vs_cpu
+    python3 tools/trace_summary.py fig6.jsonl
+
+Every line of the input is one JSON object (see docs/TRACING.md for the
+schema). The summary prints, per backend:
+
+  * a per-task deadline table (met / missed / skipped, worst slack), and
+  * a per-period miss table — one row per (cycle, period) that had at
+    least one missed or skipped deadline, so a clean run prints none.
+
+Only the standard library is required.
+"""
+import collections
+import json
+import pathlib
+import sys
+
+
+def fmt_ms(value):
+    return "-" if value is None else f"{value:.4f}"
+
+
+class TaskStats:
+    def __init__(self):
+        self.outcomes = collections.Counter()
+        self.worst_slack = None
+        self.modeled = []
+        self.measured = []
+
+    def add_deadline(self, ev):
+        self.outcomes[ev.get("outcome", "?")] += 1
+        slack = ev.get("slack_ms")
+        if slack is not None and (self.worst_slack is None
+                                  or slack < self.worst_slack):
+            self.worst_slack = slack
+
+    def add_task(self, ev):
+        if "modeled_ms" in ev:
+            self.modeled.append(ev["modeled_ms"])
+        if "measured_ms" in ev:
+            self.measured.append(ev["measured_ms"])
+
+
+def summarize(path):
+    # backend -> task -> TaskStats
+    tasks = collections.defaultdict(lambda: collections.defaultdict(TaskStats))
+    # backend -> (cycle, period) -> outcome counter
+    periods = collections.defaultdict(
+        lambda: collections.defaultdict(collections.Counter))
+    bad_lines = 0
+    events = 0
+
+    with path.open() as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                ev = json.loads(raw)
+            except json.JSONDecodeError:
+                bad_lines += 1
+                continue
+            events += 1
+            backend = ev.get("backend", "(unknown)")
+            kind = ev.get("kind")
+            name = ev.get("name", "?")
+            if kind == "deadline":
+                tasks[backend][name].add_deadline(ev)
+                key = (ev.get("cycle", -1), ev.get("period", -1))
+                periods[backend][key][ev.get("outcome", "?")] += 1
+            elif kind == "task":
+                tasks[backend][name].add_task(ev)
+
+    if bad_lines:
+        print(f"warning: {bad_lines} unparseable line(s) skipped",
+              file=sys.stderr)
+    if events == 0:
+        print(f"no trace events in {path}")
+        return 1
+
+    for backend in sorted(tasks):
+        print(f"\n== {backend} ==")
+        print(f"{'task':<10} {'met':>6} {'missed':>7} {'skipped':>8} "
+              f"{'worst slack [ms]':>17} {'mean modeled [ms]':>18}")
+        for name in sorted(tasks[backend]):
+            st = tasks[backend][name]
+            mean = (sum(st.modeled) / len(st.modeled)) if st.modeled else None
+            print(f"{name:<10} {st.outcomes['met']:>6} "
+                  f"{st.outcomes['missed']:>7} {st.outcomes['skipped']:>8} "
+                  f"{fmt_ms(st.worst_slack):>17} {fmt_ms(mean):>18}")
+
+        trouble = {key: counts for key, counts in periods[backend].items()
+                   if counts["missed"] or counts["skipped"]}
+        if not trouble:
+            print("all periods clean (no misses, no skips)")
+            continue
+        print(f"\nperiods with misses or skips ({len(trouble)}):")
+        print(f"{'cycle':>6} {'period':>7} {'met':>5} {'missed':>7} "
+              f"{'skipped':>8}")
+        for (cycle, period) in sorted(trouble):
+            counts = trouble[(cycle, period)]
+            print(f"{cycle:>6} {period:>7} {counts['met']:>5} "
+                  f"{counts['missed']:>7} {counts['skipped']:>8}")
+    return 0
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    path = pathlib.Path(sys.argv[1])
+    if not path.exists():
+        print(f"no such file: {path}")
+        return 2
+    return summarize(path)
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        raise SystemExit(0)
