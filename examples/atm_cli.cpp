@@ -12,6 +12,9 @@
 //   --aircraft N           override the scenario's fleet size
 //   --cycles N             major cycles to run            (default 1)
 //   --seed N               simulation seed                (default 42)
+//   --broadphase MODE      brute | grid: host-path candidate enumeration
+//                          for Task 1 and Tasks 2+3 (default: scenario's;
+//                          outcomes identical either way)
 //   --multi-radar          use the multi-tower radar environment
 //   --full                 run the complete ATM system (terrain, display,
 //                          advisory, sporadic) instead of the core tasks
@@ -30,6 +33,7 @@
 #include "src/atm/pipeline.hpp"
 #include "src/atm/platforms.hpp"
 #include "src/atm/scenarios.hpp"
+#include "src/core/spatial/broadphase.hpp"
 #include "src/core/table.hpp"
 #include "src/obs/jsonl_sink.hpp"
 
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
   bool full_system = false;
   int retrace_id = -1;
   std::string trace_path;
+  std::string broadphase_key;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -89,6 +94,10 @@ int main(int argc, char** argv) {
       cycles = std::atoi(next());
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--broadphase") {
+      broadphase_key = next();
+    } else if (arg.rfind("--broadphase=", 0) == 0) {
+      broadphase_key = arg.substr(std::strlen("--broadphase="));
     } else if (arg == "--multi-radar") {
       multi_radar = true;
     } else if (arg == "--full") {
@@ -121,9 +130,21 @@ int main(int argc, char** argv) {
     std::cerr << "unknown scenario '" << scenario_key << "' (try --list)\n";
     return 2;
   }
+  tasks::Scenario chosen = *scenario;
+  if (!broadphase_key.empty()) {
+    const auto mode = core::spatial::parse_broadphase(broadphase_key);
+    if (!mode.has_value()) {
+      std::cerr << "unknown broadphase '" << broadphase_key
+                << "' (use brute or grid)\n";
+      return 2;
+    }
+    chosen.broadphase = *mode;
+  }
 
   std::cout << "platform : " << backend->name() << "\n"
-            << "scenario : " << scenario->name << "\n";
+            << "scenario : " << chosen.name << "\n"
+            << "broadphase : " << core::spatial::to_string(chosen.broadphase)
+            << "\n";
 
   std::unique_ptr<obs::JsonlTraceSink> trace;
   if (!trace_path.empty()) {
@@ -136,7 +157,7 @@ int main(int argc, char** argv) {
 
   if (full_system) {
     tasks::extended::FullSystemConfig cfg =
-        tasks::make_full_config(*scenario, cycles, seed);
+        tasks::make_full_config(chosen, cycles, seed);
     if (aircraft_override > 0) cfg.aircraft = aircraft_override;
     cfg.multi_radar = multi_radar;
     std::cout << "aircraft : " << cfg.aircraft << "\nmode     : complete "
@@ -159,7 +180,7 @@ int main(int argc, char** argv) {
   }
 
   tasks::PipelineConfig cfg =
-      tasks::make_pipeline_config(*scenario, cycles, seed);
+      tasks::make_pipeline_config(chosen, cycles, seed);
   if (aircraft_override > 0) cfg.aircraft = aircraft_override;
   std::cout << "aircraft : " << cfg.aircraft << "\nmode     : core tasks\n\n";
   airfield::FlightRecorder recorder(cfg.aircraft,

@@ -12,9 +12,8 @@
 namespace atm::tasks {
 
 void Backend::emit_task_event(std::string_view task, double modeled_ms,
-                              double measured_ms, int passes,
-                              std::int64_t conflicts,
-                              std::int64_t resolved) {
+                              double measured_ms,
+                              const TaskEventDetail& detail) {
   obs::TraceEvent ev;
   ev.kind = obs::EventKind::kTask;
   ev.name = task;
@@ -24,9 +23,13 @@ void Backend::emit_task_event(std::string_view task, double modeled_ms,
   ev.modeled_ms = modeled_ms;
   ev.measured_ms = measured_ms;
   ev.aircraft = aircraft_count();
-  ev.passes = passes;
-  ev.conflicts = conflicts;
-  ev.resolved = resolved;
+  ev.passes = detail.passes;
+  ev.conflicts = detail.conflicts;
+  ev.resolved = detail.resolved;
+  ev.broadphase = detail.broadphase;
+  ev.box_tests = detail.box_tests;
+  ev.pair_candidates = detail.pair_candidates;
+  ev.pair_tests = detail.pair_tests;
   trace_->record(ev);
 }
 
@@ -35,8 +38,11 @@ Task1Result Backend::run_task1(airfield::RadarFrame& frame,
   if (trace_ == nullptr) return do_run_task1(frame, params);
   const rt::Stopwatch sw;
   const Task1Result result = do_run_task1(frame, params);
-  emit_task_event("task1", result.modeled_ms, sw.elapsed_ms(),
-                  result.stats.passes);
+  TaskEventDetail detail;
+  detail.passes = result.stats.passes;
+  detail.broadphase = core::spatial::to_string(params.broadphase);
+  detail.box_tests = static_cast<std::int64_t>(result.stats.box_tests);
+  emit_task_event("task1", result.modeled_ms, sw.elapsed_ms(), detail);
   return result;
 }
 
@@ -44,9 +50,14 @@ Task23Result Backend::run_task23(const Task23Params& params) {
   if (trace_ == nullptr) return do_run_task23(params);
   const rt::Stopwatch sw;
   const Task23Result result = do_run_task23(params);
-  emit_task_event("task23", result.modeled_ms, sw.elapsed_ms(), -1,
-                  static_cast<std::int64_t>(result.stats.conflicts),
-                  static_cast<std::int64_t>(result.stats.resolved));
+  TaskEventDetail detail;
+  detail.conflicts = static_cast<std::int64_t>(result.stats.conflicts);
+  detail.resolved = static_cast<std::int64_t>(result.stats.resolved);
+  detail.broadphase = core::spatial::to_string(params.broadphase);
+  detail.pair_candidates =
+      static_cast<std::int64_t>(result.stats.pair_candidates);
+  detail.pair_tests = static_cast<std::int64_t>(result.stats.pair_tests);
+  emit_task_event("task23", result.modeled_ms, sw.elapsed_ms(), detail);
   return result;
 }
 
@@ -58,7 +69,7 @@ airfield::RadarFrame Backend::generate_radar(
   if (modeled_ms == nullptr) modeled_ms = &local_ms;
   const rt::Stopwatch sw;
   airfield::RadarFrame frame = do_generate_radar(rng, params, modeled_ms);
-  emit_task_event("radar", *modeled_ms, sw.elapsed_ms());
+  emit_task_event("radar", *modeled_ms, sw.elapsed_ms(), {});
   return frame;
 }
 
@@ -66,7 +77,7 @@ TerrainResult Backend::run_terrain(const TerrainTaskParams& params) {
   if (trace_ == nullptr) return do_run_terrain(params);
   const rt::Stopwatch sw;
   const TerrainResult result = do_run_terrain(params);
-  emit_task_event("terrain", result.modeled_ms, sw.elapsed_ms());
+  emit_task_event("terrain", result.modeled_ms, sw.elapsed_ms(), {});
   return result;
 }
 
@@ -74,7 +85,7 @@ DisplayResult Backend::run_display(const DisplayParams& params) {
   if (trace_ == nullptr) return do_run_display(params);
   const rt::Stopwatch sw;
   const DisplayResult result = do_run_display(params);
-  emit_task_event("display", result.modeled_ms, sw.elapsed_ms());
+  emit_task_event("display", result.modeled_ms, sw.elapsed_ms(), {});
   return result;
 }
 
@@ -82,7 +93,7 @@ AdvisoryResult Backend::run_advisory(const AdvisoryParams& params) {
   if (trace_ == nullptr) return do_run_advisory(params);
   const rt::Stopwatch sw;
   AdvisoryResult result = do_run_advisory(params);
-  emit_task_event("advisory", result.modeled_ms, sw.elapsed_ms());
+  emit_task_event("advisory", result.modeled_ms, sw.elapsed_ms(), {});
   return result;
 }
 
@@ -91,8 +102,10 @@ MultiRadarResult Backend::run_multi_task1(airfield::MultiRadarFrame& frame,
   if (trace_ == nullptr) return do_run_multi_task1(frame, params);
   const rt::Stopwatch sw;
   const MultiRadarResult result = do_run_multi_task1(frame, params);
-  emit_task_event("multi_task1", result.modeled_ms, sw.elapsed_ms(),
-                  result.stats.passes);
+  TaskEventDetail detail;
+  detail.passes = result.stats.passes;
+  detail.box_tests = static_cast<std::int64_t>(result.stats.box_tests);
+  emit_task_event("multi_task1", result.modeled_ms, sw.elapsed_ms(), detail);
   return result;
 }
 
@@ -101,7 +114,7 @@ SporadicResult Backend::run_sporadic(std::span<const Query> queries,
   if (trace_ == nullptr) return do_run_sporadic(queries, params);
   const rt::Stopwatch sw;
   SporadicResult result = do_run_sporadic(queries, params);
-  emit_task_event("sporadic", result.modeled_ms, sw.elapsed_ms());
+  emit_task_event("sporadic", result.modeled_ms, sw.elapsed_ms(), {});
   return result;
 }
 

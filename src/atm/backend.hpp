@@ -157,11 +157,21 @@ class Backend {
   }
 
  private:
+  /// Optional outcome/work detail attached to a kTask event. Sentinel
+  /// values (-1, empty) mean "not applicable" and sinks omit them.
+  struct TaskEventDetail {
+    int passes = -1;
+    std::int64_t conflicts = -1;
+    std::int64_t resolved = -1;
+    std::string_view broadphase = {};
+    std::int64_t box_tests = -1;
+    std::int64_t pair_candidates = -1;
+    std::int64_t pair_tests = -1;
+  };
+
   /// Shared helper: emit one kTask event (only called with a sink).
   void emit_task_event(std::string_view task, double modeled_ms,
-                       double measured_ms, int passes = -1,
-                       std::int64_t conflicts = -1,
-                       std::int64_t resolved = -1);
+                       double measured_ms, const TaskEventDetail& detail);
 
   std::shared_ptr<const airfield::TerrainMap> terrain_;
   obs::TraceSink* trace_ = nullptr;

@@ -35,11 +35,10 @@ void MimdBackend::load(const airfield::FlightDb& db) {
   const std::size_t n = db_.size();
   ex_.resize(n);
   ey_.resize(n);
-  nhits_.resize(n);
-  hit_id_.resize(n);
   nradars_.resize(n);
   amatch_.resize(n);
   resolved_.resize(n);
+  eligible_.resize(n);
 }
 
 Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
@@ -47,6 +46,9 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
   const std::size_t n = db_.size();
   Task1Result result;
   result.stats.radars = frame.size();
+  // Per-radar scratch; the frame can carry more returns than aircraft.
+  nhits_.resize(frame.size());
+  hit_id_.resize(frame.size());
 
   mimd::WorkCounters work;
   work.items = n;
@@ -74,27 +76,55 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
 
     std::fill(nradars_.begin(), nradars_.end(), 0);
 
-    // Coverage scan: one worker-claimed radar scans the whole shared
-    // aircraft table; hits on shared per-aircraft counters go through the
-    // striped locks.
+    // kGrid: bin eligible aircraft once per pass (serial, O(n)); workers
+    // then query the immutable grid concurrently. rmatch is not mutated
+    // during the scan, so the build-time mask equals the brute-force
+    // path's inline eligibility check and outcomes are identical.
+    const bool use_grid =
+        params.broadphase == core::spatial::BroadphaseMode::kGrid;
+    if (use_grid) {
+      for (std::size_t a = 0; a < n; ++a) {
+        eligible_[a] =
+            db_.rmatch[a] == static_cast<std::int8_t>(MatchState::kUnmatched)
+                ? 1
+                : 0;
+      }
+      grid_.build(ex_, ey_, eligible_, /*cell_hint=*/2.0 * half);
+    }
+
+    // Coverage scan: one worker-claimed radar scans the shared aircraft
+    // table (all of it, or just the grid cells under its box); hits on
+    // shared per-aircraft counters go through the striped locks.
     pool_.parallel_for(0, frame.size(), kChunk, [&](std::size_t r) {
       if (frame.rmatch_with[r] != kNone) return;
       nhits_[r] = 0;
       hit_id_[r] = kNone;
       std::uint64_t local_ops = 0;
       std::uint64_t local_tests = 0;
-      for (std::size_t a = 0; a < n; ++a) {
-        ++local_ops;
-        if (db_.rmatch[a] !=
-            static_cast<std::int8_t>(MatchState::kUnmatched)) {
-          continue;
-        }
+      const auto test = [&](std::size_t a) {
         ++local_tests;
         if (std::fabs(ex_[a] - frame.rx[r]) < half &&
             std::fabs(ey_[a] - frame.ry[r]) < half) {
           ++nhits_[r];
           hit_id_[r] = static_cast<std::int32_t>(a);
           locks_.with_lock(a, [&] { ++nradars_[a]; });
+        }
+      };
+      if (use_grid) {
+        grid_.for_each_in_box(frame.rx[r] - half, frame.rx[r] + half,
+                              frame.ry[r] - half, frame.ry[r] + half,
+                              [&](std::size_t a) {
+                                ++local_ops;
+                                test(a);
+                              });
+      } else {
+        for (std::size_t a = 0; a < n; ++a) {
+          ++local_ops;
+          if (db_.rmatch[a] !=
+              static_cast<std::int8_t>(MatchState::kUnmatched)) {
+            continue;
+          }
+          test(a);
         }
       }
       inner_ops.fetch_add(local_ops, std::memory_order_relaxed);
@@ -185,18 +215,27 @@ Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
   mimd::WorkCounters work;
   work.items = n;
   std::atomic<std::uint64_t> inner_ops{0};
-  std::atomic<std::uint64_t> pair_tests{0}, rescans{0}, conflicts{0},
-      critical{0}, resolved_count{0}, unresolved{0};
+  std::atomic<std::uint64_t> pair_tests{0}, pair_candidates{0}, rescans{0},
+      conflicts{0}, critical{0}, resolved_count{0}, unresolved{0};
 
   db_.reset_collision_state();
   std::fill(resolved_.begin(), resolved_.end(), 0);
 
+  // kGrid: one swept index, built serially, queried read-only by every
+  // worker. Valid for the whole scan phase — positions/velocities only
+  // change in the commit region below.
+  const core::spatial::SweptIndex* index = nullptr;
+  if (params.broadphase == core::spatial::BroadphaseMode::kGrid) {
+    reference::build_swept_index(db_, params, swept_);
+    index = &swept_;
+  }
+
   pool_.parallel_for(0, n, /*chunk=*/8, [&](std::size_t i) {
-    std::uint64_t local_pairs = 0;
-    std::uint64_t local_ops = n;  // full shared-table sweep
+    reference::ScanWork local_work;
+    std::uint64_t scans = 1;  // detection sweep; trials add theirs below
     const reference::DetectOutcome det = reference::scan_against_all(
-        db_, i, db_.dx[i], db_.dy[i], params, local_pairs,
-        /*stop_at_critical=*/false);
+        db_, i, db_.dx[i], db_.dy[i], params, local_work,
+        /*stop_at_critical=*/false, index);
     if (det.conflict) {
       conflicts.fetch_add(1, std::memory_order_relaxed);
       locks_.with_lock(i, [&] {
@@ -217,10 +256,10 @@ Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
             reference::trial_angle_deg(attempt, params.turn_step_deg);
         const core::Vec2 trial = core::rotate_deg(vel, angle);
         rescans.fetch_add(1, std::memory_order_relaxed);
-        local_ops += n;
+        ++scans;
         const reference::DetectOutcome check = reference::scan_against_all(
-            db_, i, trial.x, trial.y, params, local_pairs,
-            /*stop_at_critical=*/true);
+            db_, i, trial.x, trial.y, params, local_work,
+            /*stop_at_critical=*/true, index);
         if (!check.critical) {
           locks_.with_lock(i, [&] {
             db_.batx[i] = trial.x;
@@ -237,7 +276,14 @@ Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
         unresolved.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    pair_tests.fetch_add(local_pairs, std::memory_order_relaxed);
+    // Model input: shared-table record reads this worker really performed
+    // — full table sweeps under brute force, enumerated candidates under
+    // the grid (the broadphase's whole point is doing fewer of these).
+    const std::uint64_t local_ops =
+        index != nullptr ? local_work.pair_candidates : scans * n;
+    pair_tests.fetch_add(local_work.pair_tests, std::memory_order_relaxed);
+    pair_candidates.fetch_add(local_work.pair_candidates,
+                              std::memory_order_relaxed);
     inner_ops.fetch_add(local_ops, std::memory_order_relaxed);
   });
   ++work.parallel_regions;
@@ -254,6 +300,7 @@ Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
   ++work.parallel_regions;
 
   result.stats.pair_tests = pair_tests.load();
+  result.stats.pair_candidates = pair_candidates.load();
   result.stats.rescans = rescans.load();
   result.stats.conflicts = conflicts.load();
   result.stats.critical = critical.load();

@@ -21,6 +21,8 @@
 #pragma once
 
 #include "src/atm/backend.hpp"
+#include "src/core/spatial/swept_index.hpp"
+#include "src/core/spatial/uniform_grid.hpp"
 #include "src/mimd/thread_pool.hpp"
 #include "src/mimd/xeon_model.hpp"
 
@@ -78,6 +80,12 @@ class MimdBackend final : public Backend {
   std::vector<double> ex_, ey_;
   std::vector<std::int32_t> nhits_, hit_id_, nradars_, amatch_;
   std::vector<std::uint8_t> resolved_;
+
+  // Broadphase structures (kGrid mode): built serially at the start of a
+  // pass/run, then queried read-only by every worker concurrently.
+  std::vector<std::uint8_t> eligible_;
+  core::spatial::UniformGrid2D grid_;
+  core::spatial::SweptIndex swept_;
 };
 
 }  // namespace atm::tasks

@@ -166,33 +166,4 @@ PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg) {
   return result;
 }
 
-// The deprecated wrappers forward into the unified entry point; they are
-// kept one release so downstream callers migrate at their own pace, and
-// exercised by a single back-compat test.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-PipelineResult run_pipeline_loaded(Backend& backend,
-                                   const PipelineConfig& cfg) {
-  PipelineConfig unified = cfg;
-  unified.preloaded = true;
-  return run_pipeline(backend, unified);
-}
-
-PipelineResult run_pipeline_wallclock(Backend& backend,
-                                      const PipelineConfig& cfg,
-                                      double real_period_ms) {
-  PipelineConfig unified = cfg;
-  unified.clock_mode = ClockMode::kWallclock;
-  unified.real_period_ms = real_period_ms;
-  unified.preloaded = false;
-  return run_pipeline(backend, unified);
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 }  // namespace atm::tasks

@@ -7,8 +7,7 @@
 // One entry point drives every mode: `run_pipeline(backend, cfg)` reads
 // the clock mode (virtual modeled time vs. the paper's real wall-clock
 // executive), whether the backend is pre-loaded, and the optional trace
-// sink from the PipelineConfig. The legacy three-way surface survives as
-// thin deprecated wrappers.
+// sink from the PipelineConfig.
 #pragma once
 
 #include <vector>
@@ -95,19 +94,5 @@ struct PipelineResult {
 /// clock mode. Unless cfg.preloaded is set, the backend is first loaded
 /// with a fresh airfield of cfg.aircraft flights (seeded by cfg.seed).
 PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg);
-
-/// Deprecated spelling of `cfg.preloaded = true`.
-[[deprecated("set PipelineConfig::preloaded = true and call run_pipeline")]]
-PipelineResult run_pipeline_loaded(Backend& backend,
-                                   const PipelineConfig& cfg);
-
-/// Deprecated spelling of `cfg.clock_mode = ClockMode::kWallclock` with
-/// `cfg.real_period_ms = real_period_ms`.
-[[deprecated(
-    "set PipelineConfig::clock_mode = ClockMode::kWallclock and call "
-    "run_pipeline")]]
-PipelineResult run_pipeline_wallclock(Backend& backend,
-                                      const PipelineConfig& cfg,
-                                      double real_period_ms);
 
 }  // namespace atm::tasks

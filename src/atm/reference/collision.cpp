@@ -10,33 +10,60 @@ namespace atm::tasks::reference {
 
 DetectOutcome scan_against_all(const airfield::FlightDb& db, std::size_t i,
                                double vx, double vy,
-                               const Task23Params& params,
-                               std::uint64_t& pair_tests,
-                               bool stop_at_critical) {
+                               const Task23Params& params, ScanWork& work,
+                               bool stop_at_critical,
+                               const core::spatial::SweptIndex* index) {
   DetectOutcome out;
   double soonest = params.horizon_periods + 1.0;
-  for (std::size_t j = 0; j < db.size(); ++j) {
-    if (j == i) continue;
+  // The per-candidate body; returns true to stop the enumeration. The
+  // soonest-conflict min uses a (time_min, partner id) lexicographic
+  // tie-break: for the ascending brute-force scan below this is exactly
+  // the historical first-writer-wins behaviour, and it makes the outcome
+  // independent of the order an index enumerates candidates in.
+  const auto visit = [&](std::size_t j) -> bool {
+    if (j == i) return false;
+    ++work.pair_candidates;
     if (!altitude_gate(db.alt[i], db.alt[j], params.altitude_gate_feet)) {
-      continue;
+      return false;
     }
-    ++pair_tests;
+    ++work.pair_tests;
     const PairConflict pc = batcher_pair_test(
         db.x[j] - db.x[i], db.y[j] - db.y[i], db.dx[j] - vx,
         db.dy[j] - vy, params.band_nm, params.horizon_periods);
-    if (!pc.conflict) continue;
+    if (!pc.conflict) return false;
     out.conflict = true;
-    if (pc.time_min < soonest) {
+    if (pc.time_min < soonest ||
+        (pc.time_min == soonest &&
+         static_cast<std::int32_t>(j) < out.partner)) {
       soonest = pc.time_min;
       out.partner = static_cast<std::int32_t>(j);
       out.time_min = pc.time_min;
     }
     if (pc.time_min < params.critical_periods) {
       out.critical = true;
-      if (stop_at_critical) return out;
+      if (stop_at_critical) return true;
+    }
+    return false;
+  };
+  if (index != nullptr) {
+    const double speed = std::sqrt(vx * vx + vy * vy);
+    index->for_each_candidate(db.x[i], db.y[i], db.alt[i], speed, visit);
+  } else {
+    for (std::size_t j = 0; j < db.size(); ++j) {
+      if (visit(j)) break;
     }
   }
   return out;
+}
+
+void build_swept_index(const airfield::FlightDb& db,
+                       const Task23Params& params,
+                       core::spatial::SweptIndex& index) {
+  core::spatial::SweptIndexParams ip;
+  ip.horizon_periods = params.horizon_periods;
+  ip.band_nm = params.band_nm;
+  ip.altitude_gate_feet = params.altitude_gate_feet;
+  index.build(db.x, db.y, db.dx, db.dy, db.alt, ip);
 }
 
 double trial_angle_deg(int attempt, double step_deg) {
@@ -62,13 +89,24 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
   db.reset_collision_state();
   std::vector<std::uint8_t> resolved_flag(n, 0);
 
+  // kGrid: one swept index serves every scan of the run. Positions,
+  // velocities, and altitudes are only mutated by the commit phase below,
+  // after all scanning is done.
+  core::spatial::SweptIndex swept;
+  const core::spatial::SweptIndex* index = nullptr;
+  if (params.broadphase == core::spatial::BroadphaseMode::kGrid) {
+    build_swept_index(db, params, swept);
+    index = &swept;
+  }
+
+  ScanWork work;
   const int attempts = max_trial_attempts(params);
 
   for (std::size_t i = 0; i < n; ++i) {
     // Task 2: detection on the current path.
     DetectOutcome det = scan_against_all(db, i, db.dx[i], db.dy[i], params,
-                                         stats.pair_tests,
-                                         /*stop_at_critical=*/false);
+                                         work,
+                                         /*stop_at_critical=*/false, index);
     if (det.conflict) {
       ++stats.conflicts;
       db.col[i] = 1;
@@ -85,8 +123,8 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
       const core::Vec2 trial = core::rotate_deg(vel, angle);
       ++stats.rescans;
       const DetectOutcome check = scan_against_all(
-          db, i, trial.x, trial.y, params, stats.pair_tests,
-          /*stop_at_critical=*/true);
+          db, i, trial.x, trial.y, params, work,
+          /*stop_at_critical=*/true, index);
       if (!check.critical) {
         db.batx[i] = trial.x;
         db.baty[i] = trial.y;
@@ -111,6 +149,8 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
     db.col_with[i] = airfield::kNone;
     db.time_till[i] = params.critical_periods;
   }
+  stats.pair_tests = work.pair_tests;
+  stats.pair_candidates = work.pair_candidates;
   return stats;
 }
 

@@ -25,6 +25,7 @@
 
 #include "src/airfield/flight_db.hpp"
 #include "src/atm/task_types.hpp"
+#include "src/core/spatial/swept_index.hpp"
 
 namespace atm::tasks::reference {
 
@@ -37,16 +38,40 @@ struct DetectOutcome {
   std::int32_t partner = -1;  ///< Aircraft id of the soonest conflict.
 };
 
+/// Work counters accumulated by the detection scan. These describe how
+/// much work an execution did, not what it concluded; the two broadphase
+/// modes legitimately differ here while agreeing on every DetectOutcome.
+struct ScanWork {
+  std::uint64_t pair_candidates = 0;  ///< Pairs enumerated (pre-gate).
+  std::uint64_t pair_tests = 0;       ///< Batcher tests (post-gate).
+};
+
 /// Scan aircraft i's path (vx, vy from position db.x/y[i]) against all
-/// other aircraft on their current paths. `pair_tests` is incremented per
-/// Batcher test executed. When `stop_at_critical` is set the scan returns
-/// at the first critical conflict (the trial-path check in Task 3 only
-/// needs existence, and the CUDA kernel breaks there too).
+/// other aircraft on their current paths. When `stop_at_critical` is set
+/// the scan returns at the first critical conflict (the trial-path check
+/// in Task 3 only needs existence, and the CUDA kernel breaks there too).
+///
+/// `index`, when non-null, must be a SweptIndex built over db's current
+/// positions/velocities/altitudes with this params bundle; the scan then
+/// enumerates only the index's candidates instead of every aircraft. The
+/// soonest conflict is selected with an explicit (time_min, partner id)
+/// tie-break, so the outcome is independent of enumeration order and
+/// identical with and without an index.
 DetectOutcome scan_against_all(const airfield::FlightDb& db, std::size_t i,
                                double vx, double vy,
-                               const Task23Params& params,
-                               std::uint64_t& pair_tests,
-                               bool stop_at_critical);
+                               const Task23Params& params, ScanWork& work,
+                               bool stop_at_critical,
+                               const core::spatial::SweptIndex* index =
+                                   nullptr);
+
+/// Fill `index` from db's current positions, velocities, and altitudes
+/// using the params' horizon, band, and altitude gate. The index stays
+/// valid for every scan of the run (detection and trial rotations):
+/// detect_and_resolve never moves an aircraft before the commit phase,
+/// and a trial rotation preserves the speed the query expands by.
+void build_swept_index(const airfield::FlightDb& db,
+                       const Task23Params& params,
+                       core::spatial::SweptIndex& index);
 
 /// The trial-angle sequence of Task 3: +step, -step, +2*step, -2*step, ...
 /// up to +-max. Returns the rotation for attempt k (0-based), in degrees.

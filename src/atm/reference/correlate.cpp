@@ -9,13 +9,14 @@ using airfield::kDiscarded;
 using airfield::kNone;
 using airfield::MatchState;
 
-void Task1Scratch::resize(std::size_t n) {
-  ex.resize(n);
-  ey.resize(n);
-  nhits.resize(n);
-  hit_id.resize(n);
-  nradars.resize(n);
-  amatch.resize(n);
+void Task1Scratch::resize(std::size_t aircraft, std::size_t radars) {
+  ex.resize(aircraft);
+  ey.resize(aircraft);
+  nhits.resize(radars);
+  hit_id.resize(radars);
+  nradars.resize(aircraft);
+  amatch.resize(aircraft);
+  eligible.resize(aircraft);
 }
 
 Task1Stats correlate_and_track(airfield::FlightDb& db,
@@ -26,7 +27,7 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
   Task1Stats stats;
   stats.radars = frame.size();
 
-  scratch.resize(n);
+  scratch.resize(n, frame.size());
   db.reset_correlation_state();
   frame.reset_matches();
   std::fill(scratch.amatch.begin(), scratch.amatch.end(), kNone);
@@ -46,22 +47,48 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
     std::fill(scratch.hit_id.begin(), scratch.hit_id.end(), kNone);
     std::fill(scratch.nradars.begin(), scratch.nradars.end(), 0);
 
-    // Count coverage: one scan of eligible aircraft per active radar.
+    // Count coverage. The per-hit updates are order-free (hit_id[r] is
+    // only read when nhits[r] == 1, i.e. when it had a single writer), so
+    // candidates may come from a full eligible scan (brute force) or from
+    // the grid cells overlapping the radar's box — the exact |dx|,|dy| <
+    // half test decides membership either way and outcomes are identical;
+    // only the box_tests work counter differs.
+    const bool use_grid =
+        params.broadphase == core::spatial::BroadphaseMode::kGrid;
+    if (use_grid) {
+      for (std::size_t a = 0; a < n; ++a) {
+        scratch.eligible[a] =
+            db.rmatch[a] == static_cast<std::int8_t>(MatchState::kUnmatched)
+                ? 1
+                : 0;
+      }
+      scratch.grid.build(scratch.ex, scratch.ey, scratch.eligible,
+                         /*cell_hint=*/2.0 * half);
+    }
     bool any_active = false;
     for (std::size_t r = 0; r < frame.size(); ++r) {
       if (frame.rmatch_with[r] != kNone) continue;
       any_active = true;
-      for (std::size_t a = 0; a < n; ++a) {
-        if (db.rmatch[a] !=
-            static_cast<std::int8_t>(MatchState::kUnmatched)) {
-          continue;
-        }
+      const auto test = [&](std::size_t a) {
         ++stats.box_tests;
         if (std::fabs(scratch.ex[a] - frame.rx[r]) < half &&
             std::fabs(scratch.ey[a] - frame.ry[r]) < half) {
           ++scratch.nhits[r];
           scratch.hit_id[r] = static_cast<std::int32_t>(a);
           ++scratch.nradars[a];
+        }
+      };
+      if (use_grid) {
+        scratch.grid.for_each_in_box(frame.rx[r] - half, frame.rx[r] + half,
+                                     frame.ry[r] - half, frame.ry[r] + half,
+                                     test);
+      } else {
+        for (std::size_t a = 0; a < n; ++a) {
+          if (db.rmatch[a] !=
+              static_cast<std::int8_t>(MatchState::kUnmatched)) {
+            continue;
+          }
+          test(a);
         }
       }
     }

@@ -30,6 +30,7 @@
 #include "src/airfield/flight_db.hpp"
 #include "src/airfield/radar.hpp"
 #include "src/atm/task_types.hpp"
+#include "src/core/spatial/uniform_grid.hpp"
 
 namespace atm::tasks::reference {
 
@@ -41,7 +42,11 @@ struct Task1Scratch {
   std::vector<std::int32_t> hit_id;      ///< Sole hit of a radar.
   std::vector<std::int32_t> nradars;     ///< Active radars per aircraft.
   std::vector<std::int32_t> amatch;      ///< Radar committed to aircraft.
-  void resize(std::size_t n);
+  std::vector<std::uint8_t> eligible;    ///< Mask: rmatch == kUnmatched.
+  core::spatial::UniformGrid2D grid;     ///< Broadphase bins (kGrid mode).
+  /// nhits/hit_id are per-radar; everything else is per-aircraft. The
+  /// counts can differ (dropouts, multi-return frames).
+  void resize(std::size_t aircraft, std::size_t radars);
 };
 
 /// Run Task 1 on `db` against `frame`, updating both in place. Consumes

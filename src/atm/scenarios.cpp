@@ -99,6 +99,8 @@ PipelineConfig make_pipeline_config(const Scenario& scenario,
   cfg.radar = scenario.radar;
   cfg.task1 = scenario.task1;
   cfg.task23 = scenario.task23;
+  cfg.task1.broadphase = scenario.broadphase;
+  cfg.task23.broadphase = scenario.broadphase;
   return cfg;
 }
 
@@ -113,6 +115,8 @@ extended::FullSystemConfig make_full_config(const Scenario& scenario,
   cfg.radar = scenario.radar;
   cfg.task1 = scenario.task1;
   cfg.task23 = scenario.task23;
+  cfg.task1.broadphase = scenario.broadphase;
+  cfg.task23.broadphase = scenario.broadphase;
   cfg.terrain = scenario.terrain;
   cfg.advisory = scenario.advisory;
   return cfg;

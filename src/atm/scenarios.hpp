@@ -27,6 +27,12 @@ struct Scenario {
   Task23Params task23;
   TerrainTaskParams terrain;
   AdvisoryParams advisory;
+  /// Host-path candidate enumeration for both Task 1 and Tasks 2+3;
+  /// make_pipeline_config / make_full_config copy it into the task param
+  /// bundles so one knob configures the whole workload. Either value
+  /// yields identical task outcomes (see src/core/spatial/).
+  core::spatial::BroadphaseMode broadphase =
+      core::spatial::BroadphaseMode::kBruteForce;
 };
 
 /// The paper's evaluation setup: a 256 nm field, 30-600 knot traffic at

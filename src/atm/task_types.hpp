@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "src/core/spatial/broadphase.hpp"
 #include "src/core/units.hpp"
 
 namespace atm::tasks {
@@ -14,6 +15,14 @@ struct Task1Params {
   double box_half_nm = core::kCorrelationBoxHalfNm;
   /// How many times the box is doubled for unmatched radars (paper: 2).
   int retries = core::kCorrelationRetries;
+  /// Candidate enumeration on the host paths (reference, MIMD/Xeon):
+  /// kGrid bins expected positions into a uniform grid and queries only
+  /// the cells overlapping each radar's box. Outcomes are identical to
+  /// brute force by construction; only `box_tests` differs. Platform
+  /// backends that model fixed all-pairs hardware (CUDA, STARAN,
+  /// ClearSpeed, SIMD) ignore this field.
+  core::spatial::BroadphaseMode broadphase =
+      core::spatial::BroadphaseMode::kBruteForce;
 };
 
 /// Tasks 2+3 (collision detection & resolution) parameters.
@@ -24,6 +33,14 @@ struct Task23Params {
   double altitude_gate_feet = core::kAltitudeGateFeet;
   double turn_step_deg = core::kResolveStepDegrees;
   double turn_max_deg = core::kResolveMaxDegrees;
+  /// Candidate enumeration on the host paths (reference, MIMD/Xeon):
+  /// kGrid prunes pairs through the swept index (altitude slabs + a
+  /// velocity-x-horizon expanded cell query) before the altitude gate and
+  /// Batcher test. Outcomes are identical to brute force by construction;
+  /// only `pair_candidates` (and the early-exit tail of `pair_tests`)
+  /// differ. Platform backends modeling all-pairs hardware ignore this.
+  core::spatial::BroadphaseMode broadphase =
+      core::spatial::BroadphaseMode::kBruteForce;
 };
 
 /// Outcome counters of one Task 1 run.
@@ -49,6 +66,9 @@ struct Task23Stats {
   std::uint64_t resolved = 0;    ///< Critical aircraft given a new path.
   std::uint64_t unresolved = 0;  ///< No trial angle was conflict-free.
   std::uint64_t pair_tests = 0;  ///< Work: Batcher pair tests executed.
+  std::uint64_t pair_candidates = 0;  ///< Work: pairs enumerated before the
+                                      ///< altitude gate (broadphase output;
+                                      ///< n-1 per scan under brute force).
   std::uint64_t rescans = 0;     ///< Work: full trial-path re-checks.
 
   friend bool operator==(const Task23Stats&, const Task23Stats&) = default;

@@ -1,0 +1,23 @@
+#include "src/core/spatial/broadphase.hpp"
+
+namespace atm::core::spatial {
+
+std::string_view to_string(BroadphaseMode mode) {
+  switch (mode) {
+    case BroadphaseMode::kBruteForce:
+      return "brute";
+    case BroadphaseMode::kGrid:
+      return "grid";
+  }
+  return "?";
+}
+
+std::optional<BroadphaseMode> parse_broadphase(std::string_view name) {
+  if (name == "brute" || name == "brute-force" || name == "bruteforce") {
+    return BroadphaseMode::kBruteForce;
+  }
+  if (name == "grid") return BroadphaseMode::kGrid;
+  return std::nullopt;
+}
+
+}  // namespace atm::core::spatial

@@ -1,0 +1,33 @@
+// Broadphase selection for the candidate-pruning spatial indexes.
+//
+// The ATM hot paths (Task 1 correlation, Tasks 2+3 collision detection)
+// are all-pairs scans at heart; a broadphase index prunes the candidate
+// set *without changing any outcome*: every index in this directory
+// guarantees a superset of the exact matches, and the caller re-applies
+// the exact test (bounding-box membership, altitude gate, Batcher pair
+// test) to every candidate. Only the work counters (tests executed,
+// candidates enumerated) may differ between modes.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace atm::core::spatial {
+
+/// How a task enumerates its candidate set.
+enum class BroadphaseMode {
+  /// Scan everything against everything (the paper's algorithm).
+  kBruteForce,
+  /// Prune candidates through the uniform grid / swept index.
+  kGrid,
+};
+
+/// Stable short name: "brute" | "grid".
+[[nodiscard]] std::string_view to_string(BroadphaseMode mode);
+
+/// Parse "brute" / "brute-force" / "grid" (case-sensitive). Empty optional
+/// on anything else.
+[[nodiscard]] std::optional<BroadphaseMode> parse_broadphase(
+    std::string_view name);
+
+}  // namespace atm::core::spatial

@@ -1,0 +1,93 @@
+#include "src/core/spatial/swept_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atm::core::spatial {
+
+void SweptIndex::build(std::span<const double> x, std::span<const double> y,
+                       std::span<const double> dx, std::span<const double> dy,
+                       std::span<const double> alt,
+                       const SweptIndexParams& params) {
+  const std::size_t n = x.size();
+  band_ = params.band_nm;
+  horizon_ = params.horizon_periods;
+  if (n == 0) {
+    ids_.clear();
+    cell_start_.assign(1, 0);
+    cols_ = rows_ = slabs_ = 0;
+    max_speed_ = 0.0;
+    return;
+  }
+
+  double min_x = x[0], max_x = x[0], min_y = y[0], max_y = y[0];
+  double min_alt = alt[0], max_alt = alt[0];
+  double speed_sum = 0.0;
+  max_speed_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    min_x = std::min(min_x, x[i]);
+    max_x = std::max(max_x, x[i]);
+    min_y = std::min(min_y, y[i]);
+    max_y = std::max(max_y, y[i]);
+    min_alt = std::min(min_alt, alt[i]);
+    max_alt = std::max(max_alt, alt[i]);
+    const double speed = std::sqrt(dx[i] * dx[i] + dy[i] * dy[i]);
+    speed_sum += speed;
+    max_speed_ = std::max(max_speed_, speed);
+  }
+  min_x_ = min_x;
+  min_y_ = min_y;
+  min_alt_ = min_alt;
+
+  // Altitude slabs, one gate-width tall. A non-positive gate degenerates
+  // to a single slab (no altitude pruning, still exact).
+  if (params.altitude_gate_feet > 0.0) {
+    inv_slab_ = 1.0 / params.altitude_gate_feet;
+    slabs_ = std::max(
+        1, static_cast<int>((max_alt - min_alt) * inv_slab_) + 1);
+  } else {
+    inv_slab_ = 0.0;
+    slabs_ = 1;
+  }
+
+  // xy cells sized to the *typical* query radius, so a typical query
+  // touches O(1) cells; when the sweep saturates the field the grid
+  // collapses to 1x1 and the slabs carry all the pruning.
+  const double extent = std::max(max_x - min_x, max_y - min_y);
+  const double mean_speed = speed_sum / static_cast<double>(n);
+  const double typical_reach =
+      band_ + (mean_speed + max_speed_) * horizon_;
+  const int max_cells = std::max(1, params.max_cells_per_axis);
+  double cell = std::max(typical_reach,
+                         extent / static_cast<double>(max_cells));
+  cell = std::max(cell, 1e-9);
+  inv_cell_ = 1.0 / cell;
+  cols_ = std::max(1, static_cast<int>((max_x - min_x) * inv_cell_) + 1);
+  rows_ = std::max(1, static_cast<int>((max_y - min_y) * inv_cell_) + 1);
+
+  const std::size_t cells = static_cast<std::size_t>(slabs_) *
+                            static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(rows_);
+  const std::size_t slab_stride =
+      static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  const auto cell_of = [&](std::size_t i) {
+    return static_cast<std::size_t>(slab_of(alt[i])) * slab_stride +
+           static_cast<std::size_t>(row_of(y[i])) *
+               static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(col_of(x[i]));
+  };
+
+  cell_start_.assign(cells + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++cell_start_[cell_of(i) + 1];
+  for (std::size_t c = 0; c < cells; ++c) {
+    cell_start_[c + 1] += cell_start_[c];
+  }
+  cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+  ids_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids_[static_cast<std::size_t>(cursor_[cell_of(i)]++)] =
+        static_cast<std::int32_t>(i);
+  }
+}
+
+}  // namespace atm::core::spatial

@@ -1,0 +1,77 @@
+#include "src/core/spatial/uniform_grid.hpp"
+
+#include <algorithm>
+
+namespace atm::core::spatial {
+
+void UniformGrid2D::build(std::span<const double> xs,
+                          std::span<const double> ys,
+                          std::span<const std::uint8_t> mask,
+                          double cell_hint, int max_cells_per_axis) {
+  const std::size_t n = xs.size();
+  const auto included = [&](std::size_t i) {
+    return mask.empty() || mask[i] != 0;
+  };
+
+  // Bounds over the inserted points.
+  bool any = false;
+  double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!included(i)) continue;
+    if (!any) {
+      min_x = max_x = xs[i];
+      min_y = max_y = ys[i];
+      any = true;
+    } else {
+      min_x = std::min(min_x, xs[i]);
+      max_x = std::max(max_x, xs[i]);
+      min_y = std::min(min_y, ys[i]);
+      max_y = std::max(max_y, ys[i]);
+    }
+  }
+  if (!any) {
+    ids_.clear();
+    cell_start_.assign(1, 0);
+    cols_ = rows_ = 0;
+    return;
+  }
+
+  const double extent = std::max(max_x - min_x, max_y - min_y);
+  double cell = std::max(cell_hint, 1e-9);
+  if (max_cells_per_axis < 1) max_cells_per_axis = 1;
+  cell = std::max(cell, extent / static_cast<double>(max_cells_per_axis));
+  min_x_ = min_x;
+  min_y_ = min_y;
+  inv_cell_ = 1.0 / cell;
+  cols_ = std::max(1, static_cast<int>((max_x - min_x) * inv_cell_) + 1);
+  rows_ = std::max(1, static_cast<int>((max_y - min_y) * inv_cell_) + 1);
+
+  // CSR counting sort: count per cell, prefix-sum, place.
+  const std::size_t cells =
+      static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  cell_start_.assign(cells + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!included(i)) continue;
+    const std::size_t cell_idx =
+        static_cast<std::size_t>(row_of(ys[i])) *
+            static_cast<std::size_t>(cols_) +
+        static_cast<std::size_t>(col_of(xs[i]));
+    ++cell_start_[cell_idx + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) {
+    cell_start_[c + 1] += cell_start_[c];
+  }
+  cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+  ids_.resize(static_cast<std::size_t>(cell_start_[cells]));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!included(i)) continue;
+    const std::size_t cell_idx =
+        static_cast<std::size_t>(row_of(ys[i])) *
+            static_cast<std::size_t>(cols_) +
+        static_cast<std::size_t>(col_of(xs[i]));
+    ids_[static_cast<std::size_t>(cursor_[cell_idx]++)] =
+        static_cast<std::int32_t>(i);
+  }
+}
+
+}  // namespace atm::core::spatial

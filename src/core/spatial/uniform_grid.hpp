@@ -1,0 +1,94 @@
+// A rebuildable uniform grid over 2-D points, CSR-packed for cache-friendly
+// cell walks.
+//
+// Task 1 correlation uses one of these per bounding-box pass: eligible
+// aircraft expected positions are binned by cell, and each radar return
+// queries only the cells overlapping its (doubling) correlation box
+// instead of scanning the whole flight table.
+//
+// Exactness contract: `for_each_in_box` enumerates a *superset* of the
+// inserted points inside the box (cell granularity; out-of-bounds
+// coordinates are clamped into the edge cells), and enumerates every
+// inserted id at most once (each point lives in exactly one cell). The
+// caller must re-apply its exact membership test to every candidate, so
+// outcomes never depend on the grid geometry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace atm::core::spatial {
+
+class UniformGrid2D {
+ public:
+  /// Rebuild the grid from points (xs[i], ys[i]) for every i with
+  /// mask[i] != 0 (an empty mask inserts all points). Bounds are taken
+  /// from the inserted points. `cell_hint` is the preferred cell edge
+  /// length (the caller's query box width is a good choice: a query then
+  /// touches at most 4 cells); it is enlarged as needed to keep the grid
+  /// within `max_cells_per_axis` cells per axis.
+  ///
+  /// Buffers are reused across builds; rebuilding every pass is O(n +
+  /// cells).
+  void build(std::span<const double> xs, std::span<const double> ys,
+             std::span<const std::uint8_t> mask, double cell_hint,
+             int max_cells_per_axis = 128);
+
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int rows() const { return rows_; }
+
+  /// Visit every inserted id whose cell intersects the closed box
+  /// [x0, x1] x [y0, y1]. Each id is visited at most once.
+  template <typename Fn>
+  void for_each_in_box(double x0, double x1, double y0, double y1,
+                       Fn&& fn) const {
+    if (ids_.empty()) return;
+    const int cx0 = col_of(x0);
+    const int cx1 = col_of(x1);
+    const int cy0 = row_of(y0);
+    const int cy1 = row_of(y1);
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        const std::size_t cell =
+            static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
+            static_cast<std::size_t>(cx);
+        for (std::int32_t k = cell_start_[cell]; k < cell_start_[cell + 1];
+             ++k) {
+          fn(static_cast<std::size_t>(ids_[static_cast<std::size_t>(k)]));
+        }
+      }
+    }
+  }
+
+ private:
+  /// Column of x, clamped into [0, cols-1] (out-of-bounds queries and
+  /// points land in the edge cells; the caller's exact test rejects any
+  /// false candidates this produces).
+  [[nodiscard]] int col_of(double x) const {
+    const double c = (x - min_x_) * inv_cell_;
+    if (c <= 0.0) return 0;
+    const int ci = static_cast<int>(c);
+    return ci >= cols_ ? cols_ - 1 : ci;
+  }
+  [[nodiscard]] int row_of(double y) const {
+    const double r = (y - min_y_) * inv_cell_;
+    if (r <= 0.0) return 0;
+    const int ri = static_cast<int>(r);
+    return ri >= rows_ ? rows_ - 1 : ri;
+  }
+
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  double inv_cell_ = 0.0;
+  int cols_ = 0;
+  int rows_ = 0;
+  std::vector<std::int32_t> cell_start_;  ///< CSR offsets, cols*rows + 1.
+  std::vector<std::int32_t> ids_;         ///< Inserted ids, grouped by cell.
+  std::vector<std::int32_t> cursor_;      ///< Build scratch.
+};
+
+}  // namespace atm::core::spatial

@@ -88,6 +88,17 @@ std::string JsonlTraceSink::to_json(const TraceEvent& ev) {
   if (ev.resolved >= 0) {
     field_int(line, "resolved", static_cast<long long>(ev.resolved));
   }
+  if (!ev.broadphase.empty()) field_str(line, "broadphase", ev.broadphase);
+  if (ev.box_tests >= 0) {
+    field_int(line, "box_tests", static_cast<long long>(ev.box_tests));
+  }
+  if (ev.pair_candidates >= 0) {
+    field_int(line, "pair_candidates",
+              static_cast<long long>(ev.pair_candidates));
+  }
+  if (ev.pair_tests >= 0) {
+    field_int(line, "pair_tests", static_cast<long long>(ev.pair_tests));
+  }
   if (ev.kind == EventKind::kCounter) {
     field_int(line, "value", static_cast<long long>(ev.value));
   }

@@ -49,6 +49,12 @@ struct TraceEvent {
   int passes = -1;              ///< Task-1 bounding-box retry passes.
   std::int64_t conflicts = -1;  ///< Tasks 2+3 conflict count.
   std::int64_t resolved = -1;   ///< Tasks 2+3 resolution count.
+  std::string broadphase;       ///< "brute" | "grid" ("" = not applicable).
+  std::int64_t box_tests = -1;       ///< Task-1 box membership tests.
+  std::int64_t pair_candidates = -1; ///< Tasks 2+3 pairs enumerated
+                                     ///< (pre-altitude-gate).
+  std::int64_t pair_tests = -1;      ///< Tasks 2+3 Batcher tests
+                                     ///< (post-altitude-gate).
   std::uint64_t value = 0;      ///< Counter value (kCounter).
 };
 

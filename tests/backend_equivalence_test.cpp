@@ -40,6 +40,7 @@ Task1Stats outcome_only(Task1Stats s) {
 }
 Task23Stats outcome_only(Task23Stats s) {
   s.pair_tests = 0;
+  s.pair_candidates = 0;
   s.rescans = 0;
   return s;
 }

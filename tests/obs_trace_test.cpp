@@ -240,47 +240,42 @@ TEST(ObsTrace, CounterPublishesItsValue) {
   EXPECT_EQ(sink.events().front().value, 42u);
 }
 
-// --- Deprecated wrapper back-compat (the only caller of the old API) -------
+// --- PipelineConfig drives every mode of the unified entry point ----------
 
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-TEST(ObsTrace, DeprecatedLoadedWrapperMatchesPreloadedFlag) {
+TEST(ObsTrace, PreloadedFlagChainsRunsOnOneFlightState) {
   PipelineConfig cfg;
   cfg.aircraft = 200;
   cfg.major_cycles = 1;
 
   auto a = make_titan_x_pascal();
   run_pipeline(*a, cfg);
-  const PipelineResult via_wrapper = run_pipeline_loaded(*a, cfg);
-
-  auto b = make_titan_x_pascal();
-  run_pipeline(*b, cfg);
   PipelineConfig preloaded_cfg = cfg;
   preloaded_cfg.preloaded = true;
-  const PipelineResult via_flag = run_pipeline(*b, preloaded_cfg);
+  const PipelineResult chained = run_pipeline(*a, preloaded_cfg);
 
-  ASSERT_EQ(via_wrapper.periods.size(), via_flag.periods.size());
-  for (std::size_t i = 0; i < via_wrapper.periods.size(); ++i) {
-    EXPECT_EQ(via_wrapper.periods[i].task1_ms, via_flag.periods[i].task1_ms);
+  // A preloaded run continues from the first run's state instead of
+  // reloading the seed airfield, so its periods exist and the state moved.
+  ASSERT_EQ(chained.periods.size(), 16u);
+  auto b = make_titan_x_pascal();
+  run_pipeline(*b, cfg);
+  const PipelineResult chained_b = run_pipeline(*b, preloaded_cfg);
+  ASSERT_EQ(chained.periods.size(), chained_b.periods.size());
+  for (std::size_t i = 0; i < chained.periods.size(); ++i) {
+    EXPECT_EQ(chained.periods[i].task1_ms, chained_b.periods[i].task1_ms);
   }
   EXPECT_TRUE(a->state().same_flight_state(b->state()));
 }
 
-TEST(ObsTrace, DeprecatedWallclockWrapperStillRuns) {
+TEST(ObsTrace, WallclockModeRunsViaConfigFields) {
   PipelineConfig cfg;
   cfg.aircraft = 32;
   cfg.major_cycles = 1;
+  cfg.clock_mode = ClockMode::kWallclock;
+  cfg.real_period_ms = 5.0;
   ReferenceBackend ref;
-  const PipelineResult result = run_pipeline_wallclock(ref, cfg, 5.0);
+  const PipelineResult result = run_pipeline(ref, cfg);
   EXPECT_EQ(result.periods.size(), 16u);
 }
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace
 }  // namespace atm::tasks

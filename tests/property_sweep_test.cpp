@@ -70,14 +70,14 @@ TEST_P(PipelinePropertyTest, ResolutionCommitsAreConflictFreeAtCommitTime) {
   const airfield::FlightDb before = db;
   reference::detect_and_resolve(db);
 
-  std::uint64_t tests = 0;
+  reference::ScanWork work;
   for (std::size_t i = 0; i < db.size(); ++i) {
     const bool committed =
         db.dx[i] != before.dx[i] || db.dy[i] != before.dy[i];
     if (!committed) continue;
     // Check the committed velocity against everyone's *original* path.
     const auto out = reference::scan_against_all(
-        before, i, db.dx[i], db.dy[i], Task23Params{}, tests, true);
+        before, i, db.dx[i], db.dy[i], Task23Params{}, work, true);
     ASSERT_FALSE(out.critical)
         << "aircraft " << i << " committed a still-critical path (seed "
         << seed << ")";

@@ -67,9 +67,9 @@ TEST(Task23Reference, ResolvedPathsAreActuallyConflictFree) {
   // Re-running detection on the committed paths: the pair may still be
   // in *conflict* within 20 minutes (both turned 5 degrees the same way,
   // paths still cross) but must no longer be *critical*.
-  std::uint64_t tests = 0;
+  ScanWork work;
   const DetectOutcome out0 = scan_against_all(
-      db, 0, db.dx[0], db.dy[0], Task23Params{}, tests, false);
+      db, 0, db.dx[0], db.dy[0], Task23Params{}, work, false);
   EXPECT_FALSE(out0.critical);
 }
 
@@ -122,12 +122,13 @@ TEST(Task23Reference, PartnerIsSoonestConflict) {
     db.dx[i] = dxs[i];
   }
 
-  std::uint64_t tests = 0;
+  ScanWork work;
   const DetectOutcome det = scan_against_all(db, 0, db.dx[0], db.dy[0],
-                                             Task23Params{}, tests, false);
+                                             Task23Params{}, work, false);
   EXPECT_TRUE(det.conflict);
   EXPECT_EQ(det.partner, 2);
-  EXPECT_EQ(tests, 2u);
+  EXPECT_EQ(work.pair_tests, 2u);
+  EXPECT_EQ(work.pair_candidates, 2u);
 }
 
 TEST(Task23Reference, SnapshotSemanticsIgnoreNeighboursResolution) {

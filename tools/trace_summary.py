@@ -11,9 +11,12 @@ Usage:
 Every line of the input is one JSON object (see docs/TRACING.md for the
 schema). The summary prints, per backend:
 
-  * a per-task deadline table (met / missed / skipped, worst slack), and
+  * a per-task deadline table (met / missed / skipped, worst slack),
   * a per-period miss table — one row per (cycle, period) that had at
-    least one missed or skipped deadline, so a clean run prints none.
+    least one missed or skipped deadline, so a clean run prints none, and
+  * a broadphase pruning table — per (task, broadphase mode), the mean
+    candidate pairs enumerated per period and the mean exact tests that
+    survived, so grid vs brute effectiveness is visible from one trace.
 
 Only the standard library is required.
 """
@@ -25,6 +28,26 @@ import sys
 
 def fmt_ms(value):
     return "-" if value is None else f"{value:.4f}"
+
+
+class PruneStats:
+    """Candidate/test counts for one (task, broadphase) combination."""
+
+    def __init__(self):
+        self.events = 0
+        self.candidates = 0
+        self.tests = 0
+
+    def add(self, ev):
+        self.events += 1
+        # Task 1 reports box_tests; tasks 2+3 report pair_candidates and
+        # pair_tests. Fold both shapes into candidates/tests.
+        if "pair_candidates" in ev or "pair_tests" in ev:
+            self.candidates += ev.get("pair_candidates", 0)
+            self.tests += ev.get("pair_tests", 0)
+        else:
+            self.candidates += ev.get("box_tests", 0)
+            self.tests += ev.get("box_tests", 0)
 
 
 class TaskStats:
@@ -54,6 +77,9 @@ def summarize(path):
     # backend -> (cycle, period) -> outcome counter
     periods = collections.defaultdict(
         lambda: collections.defaultdict(collections.Counter))
+    # backend -> (task, broadphase) -> PruneStats
+    pruning = collections.defaultdict(
+        lambda: collections.defaultdict(PruneStats))
     bad_lines = 0
     events = 0
 
@@ -77,6 +103,8 @@ def summarize(path):
                 periods[backend][key][ev.get("outcome", "?")] += 1
             elif kind == "task":
                 tasks[backend][name].add_task(ev)
+                if "broadphase" in ev:
+                    pruning[backend][(name, ev["broadphase"])].add(ev)
 
     if bad_lines:
         print(f"warning: {bad_lines} unparseable line(s) skipped",
@@ -95,6 +123,18 @@ def summarize(path):
             print(f"{name:<10} {st.outcomes['met']:>6} "
                   f"{st.outcomes['missed']:>7} {st.outcomes['skipped']:>8} "
                   f"{fmt_ms(st.worst_slack):>17} {fmt_ms(mean):>18}")
+
+        if pruning[backend]:
+            print("\nbroadphase pruning (mean per task execution):")
+            print(f"{'task':<10} {'mode':<6} {'runs':>5} "
+                  f"{'candidates':>12} {'exact tests':>12} {'kept':>7}")
+            for (name, mode) in sorted(pruning[backend]):
+                ps = pruning[backend][(name, mode)]
+                cand = ps.candidates / ps.events
+                test = ps.tests / ps.events
+                kept = f"{test / cand:6.1%}" if cand else "     -"
+                print(f"{name:<10} {mode:<6} {ps.events:>5} "
+                      f"{cand:>12.1f} {test:>12.1f} {kept:>7}")
 
         trouble = {key: counts for key, counts in periods[backend].items()
                    if counts["missed"] or counts["skipped"]}
