@@ -19,7 +19,8 @@
 
 int main() {
   using namespace atm;
-  const std::vector<std::size_t> sweep = {500, 1000, 2000, 4000};
+  const std::vector<std::size_t> sweep =
+      bench::maybe_smoke({500, 1000, 2000, 4000});
 
   for (const auto& spec : {simt::geforce_9800_gt(), simt::titan_x_pascal()}) {
     core::TextTable table({"aircraft", "row-mapped [ms]",

@@ -17,7 +17,8 @@
 
 int main() {
   using namespace atm;
-  const std::vector<std::size_t> sweep = {1000, 2000, 4000, 8000};
+  const std::vector<std::size_t> sweep =
+      bench::maybe_smoke({1000, 2000, 4000, 8000});
 
   core::TextTable table({"platform", "aircraft", "task1 met", "task1 miss",
                          "task1 skip", "task23 met", "task23 miss",

@@ -21,8 +21,9 @@ int main() {
   using namespace atm;
   // A denser sweep than the comparison figures: curve fitting wants
   // points, and a single CUDA platform is cheap to sweep.
-  const std::vector<std::size_t> sweep = {250,  500,  750,  1000, 1500,
-                                          2000, 3000, 4000, 6000, 8000};
+  const std::vector<std::size_t> sweep =
+      bench::maybe_smoke({250,  500,  750,  1000, 1500,
+                                          2000, 3000, 4000, 6000, 8000});
   auto backend = tasks::make_gtx_880m();
   const bench::Series series =
       bench::measure_series(*backend, bench::Task::kTask1, sweep);

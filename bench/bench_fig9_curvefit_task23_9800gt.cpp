@@ -17,8 +17,9 @@
 
 int main() {
   using namespace atm;
-  const std::vector<std::size_t> sweep = {250,  500,  750,  1000, 1500,
-                                          2000, 3000, 4000, 6000, 8000};
+  const std::vector<std::size_t> sweep =
+      bench::maybe_smoke({250,  500,  750,  1000, 1500,
+                                          2000, 3000, 4000, 6000, 8000});
   auto backend = tasks::make_geforce_9800_gt();
   const bench::Series series =
       bench::measure_series(*backend, bench::Task::kTask23, sweep);

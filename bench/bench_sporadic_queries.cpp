@@ -17,7 +17,8 @@
 
 int main() {
   using namespace atm;
-  const std::vector<std::size_t> sweep = {500, 1000, 2000, 4000, 8000};
+  const std::vector<std::size_t> sweep =
+      bench::maybe_smoke({500, 1000, 2000, 4000, 8000});
   constexpr int kBatch = 16;
 
   core::TextTable table({"aircraft", "platform", "queries", "hits",

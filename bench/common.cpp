@@ -31,11 +31,21 @@ obs::TraceSink* bench_trace_sink() {
   return sink.get();
 }
 
+bool smoke_mode() {
+  const char* v = std::getenv("ATM_BENCH_SMOKE");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::vector<std::size_t> maybe_smoke(std::vector<std::size_t> sweep) {
+  if (smoke_mode() && sweep.size() > 3) sweep.resize(3);
+  return sweep;
+}
+
 std::vector<std::size_t> default_sweep() {
   // Starts at 500: below that, fixed launch overheads put the platforms
   // within noise of each other (the 192-PE ClearSpeed can even undercut
   // the CC 1.0 card), a regime the paper's figures do not cover.
-  return {500, 1000, 2000, 4000, 8000};
+  return maybe_smoke({500, 1000, 2000, 4000, 8000});
 }
 
 Series measure_series(tasks::Backend& backend, Task task,

@@ -25,10 +25,24 @@ namespace atm::bench {
 /// nullptr when the variable is unset.
 [[nodiscard]] obs::TraceSink* bench_trace_sink();
 
+/// True when the ATM_BENCH_SMOKE environment variable is set non-empty
+/// (and not "0"). CI sets it so the figure-reproduction step only checks
+/// that every bench still runs end to end; the numbers it prints are not
+/// meaningful measurements.
+[[nodiscard]] bool smoke_mode();
+
+/// Under smoke_mode(), truncate a sweep to its three smallest points
+/// (the minimum the quadratic curve fits accept);
+/// otherwise return it unchanged. Every bench routes its sweep (custom or
+/// default_sweep()) through this so ATM_BENCH_SMOKE=1 bounds CI time.
+[[nodiscard]] std::vector<std::size_t> maybe_smoke(
+    std::vector<std::size_t> sweep);
+
 /// Aircraft counts swept by the figure benches. The paper's exact sweep is
 /// not published; this range shows every relationship the figures assert
 /// (platform ordering, near-linear CUDA curves, the multi-core blow-up)
 /// while every platform except the Xeon still meets its deadlines.
+/// Already smoke-truncated via maybe_smoke().
 [[nodiscard]] std::vector<std::size_t> default_sweep();
 
 /// A measured (aircraft count, modeled ms) series for one platform.

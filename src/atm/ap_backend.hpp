@@ -70,9 +70,9 @@ class ApBackend final : public Backend {
   }
   airfield::FlightDb& mutable_state() override { return db_; }
 
- protected:
+ private:
   Task1Result do_run_task1(airfield::RadarFrame& frame,
-                           const Task1Params& params) override {
+                           const Task1Params& params) final {
     machine_->reset();
     Task1Result result;
     result.stats = assoc::assoc_task1(*machine_, db_, frame, params);
@@ -80,7 +80,7 @@ class ApBackend final : public Backend {
     return result;
   }
 
-  Task23Result do_run_task23(const Task23Params& params) override {
+  Task23Result do_run_task23(const Task23Params& params) final {
     machine_->reset();
     Task23Result result;
     result.stats = assoc::assoc_task23(*machine_, db_, params);
@@ -88,7 +88,7 @@ class ApBackend final : public Backend {
     return result;
   }
 
-  TerrainResult do_run_terrain(const TerrainTaskParams& params) override {
+  TerrainResult do_run_terrain(const TerrainTaskParams& params) final {
     if (terrain_map() == nullptr) {
       throw std::logic_error("ApBackend::run_terrain: no terrain attached");
     }
@@ -99,7 +99,7 @@ class ApBackend final : public Backend {
     return result;
   }
 
-  DisplayResult do_run_display(const DisplayParams& params) override {
+  DisplayResult do_run_display(const DisplayParams& params) final {
     machine_->reset();
     DisplayResult result;
     std::vector<std::int32_t> occupancy;
@@ -108,7 +108,7 @@ class ApBackend final : public Backend {
     return result;
   }
 
-  AdvisoryResult do_run_advisory(const AdvisoryParams& params) override {
+  AdvisoryResult do_run_advisory(const AdvisoryParams& params) final {
     machine_->reset();
     AdvisoryResult result;
     result.stats =
@@ -118,7 +118,7 @@ class ApBackend final : public Backend {
   }
 
   MultiRadarResult do_run_multi_task1(airfield::MultiRadarFrame& frame,
-                                   const Task1Params& params) override {
+                                   const Task1Params& params) final {
     machine_->reset();
     MultiRadarResult result;
     result.stats = assoc::assoc_multi_task1(*machine_, db_, frame, params);
@@ -127,7 +127,7 @@ class ApBackend final : public Backend {
   }
 
   SporadicResult do_run_sporadic(std::span<const Query> queries,
-                              const SporadicParams& params) override {
+                              const SporadicParams& params) final {
     (void)params;
     machine_->reset();
     SporadicResult result;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/core/check.hpp"
+
 namespace atm::tasks {
 namespace {
 
@@ -12,35 +14,42 @@ constexpr double kParallelEps = 1e-9;
 
 }  // namespace
 
-AxisWindow axis_band_window(double p, double v, double band) {
+AxisWindow axis_band_window(double p, double v, double band_nm) {
   AxisWindow w;
   if (std::fabs(v) < kParallelEps) {
-    if (std::fabs(p) <= band) {
+    if (std::fabs(p) <= band_nm) {
       w.always = true;
     } else {
       w.never = true;
     }
     return w;
   }
-  const double t1 = (-band - p) / v;
-  const double t2 = (band - p) / v;
+  const double t1 = (-band_nm - p) / v;
+  const double t2 = (band_nm - p) / v;
   w.entry = std::min(t1, t2);
   w.exit = std::max(t1, t2);
   return w;
 }
 
 PairConflict batcher_pair_test(double px, double py, double vx, double vy,
-                               double band, double horizon) {
+                               double band_nm, double horizon_periods) {
   PairConflict out;
 
-  const AxisWindow wx = axis_band_window(px, vx, band);
-  const AxisWindow wy = axis_band_window(py, vy, band);
+  // Equations 1-6 precondition: a non-positive band_nm or horizon_periods makes every
+  // window empty and Tasks 2+3 report zero conflicts — a silently useless
+  // sweep, not an error any caller ever wants.
+  ATM_CHECK_MSG(band_nm > 0.0 && horizon_periods > 0.0,
+                "degenerate Batcher params: band_nm=" << band_nm << " horizon_periods="
+                                                   << horizon_periods);
+
+  const AxisWindow wx = axis_band_window(px, vx, band_nm);
+  const AxisWindow wy = axis_band_window(py, vy, band_nm);
   if (wx.never || wy.never) return out;
 
   // Equations 5-6: largest entry, smallest exit; an "always" axis
   // contributes (-inf, +inf) and drops out of the max/min.
   double entry = 0.0;
-  double exit = horizon;
+  double exit = horizon_periods;
   if (!wx.always) {
     entry = std::max(entry, wx.entry);
     exit = std::min(exit, wx.exit);

@@ -31,8 +31,9 @@ struct AxisWindow {
 };
 
 /// Overlap window of |p + v t| <= band (one axis). `p` is the current
-/// relative separation, `v` the relative velocity per period.
-[[nodiscard]] AxisWindow axis_band_window(double p, double v, double band);
+/// relative separation (nm), `v` the relative velocity (nm/period).
+[[nodiscard]] AxisWindow axis_band_window(double p, double v,
+                                          double band_nm);
 
 /// Result of the pair test: conflict flag and the window [time_min,
 /// time_max] clipped to [0, horizon].
@@ -47,8 +48,8 @@ struct PairConflict {
 /// look-ahead `horizon` (20 minutes = 2400 periods).
 [[nodiscard]] PairConflict batcher_pair_test(
     double px, double py, double vx, double vy,
-    double band = core::kBatcherBandNm,
-    double horizon = core::kLookAheadPeriods);
+    double band_nm = core::kBatcherBandNm,
+    double horizon_periods = core::kLookAheadPeriods);
 
 /// Altitude proximity gate of Algorithm 2 line 3: pairs further apart than
 /// `gate_feet` vertically are not in conflict.

@@ -49,29 +49,29 @@ class CudaBackend final : public Backend {
   [[nodiscard]] int threads_per_block() const { return threads_per_block_; }
   void set_threads_per_block(int tpb) { threads_per_block_ = tpb; }
 
- protected:
+ private:
   Task1Result do_run_task1(airfield::RadarFrame& frame,
-                           const Task1Params& params) override;
-  Task23Result do_run_task23(const Task23Params& params) override;
+                           const Task1Params& params) final;
+  Task23Result do_run_task23(const Task23Params& params) final;
 
   /// GenerateRadarData on the device + the paper's device->host shuffle
   /// round trip (Section 4.1), with the shuffle itself on the host.
   airfield::RadarFrame do_generate_radar(
       core::Rng& rng, const airfield::RadarParams& params,
-      double* modeled_ms) override;
+      double* modeled_ms) final;
 
   // --- Extended system ----------------------------------------------------
 
   /// Attaching terrain models the one-time host->device upload of the
   /// heightmap.
-  void on_terrain_attached() override;
-  TerrainResult do_run_terrain(const TerrainTaskParams& params) override;
-  DisplayResult do_run_display(const DisplayParams& params) override;
-  AdvisoryResult do_run_advisory(const AdvisoryParams& params) override;
+  void on_terrain_attached() final;
+  TerrainResult do_run_terrain(const TerrainTaskParams& params) final;
+  DisplayResult do_run_display(const DisplayParams& params) final;
+  AdvisoryResult do_run_advisory(const AdvisoryParams& params) final;
   MultiRadarResult do_run_multi_task1(airfield::MultiRadarFrame& frame,
-                                      const Task1Params& params) override;
+                                      const Task1Params& params) final;
   SporadicResult do_run_sporadic(std::span<const Query> queries,
-                                 const SporadicParams& params) override;
+                                 const SporadicParams& params) final;
 
  private:
   cuda::DroneView drone_view();

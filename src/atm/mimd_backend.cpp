@@ -53,6 +53,7 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
   mimd::WorkCounters work;
   work.items = n;
   std::atomic<std::uint64_t> inner_ops{0};
+  std::atomic<std::uint64_t> box_tests{0};
 
   db_.reset_correlation_state();
   frame.reset_matches();
@@ -89,7 +90,7 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
                 ? 1
                 : 0;
       }
-      grid_.build(ex_, ey_, eligible_, /*cell_hint=*/2.0 * half);
+      grid_.build(ex_, ey_, eligible_, /*cell_hint_nm=*/2.0 * half);
     }
 
     // Coverage scan: one worker-claimed radar scans the shared aircraft
@@ -129,7 +130,10 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
       }
       inner_ops.fetch_add(local_ops, std::memory_order_relaxed);
       // Outcome counter (architecture-independent): eligible box tests.
-      locks_.with_lock(n + r, [&] { result.stats.box_tests += local_tests; });
+      // A single shared accumulator must not hide behind per-radar stripe
+      // locks (stripe r and stripe r' don't exclude each other — TSan
+      // caught the lost updates); accumulate like the other outcome stats.
+      box_tests.fetch_add(local_tests, std::memory_order_relaxed);
     });
     ++work.parallel_regions;
 
@@ -196,6 +200,7 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
     }
   }
 
+  result.stats.box_tests = box_tests.load();
   work.inner_ops = inner_ops.load();
   // [13]-style shared-record reader locks (counted, see header) plus the
   // write locks the execution really performed.

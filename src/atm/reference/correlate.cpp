@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/core/check.hpp"
+
 namespace atm::tasks::reference {
 
 using airfield::kDiscarded;
@@ -26,6 +28,9 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
   const std::size_t n = db.size();
   Task1Stats stats;
   stats.radars = frame.size();
+  ATM_CHECK_MSG(params.box_half_nm > 0.0 && params.retries >= 0,
+                "degenerate correlation params: box_half_nm="
+                    << params.box_half_nm << " retries=" << params.retries);
 
   scratch.resize(n, frame.size());
   db.reset_correlation_state();
@@ -39,8 +44,18 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
   }
 
   const int total_passes = 1 + params.retries;
+  double prev_half = 0.0;
   for (int pass = 0; pass < total_passes; ++pass) {
     const double half = params.box_half_nm * static_cast<double>(1 << pass);
+    // Retry-doubling contract: each pass widens the box (and the widening
+    // must not overflow to inf), otherwise the retry passes silently
+    // re-test the same box and the pass count lies.
+    ATM_CHECK_MSG(half > prev_half && std::isfinite(half),
+                  "correlation box failed to grow: pass=" << pass << " half="
+                                                          << half
+                                                          << " prev="
+                                                          << prev_half);
+    prev_half = half;
     ++stats.passes;
 
     std::fill(scratch.nhits.begin(), scratch.nhits.end(), 0);
@@ -63,7 +78,7 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
                 : 0;
       }
       scratch.grid.build(scratch.ex, scratch.ey, scratch.eligible,
-                         /*cell_hint=*/2.0 * half);
+                         /*cell_hint_nm=*/2.0 * half);
     }
     bool any_active = false;
     for (std::size_t r = 0; r < frame.size(); ++r) {

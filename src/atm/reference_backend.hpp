@@ -23,8 +23,12 @@ class ReferenceBackend : public Backend {
   airfield::FlightDb& mutable_state() override { return db_; }
 
  protected:
+  // The reference is the one deliberately extensible backend: tests derive
+  // slowdown-injecting oracles from it and chain to these hooks.
+  // atm-lint: allow(nvi-private-final) tests subclass the reference oracle
   Task1Result do_run_task1(airfield::RadarFrame& frame,
                            const Task1Params& params) override;
+  // atm-lint: allow(nvi-private-final) tests subclass the reference oracle
   Task23Result do_run_task23(const Task23Params& params) override;
 
  private:

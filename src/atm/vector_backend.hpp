@@ -35,17 +35,17 @@ class VectorBackend final : public ReferenceBackend {
 
   [[nodiscard]] const mimd::VectorModel& model() const { return model_; }
 
- protected:
+ private:
   Task1Result do_run_task1(airfield::RadarFrame& frame,
-                           const Task1Params& params) override;
-  Task23Result do_run_task23(const Task23Params& params) override;
-  TerrainResult do_run_terrain(const TerrainTaskParams& params) override;
-  DisplayResult do_run_display(const DisplayParams& params) override;
-  AdvisoryResult do_run_advisory(const AdvisoryParams& params) override;
+                           const Task1Params& params) final;
+  Task23Result do_run_task23(const Task23Params& params) final;
+  TerrainResult do_run_terrain(const TerrainTaskParams& params) final;
+  DisplayResult do_run_display(const DisplayParams& params) final;
+  AdvisoryResult do_run_advisory(const AdvisoryParams& params) final;
   MultiRadarResult do_run_multi_task1(airfield::MultiRadarFrame& frame,
-                                      const Task1Params& params) override;
+                                      const Task1Params& params) final;
   SporadicResult do_run_sporadic(std::span<const Query> queries,
-                                 const SporadicParams& params) override;
+                                 const SporadicParams& params) final;
 
  private:
   mimd::VectorModel model_;

@@ -1,0 +1,23 @@
+#include "src/core/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace atm::core::detail {
+
+void check_failed(const char* kind, const char* expr, const char* file,
+                  int line, const std::string& msg) {
+  // One fprintf so the message stays contiguous even when several threads
+  // fail simultaneously (e.g. under the TSan stress test).
+  if (msg.empty()) {
+    std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n", kind, expr, file,
+                 line);
+  } else {
+    std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n  context: %s\n", kind,
+                 expr, file, line, msg.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace atm::core::detail

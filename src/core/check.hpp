@@ -1,0 +1,81 @@
+// Runtime contract checks for the ATM reproduction.
+//
+// The paper's claims are timing claims, and a timing number harvested from
+// a corrupted run is worse than a crash: it looks like evidence. These
+// macros make the invariant-dense hot paths (grid clamping, correlation
+// box doubling, Batcher preconditions, deadline accounting) fail loudly
+// and immediately instead of silently skewing results.
+//
+//  * ATM_CHECK(cond)            — always on, in every build type. On
+//    failure prints the expression and file:line to stderr and aborts.
+//  * ATM_CHECK_MSG(cond, ctx)   — ATM_CHECK plus formatted context; `ctx`
+//    is an ostream chain ("half=" << half << " pass=" << pass) evaluated
+//    only on failure.
+//  * ATM_ASSERT(cond)           — debug-only (compiles to nothing under
+//    NDEBUG, without evaluating `cond`). For O(n) or per-candidate checks
+//    too expensive for release hot loops.
+//  * ATM_ASSERT_MSG(cond, ctx)  — ATM_ASSERT with context.
+//
+// Policy (docs/STATIC_ANALYSIS.md): ATM_CHECK guards cheap, load-bearing
+// invariants whose violation corrupts reported results; ATM_ASSERT guards
+// expensive redundancy (full-array postconditions). Neither replaces
+// error handling for conditions a caller can legitimately trigger —
+// those keep throwing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace atm::core::detail {
+
+/// Print "<kind> failed: <expr>\n  at <file>:<line>\n  context: <msg>" to
+/// stderr and abort(). Out-of-line so the macro's failure arm stays cold.
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace atm::core::detail
+
+#define ATM_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::atm::core::detail::check_failed("ATM_CHECK", #cond, __FILE__,   \
+                                        __LINE__, std::string{});       \
+    }                                                                   \
+  } while (false)
+
+#define ATM_CHECK_MSG(cond, ctx)                                        \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      std::ostringstream atm_check_ctx_;                                \
+      atm_check_ctx_ << ctx; /* NOLINT(bugprone-macro-parentheses): stream chain */   \
+      ::atm::core::detail::check_failed("ATM_CHECK", #cond, __FILE__,   \
+                                        __LINE__, atm_check_ctx_.str());\
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+// Compiles out entirely: `cond` and `ctx` are not evaluated (they sit in
+// an unevaluated sizeof context so typos still fail to compile).
+#define ATM_ASSERT(cond) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#define ATM_ASSERT_MSG(cond, ctx) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#else
+#define ATM_ASSERT(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::atm::core::detail::check_failed("ATM_ASSERT", #cond, __FILE__,  \
+                                        __LINE__, std::string{});       \
+    }                                                                   \
+  } while (false)
+#define ATM_ASSERT_MSG(cond, ctx)                                       \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      std::ostringstream atm_check_ctx_;                                \
+      atm_check_ctx_ << ctx; /* NOLINT(bugprone-macro-parentheses): stream chain */   \
+      ::atm::core::detail::check_failed("ATM_ASSERT", #cond, __FILE__,  \
+                                        __LINE__, atm_check_ctx_.str());\
+    }                                                                   \
+  } while (false)
+#endif

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/core/check.hpp"
+
 namespace atm::core::spatial {
 
 void SweptIndex::build(std::span<const double> x, std::span<const double> y,
@@ -10,6 +12,16 @@ void SweptIndex::build(std::span<const double> x, std::span<const double> y,
                        std::span<const double> alt,
                        const SweptIndexParams& params) {
   const std::size_t n = x.size();
+  ATM_CHECK_MSG(y.size() == n && dx.size() == n && dy.size() == n &&
+                    alt.size() == n,
+                "span length mismatch: x=" << n << " y=" << y.size()
+                                           << " dx=" << dx.size() << " dy="
+                                           << dy.size() << " alt="
+                                           << alt.size());
+  ATM_CHECK_MSG(params.band_nm >= 0.0 && params.horizon_periods >= 0.0,
+                "negative sweep: band_nm=" << params.band_nm
+                                           << " horizon_periods="
+                                           << params.horizon_periods);
   band_ = params.band_nm;
   horizon_ = params.horizon_periods;
   if (n == 0) {
@@ -65,6 +77,14 @@ void SweptIndex::build(std::span<const double> x, std::span<const double> y,
   cols_ = std::max(1, static_cast<int>((max_x - min_x) * inv_cell_) + 1);
   rows_ = std::max(1, static_cast<int>((max_y - min_y) * inv_cell_) + 1);
 
+  // Slab-bounds contract: the highest altitude (and the farthest xy
+  // corner) must clamp into the top bucket, or cell_of below indexes past
+  // the CSR table.
+  ATM_CHECK_MSG(slab_of(max_alt) < slabs_ && col_of(max_x) < cols_ &&
+                    row_of(max_y) < rows_,
+                "clamp overflow: slabs=" << slabs_ << " cols=" << cols_
+                                         << " rows=" << rows_
+                                         << " max_alt=" << max_alt);
   const std::size_t cells = static_cast<std::size_t>(slabs_) *
                             static_cast<std::size_t>(cols_) *
                             static_cast<std::size_t>(rows_);
@@ -88,6 +108,8 @@ void SweptIndex::build(std::span<const double> x, std::span<const double> y,
     ids_[static_cast<std::size_t>(cursor_[cell_of(i)]++)] =
         static_cast<std::int32_t>(i);
   }
+  ATM_CHECK_MSG(static_cast<std::size_t>(cell_start_[cells]) == n,
+                "CSR total " << cell_start_[cells] << " != aircraft " << n);
 }
 
 }  // namespace atm::core::spatial

@@ -1,13 +1,16 @@
 #include "src/core/spatial/uniform_grid.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "src/core/check.hpp"
 
 namespace atm::core::spatial {
 
 void UniformGrid2D::build(std::span<const double> xs,
                           std::span<const double> ys,
                           std::span<const std::uint8_t> mask,
-                          double cell_hint, int max_cells_per_axis) {
+                          double cell_hint_nm, int max_cells_per_axis) {
   const std::size_t n = xs.size();
   const auto included = [&](std::size_t i) {
     return mask.empty() || mask[i] != 0;
@@ -36,8 +39,13 @@ void UniformGrid2D::build(std::span<const double> xs,
     return;
   }
 
+  ATM_CHECK_MSG(std::isfinite(min_x) && std::isfinite(max_x) &&
+                    std::isfinite(min_y) && std::isfinite(max_y),
+                "non-finite point bounds: x=[" << min_x << ", " << max_x
+                                               << "] y=[" << min_y << ", "
+                                               << max_y << "]");
   const double extent = std::max(max_x - min_x, max_y - min_y);
-  double cell = std::max(cell_hint, 1e-9);
+  double cell = std::max(cell_hint_nm, 1e-9);
   if (max_cells_per_axis < 1) max_cells_per_axis = 1;
   cell = std::max(cell, extent / static_cast<double>(max_cells_per_axis));
   min_x_ = min_x;
@@ -45,6 +53,11 @@ void UniformGrid2D::build(std::span<const double> xs,
   inv_cell_ = 1.0 / cell;
   cols_ = std::max(1, static_cast<int>((max_x - min_x) * inv_cell_) + 1);
   rows_ = std::max(1, static_cast<int>((max_y - min_y) * inv_cell_) + 1);
+  // Clamping contract: every inserted point must land inside the grid, or
+  // the CSR placement below writes out of bounds.
+  ATM_CHECK_MSG(col_of(max_x) < cols_ && row_of(max_y) < rows_,
+                "clamp overflow: cols=" << cols_ << " rows=" << rows_
+                                        << " inv_cell=" << inv_cell_);
 
   // CSR counting sort: count per cell, prefix-sum, place.
   const std::size_t cells =
@@ -69,9 +82,15 @@ void UniformGrid2D::build(std::span<const double> xs,
         static_cast<std::size_t>(row_of(ys[i])) *
             static_cast<std::size_t>(cols_) +
         static_cast<std::size_t>(col_of(xs[i]));
+    ATM_ASSERT_MSG(cursor_[cell_idx] < cell_start_[cell_idx + 1],
+                   "CSR cursor overran cell " << cell_idx);
     ids_[static_cast<std::size_t>(cursor_[cell_idx]++)] =
         static_cast<std::int32_t>(i);
   }
+  // Counting sort postcondition: every inserted id was placed exactly once.
+  ATM_CHECK_MSG(static_cast<std::size_t>(cell_start_[cells]) == ids_.size(),
+                "CSR total " << cell_start_[cells] << " != placed "
+                             << ids_.size());
 }
 
 }  // namespace atm::core::spatial

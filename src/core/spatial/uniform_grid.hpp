@@ -25,7 +25,7 @@ class UniformGrid2D {
  public:
   /// Rebuild the grid from points (xs[i], ys[i]) for every i with
   /// mask[i] != 0 (an empty mask inserts all points). Bounds are taken
-  /// from the inserted points. `cell_hint` is the preferred cell edge
+  /// from the inserted points. `cell_hint_nm` is the preferred cell edge (nm)
   /// length (the caller's query box width is a good choice: a query then
   /// touches at most 4 cells); it is enlarged as needed to keep the grid
   /// within `max_cells_per_axis` cells per axis.
@@ -33,7 +33,7 @@ class UniformGrid2D {
   /// Buffers are reused across builds; rebuilding every pass is O(n +
   /// cells).
   void build(std::span<const double> xs, std::span<const double> ys,
-             std::span<const std::uint8_t> mask, double cell_hint,
+             std::span<const std::uint8_t> mask, double cell_hint_nm,
              int max_cells_per_axis = 128);
 
   [[nodiscard]] bool empty() const { return ids_.empty(); }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/check.hpp"
+
 namespace atm::mimd {
 
 ThreadPool::ThreadPool(unsigned workers) {
@@ -60,6 +62,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   cv_done_.wait(lock, [&] {
     return job.done.load() >= total && job.active.load() == 0;
   });
+  // Join contract: every iteration ran exactly once. More would mean two
+  // workers claimed one chunk (corrupted results with no crash); the
+  // stack-allocated job dying while a worker still holds it would be worse.
+  ATM_CHECK_MSG(job.done.load() == total && job.active.load() == 0,
+                "parallel_for join mismatch: done=" << job.done.load()
+                                                    << " total=" << total
+                                                    << " active="
+                                                    << job.active.load());
 }
 
 void ThreadPool::worker_loop() {

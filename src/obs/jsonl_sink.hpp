@@ -6,6 +6,7 @@
 #pragma once
 
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <string>
 
@@ -31,6 +32,7 @@ class JsonlTraceSink final : public TraceSink {
   [[nodiscard]] static std::string to_json(const TraceEvent& event);
 
  private:
+  std::mutex mutex_;  ///< Serializes record()/flush(): whole lines only.
   std::ofstream file_;
   std::ostream* out_ = nullptr;
 };

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,9 +59,11 @@ struct TraceEvent {
   std::uint64_t value = 0;      ///< Counter value (kCounter).
 };
 
-/// Receiver interface. Implementations must tolerate events arriving
-/// from a single thread in program order; they are never called
-/// concurrently by the instrumented code paths.
+/// Receiver interface. The executive emits from one thread in program
+/// order, but a sink may be shared across concurrently driven backends
+/// (and the TSan stress test does exactly that), so implementations must
+/// tolerate concurrent record() calls; the bundled sinks serialize
+/// internally with a mutex.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -74,8 +77,13 @@ class TraceSink {
 /// In-memory sink for tests and programmatic inspection.
 class RecordingSink final : public TraceSink {
  public:
-  void record(const TraceEvent& event) override { events_.push_back(event); }
+  void record(const TraceEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+  }
 
+  /// Direct view of the recorded events. Only valid while no other
+  /// thread is recording (inspect after the emitting work has joined).
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
@@ -89,9 +97,13 @@ class RecordingSink final : public TraceSink {
   [[nodiscard]] std::size_t count_outcome(std::string_view task,
                                           std::string_view outcome) const;
 
-  void clear() { events_.clear(); }
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
 };
 

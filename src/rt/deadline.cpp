@@ -1,8 +1,10 @@
 #include "src/rt/deadline.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/core/check.hpp"
 #include "src/core/table.hpp"
 
 namespace atm::rt {
@@ -23,6 +25,15 @@ void DeadlineMonitor::emit(const std::string& task, std::string_view outcome,
 
 Outcome DeadlineMonitor::record(const std::string& task, double start_ms,
                                 double duration_ms, double deadline_ms) {
+  // Accounting contract: a negative or non-finite duration means a cost
+  // model produced garbage, and every miss/met statistic downstream of it
+  // (the paper's headline numbers) would inherit the corruption.
+  ATM_CHECK_MSG(duration_ms >= 0.0 && std::isfinite(duration_ms) &&
+                    std::isfinite(start_ms) && std::isfinite(deadline_ms),
+                "bad deadline sample: task=" << task << " start_ms="
+                                             << start_ms << " duration_ms="
+                                             << duration_ms << " deadline_ms="
+                                             << deadline_ms);
   TaskRecord& rec = tasks_[task];
   rec.duration_ms.add(duration_ms);
   const double slack_ms = deadline_ms - (start_ms + duration_ms);

@@ -1,0 +1,111 @@
+// Contract-macro tests for src/core/check.hpp.
+//
+// The death tests pin down the failure-message format that check.cpp
+// promises ("<kind> failed: <expr>\n  at <file>:<line>\n  context: ..."),
+// since humans grep CI logs for exactly those strings. The NDEBUG tests
+// verify the ATM_ASSERT compile-out contract: the condition must not be
+// evaluated in release builds, but must still be type-checked.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/check.hpp"
+
+namespace atm {
+namespace {
+
+// --- Passing checks are silent ----------------------------------------------
+
+TEST(AtmCheck, PassingChecksHaveNoEffect) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  ATM_CHECK(touch());
+  ATM_CHECK_MSG(touch(), "never printed");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(AtmCheck, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  ATM_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+// --- Failure message format ---------------------------------------------------
+
+using AtmCheckDeathTest = ::testing::Test;
+
+TEST(AtmCheckDeathTest, CheckPrintsExpressionAndLocation) {
+  // The regex must match the stringized expression and the "at file:line"
+  // trailer; gtest applies it to stderr.
+  EXPECT_DEATH(ATM_CHECK(1 + 1 == 3),
+               "ATM_CHECK failed: 1 \\+ 1 == 3\n  at .*check_test\\.cpp:[0-9]+");
+}
+
+TEST(AtmCheckDeathTest, CheckMsgPrintsStreamedContext) {
+  const int half = 12;
+  EXPECT_DEATH(
+      ATM_CHECK_MSG(half < 0, "half=" << half << " pass=" << 3),
+      "ATM_CHECK failed: half < 0\n"
+      "  at .*check_test\\.cpp:[0-9]+\n"
+      "  context: half=12 pass=3");
+}
+
+TEST(AtmCheckDeathTest, ContextIsOnlyEvaluatedOnFailure) {
+  // The context chain must not run when the check passes — it may be
+  // arbitrarily expensive (or side-effecting, as here).
+  int ctx_evaluations = 0;
+  ATM_CHECK_MSG(true, "n=" << ++ctx_evaluations);
+  EXPECT_EQ(ctx_evaluations, 0);
+}
+
+// --- ATM_ASSERT: on in debug, off (and unevaluated) under NDEBUG -------------
+
+TEST(AtmAssert, CompileOutContract) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  ATM_ASSERT(touch());
+  ATM_ASSERT_MSG(touch(), "ctx " << evaluations);
+#ifdef NDEBUG
+  // Release: the condition sits in an unevaluated sizeof and never runs.
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_EQ(evaluations, 2);
+#endif
+}
+
+#ifdef NDEBUG
+TEST(AtmAssert, FailingAssertIsNoOpUnderNdebug) {
+  // Must not abort — and must not even evaluate the condition.
+  int evaluations = 0;
+  auto lie = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  ATM_ASSERT(lie());
+  ATM_ASSERT_MSG(lie(), "unused");
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(AtmAssertDeathTest, FailingAssertAbortsInDebug) {
+  EXPECT_DEATH(ATM_ASSERT(2 < 1),
+               "ATM_ASSERT failed: 2 < 1\n  at .*check_test\\.cpp:[0-9]+");
+}
+#endif
+
+// ATM_ASSERT must still type-check its condition under NDEBUG: this line
+// failing to compile (rather than at runtime) is the contract. A bool-
+// convertible expression referencing a real variable keeps typos caught.
+TEST(AtmAssert, ConditionIsTypeCheckedEvenWhenCompiledOut) {
+  const std::string name = "task1";
+  ATM_ASSERT(!name.empty());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace atm

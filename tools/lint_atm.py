@@ -1,0 +1,355 @@
+#!/usr/bin/env python3
+"""Domain linter for the ATM reproduction: repo invariants the compiler
+cannot see.
+
+Rules (each can be waived on a specific line by putting
+``atm-lint: allow(<rule>)`` in a comment on that line or the line above,
+followed by a reason):
+
+  nvi-private-final     Backend NVI hooks (do_run_*, do_generate_radar,
+                        on_terrain_attached) overridden outside
+                        src/atm/backend.hpp must sit in a private section
+                        and be sealed: declared `final` (or the class is).
+                        Callers must go through the public run_* entry
+                        points, which carry the timing + tracing side
+                        channel; a public or re-overridable hook reopens
+                        the bypass the NVI redesign closed.
+  units-suffix          `double` function parameters in public headers
+                        must say their unit in the name (_nm, _ms,
+                        _periods, _feet, ...) or be a recognized
+                        dimensionless/coordinate name. The paper's tasks
+                        mix nm, feet, knots, periods, and three time
+                        units; an unlabeled double is how nm/hour reaches
+                        an nm/period slot without a conversion.
+  no-nondeterminism     std::rand, srand, time(...), std::random_device
+                        are forbidden in src/: all randomness goes
+                        through core::Rng with an explicit seed so every
+                        run (and every cross-backend equivalence test) is
+                        reproducible.
+  backend-registration  Every `class XxxBackend final : public Backend`
+                        must be reachable from src/atm/platforms.cpp, the
+                        single factory surface benches and the CLI use.
+  nolint-reason         NOLINT comments must name the suppressed check
+                        and give a reason: `NOLINT(<check>): <why>`.
+
+Usage:
+  lint_atm.py [ROOT]    lint ROOT (default: repo root containing tools/)
+  lint_atm.py --self-test
+                        run the built-in fixture test: a synthetic tree
+                        with one seeded violation per rule must yield
+                        exactly those violations, and a clean tree none.
+
+Exit status: 0 = clean, 1 = violations found, 2 = usage/setup error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+RULES = (
+    "nvi-private-final",
+    "units-suffix",
+    "no-nondeterminism",
+    "backend-registration",
+    "nolint-reason",
+)
+
+# --- units-suffix vocabulary -------------------------------------------------
+
+#: A parameter name passes when any underscore-separated token names a unit.
+UNIT_TOKENS = {
+    "nm", "ms", "us", "ns", "s", "sec", "seconds", "minutes", "hours",
+    "periods", "cycles", "deg", "degrees", "rad", "feet", "ft", "knots",
+    "hz", "mhz", "ghz", "gbps", "bytes", "bits", "frac", "fraction",
+    "ratio", "probability", "alpha", "efficiency", "coeff", "ops",
+}
+
+#: Dimensionless or locally-conventional names (coordinates are nm by
+#: repo-wide convention; generic math helpers take unitless scalars).
+ALLOWED_NAMES = {
+    "x", "y", "z", "dx", "dy", "dz", "xi", "yi", "x0", "x1", "y0", "y1",
+    "rx", "ry", "px", "py", "vx", "vy", "alt", "alti", "alt_a", "alt_b",
+    "speed", "v", "p", "c", "r", "d", "lo", "hi", "tol", "value", "w",
+    "weight", "mean", "sse", "rmse", "r2", "adj_r2", "a", "b", "n", "t",
+}
+
+NVI_HOOK = re.compile(r"\b(do_run_\w+|do_generate_radar|on_terrain_attached)\b")
+FORBIDDEN_CALLS = (
+    re.compile(r"\bstd::rand\b"),
+    re.compile(r"(?<![\w:])srand\s*\("),
+    re.compile(r"(?<![\w:.])rand\s*\(\s*\)"),
+    re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&)"),
+    re.compile(r"\bstd::time\s*\("),
+    re.compile(r"\brandom_device\b"),
+)
+DOUBLE_PARAM = re.compile(
+    r"(?<![\w.])double\s+(\w+)\s*(?:=\s*[^,;()]+)?\s*[,)]")
+NOLINT = re.compile(r"NOLINT(NEXTLINE)?(\(([^)]*)\))?(.*)")
+BACKEND_CLASS = re.compile(r"class\s+(\w+Backend)[\w\s]*:\s*public\s+Backend")
+
+
+class Violation:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _waived(lines: list[str], idx: int, rule: str) -> bool:
+    """True when line idx (0-based) or the line above carries a waiver."""
+    tag = f"atm-lint: allow({rule})"
+    if tag in lines[idx]:
+        return True
+    return idx > 0 and tag in lines[idx - 1]
+
+
+# --- rules -------------------------------------------------------------------
+
+def check_nvi_private_final(path: Path, text: str) -> list[Violation]:
+    if path.name == "backend.hpp":
+        return []
+    out: list[Violation] = []
+    lines = text.splitlines()
+    access = "private"  # class bodies start private; structs don't override
+    class_final = False
+    # Join continuation lines so a hook's trailing `final`/`override` on the
+    # next physical line still counts as part of its declaration.
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        m = re.search(r"class\s+\w+[^;{]*", stripped)
+        if m and ("{" in line or ":" in stripped):
+            class_final = bool(re.search(r"class\s+\w+\s+final\b", stripped))
+            access = "private"
+        for spec in ("public", "protected", "private"):
+            if re.match(rf"{spec}\s*:", stripped):
+                access = spec
+        hook = NVI_HOOK.search(line)
+        if not hook or "=" in stripped.split("(")[0]:
+            continue
+        # Only declarations (not calls): require a type before the name or
+        # the name at the start of the line.
+        decl = re.search(rf"[\w>&\]]\s+{hook.group(1)}\s*\(", line) or \
+            re.match(rf"\s*{hook.group(1)}\s*\(", line)
+        if not decl:
+            continue
+        if _waived(lines, i, "nvi-private-final"):
+            continue
+        block = " ".join(lines[i:i + 6])
+        decl_text = block.split("{")[0].split(";")[0]
+        is_final = class_final or re.search(r"\bfinal\b", decl_text)
+        if access != "private":
+            out.append(Violation(
+                "nvi-private-final", path, i + 1,
+                f"{hook.group(1)} override must be private "
+                f"(found in {access} section)"))
+        elif not is_final:
+            out.append(Violation(
+                "nvi-private-final", path, i + 1,
+                f"{hook.group(1)} override must be final "
+                "(or the class must be)"))
+    return out
+
+
+def check_units_suffix(path: Path, text: str) -> list[Violation]:
+    out: list[Violation] = []
+    lines = text.splitlines()
+    for m in DOUBLE_PARAM.finditer(text):
+        name = m.group(1)
+        if name.endswith("_") or re.match(r"k[A-Z]", name):
+            continue  # members / constants, not parameters
+        if name in ALLOWED_NAMES:
+            continue
+        if UNIT_TOKENS.intersection(name.lower().split("_")):
+            continue
+        line_no = text.count("\n", 0, m.start()) + 1
+        if _waived(lines, line_no - 1, "units-suffix"):
+            continue
+        out.append(Violation(
+            "units-suffix", path, line_no,
+            f"double parameter '{name}' has no unit suffix "
+            "(use _nm/_ms/_periods/_feet/... or a units.hpp constant)"))
+    return out
+
+
+def check_no_nondeterminism(path: Path, text: str) -> list[Violation]:
+    out: list[Violation] = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        for pat in FORBIDDEN_CALLS:
+            if pat.search(line) and not _waived(lines, i, "no-nondeterminism"):
+                out.append(Violation(
+                    "no-nondeterminism", path, i + 1,
+                    f"forbidden nondeterminism source: "
+                    f"'{pat.search(line).group(0).strip()}' "
+                    "(use core::Rng with an explicit seed)"))
+    return out
+
+
+def check_nolint_reason(path: Path, text: str) -> list[Violation]:
+    out: list[Violation] = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        for m in NOLINT.finditer(line):
+            if _waived(lines, i, "nolint-reason"):
+                continue
+            checks, trailer = m.group(3), (m.group(4) or "").strip()
+            trailer = trailer.lstrip("*/ ").strip()  # close of /* */ comments
+            if not checks:
+                out.append(Violation(
+                    "nolint-reason", path, i + 1,
+                    "bare NOLINT: name the suppressed check, "
+                    "NOLINT(<check>): <reason>"))
+            elif not trailer.lstrip(":- "):
+                out.append(Violation(
+                    "nolint-reason", path, i + 1,
+                    f"NOLINT({checks}) has no reason: "
+                    "append ': <why this is safe>'"))
+    return out
+
+
+def check_backend_registration(src: Path) -> list[Violation]:
+    platforms = src / "atm" / "platforms.cpp"
+    if not platforms.is_file():
+        return []
+    registry = platforms.read_text(encoding="utf-8")
+    out: list[Violation] = []
+    for header in sorted((src / "atm").glob("*_backend.hpp")):
+        text = header.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        for m in BACKEND_CLASS.finditer(text):
+            line_no = text.count("\n", 0, m.start()) + 1
+            if _waived(lines, line_no - 1, "backend-registration"):
+                continue
+            if m.group(1) not in registry:
+                out.append(Violation(
+                    "backend-registration", header, line_no,
+                    f"{m.group(1)} is not constructed anywhere in "
+                    "src/atm/platforms.cpp: register a make_* factory"))
+    return out
+
+
+# --- driver ------------------------------------------------------------------
+
+def lint(root: Path) -> list[Violation]:
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_atm: no src/ under {root}", file=sys.stderr)
+        sys.exit(2)
+    violations: list[Violation] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp", ".h"):
+            continue
+        text = path.read_text(encoding="utf-8")
+        if path.suffix in (".hpp", ".h"):
+            violations += check_nvi_private_final(path, text)
+            violations += check_units_suffix(path, text)
+        violations += check_no_nondeterminism(path, text)
+        violations += check_nolint_reason(path, text)
+    violations += check_backend_registration(src)
+    return violations
+
+
+# --- self test ---------------------------------------------------------------
+
+_FIXTURE_CLEAN = {
+    "src/atm/platforms.cpp": """
+#include "src/atm/good_backend.hpp"
+std::unique_ptr<Backend> make_good() {
+  return std::make_unique<GoodBackend>();
+}
+""",
+    "src/atm/good_backend.hpp": """
+class GoodBackend final : public Backend {
+ public:
+  void load() override;
+ private:
+  Task1Result do_run_task1(RadarFrame& frame,
+                           const Task1Params& params) final;
+};
+double fly(double range_nm, double wait_periods = 2.0);
+int i = foo();  // NOLINT(bugprone-thing): fixture needs the raw call
+""",
+}
+
+_FIXTURE_VIOLATIONS = {
+    # one seeded violation per rule, each on a known line
+    "src/atm/bad_backend.hpp": """
+class BadBackend final : public Backend {
+ public:
+  Task1Result do_run_task1(RadarFrame& frame,
+                           const Task1Params& params) override;
+};
+class OrphanBackend final : public Backend {};
+double climb(double rate);
+""",
+    "src/core/clock.cpp": """
+#include <ctime>
+static long stamp() { return time(nullptr); }
+static int noise() { return std::rand(); }  // NOLINT
+""",
+}
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory(prefix="lint_atm_fixture_") as tmp:
+        root = Path(tmp)
+        for rel, content in {**_FIXTURE_CLEAN, **_FIXTURE_VIOLATIONS}.items():
+            dest = root / rel
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text(content, encoding="utf-8")
+        got = lint(root)
+        by_rule: dict[str, int] = {}
+        for v in got:
+            by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+        want = {
+            "nvi-private-final": 1,   # do_run_task1 public, not final
+            "units-suffix": 1,        # 'rate' unlabeled
+            "no-nondeterminism": 2,   # time(nullptr), std::rand
+            "backend-registration": 2,  # BadBackend + OrphanBackend
+            "nolint-reason": 1,       # bare NOLINT
+        }
+        ok = by_rule == want
+        if not ok:
+            print(f"self-test FAILED: want {want}, got {by_rule}",
+                  file=sys.stderr)
+            for v in got:
+                print(f"  {v}", file=sys.stderr)
+            return 1
+
+        # The clean fixture alone must produce nothing.
+        for rel in _FIXTURE_VIOLATIONS:
+            (root / rel).unlink()
+        leftover = lint(root)
+        if leftover:
+            print("self-test FAILED: clean fixture not clean:",
+                  file=sys.stderr)
+            for v in leftover:
+                print(f"  {v}", file=sys.stderr)
+            return 1
+    print("lint_atm self-test: ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] == "--self-test":
+        return self_test()
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    violations = lint(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_atm: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_atm: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
