@@ -110,9 +110,10 @@ void add_speedup_row(atm::core::TextTable& table, const std::string& task,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace atm;
-  const tasks::Scenario scenario = tasks::dense_en_route();
+  const tasks::Scenario scenario =
+      bench::scenario_from_args(argc, argv, tasks::dense_en_route());
   const std::vector<std::size_t> sweep{1000, 3000, 6000};
 
   core::TextTable table({"task", "backend", "aircraft", "brute [ms]",

@@ -13,6 +13,30 @@
 
 namespace atm::bench {
 
+tasks::Scenario scenario_from_args(int argc, char** argv,
+                                   const tasks::Scenario& fallback) {
+  std::string key;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scenario" && i + 1 < argc) {
+      key = argv[i + 1];
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      key = arg.substr(std::string("--scenario=").size());
+    }
+  }
+  if (key.empty()) return fallback;
+  tasks::Scenario chosen;
+  if (!tasks::scenario_by_name(key, chosen)) {
+    std::cerr << "unknown scenario '" << key << "'; available:";
+    for (const std::string& name : tasks::scenario_names()) {
+      std::cerr << ' ' << name;
+    }
+    std::cerr << '\n';
+    std::exit(2);
+  }
+  return chosen;
+}
+
 obs::TraceSink* bench_trace_sink() {
   static const std::unique_ptr<obs::JsonlTraceSink> sink = [] {
     std::unique_ptr<obs::JsonlTraceSink> s;

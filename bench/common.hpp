@@ -12,10 +12,19 @@
 #include <vector>
 
 #include "src/atm/backend.hpp"
+#include "src/atm/scenarios.hpp"
 #include "src/core/curvefit.hpp"
 #include "src/obs/trace.hpp"
 
 namespace atm::bench {
+
+/// Parse an optional `--scenario <name>` (or `--scenario=<name>`) flag
+/// from a bench's argv, resolving it through the scenario registry.
+/// Returns `fallback` when the flag is absent; prints the registry names
+/// and calls std::exit(2) on an unknown name. Other arguments are left
+/// for the bench to interpret.
+[[nodiscard]] tasks::Scenario scenario_from_args(
+    int argc, char** argv, const tasks::Scenario& fallback);
 
 /// Process-wide trace sink for the figure benches. When the
 /// ATM_BENCH_TRACE environment variable names a file, every

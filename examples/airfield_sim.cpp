@@ -12,6 +12,7 @@
 #include "src/airfield/setup.hpp"
 #include "src/atm/pipeline.hpp"
 #include "src/atm/platforms.hpp"
+#include "src/atm/scenarios.hpp"
 #include "src/core/table.hpp"
 
 int main(int argc, char** argv) {
@@ -32,10 +33,10 @@ int main(int argc, char** argv) {
                          "correlated", "conflicts", "critical", "resolved",
                          "re-entries"});
   for (int cycle = 0; cycle < cycles; ++cycle) {
-    tasks::PipelineConfig cfg;
+    tasks::PipelineConfig cfg = tasks::make_pipeline_config(
+        tasks::paper_airfield(), /*major_cycles=*/1,
+        /*seed=*/31 + static_cast<std::uint64_t>(cycle));
     cfg.aircraft = aircraft;  // informational; state already loaded
-    cfg.major_cycles = 1;
-    cfg.seed = 31 + static_cast<std::uint64_t>(cycle);
     cfg.preloaded = true;
     const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
 

@@ -15,6 +15,11 @@
 //   --broadphase MODE      brute | grid: host-path candidate enumeration
 //                          for Task 1 and Tasks 2+3 (default: scenario's;
 //                          outcomes identical either way)
+//   --shard MODE           none | sectors: host-path sector sharding —
+//                          sectors runs Task 1 and Tasks 2+3 per airfield
+//                          sector on the thread pool (default: scenario's;
+//                          outcomes identical either way)
+//   --sectors N            sectors per axis in sectors mode (default 4)
 //   --multi-radar          use the multi-tower radar environment
 //   --full                 run the complete ATM system (terrain, display,
 //                          advisory, sporadic) instead of the core tasks
@@ -75,6 +80,8 @@ int main(int argc, char** argv) {
   int retrace_id = -1;
   std::string trace_path;
   std::string broadphase_key;
+  std::string shard_key;
+  int sectors_per_axis = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,6 +105,12 @@ int main(int argc, char** argv) {
       broadphase_key = next();
     } else if (arg.rfind("--broadphase=", 0) == 0) {
       broadphase_key = arg.substr(std::strlen("--broadphase="));
+    } else if (arg == "--shard") {
+      shard_key = next();
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      shard_key = arg.substr(std::strlen("--shard="));
+    } else if (arg == "--sectors") {
+      sectors_per_axis = std::atoi(next());
     } else if (arg == "--multi-radar") {
       multi_radar = true;
     } else if (arg == "--full") {
@@ -121,16 +134,11 @@ int main(int argc, char** argv) {
     std::cerr << "unknown platform '" << platform_key << "' (try --list)\n";
     return 2;
   }
-  const tasks::Scenario* scenario = nullptr;
-  static const auto scenarios = tasks::all_scenarios();
-  for (const tasks::Scenario& s : scenarios) {
-    if (s.name == scenario_key) scenario = &s;
-  }
-  if (scenario == nullptr) {
+  tasks::Scenario chosen;
+  if (!tasks::scenario_by_name(scenario_key, chosen)) {
     std::cerr << "unknown scenario '" << scenario_key << "' (try --list)\n";
     return 2;
   }
-  tasks::Scenario chosen = *scenario;
   if (!broadphase_key.empty()) {
     const auto mode = core::spatial::parse_broadphase(broadphase_key);
     if (!mode.has_value()) {
@@ -140,11 +148,27 @@ int main(int argc, char** argv) {
     }
     chosen.broadphase = *mode;
   }
+  if (!shard_key.empty()) {
+    const auto mode = core::spatial::parse_shard_mode(shard_key);
+    if (!mode.has_value()) {
+      std::cerr << "unknown shard mode '" << shard_key
+                << "' (use none or sectors)\n";
+      return 2;
+    }
+    chosen.shard = *mode;
+  }
+  if (sectors_per_axis > 0) chosen.sectors_per_axis = sectors_per_axis;
 
   std::cout << "platform : " << backend->name() << "\n"
             << "scenario : " << chosen.name << "\n"
             << "broadphase : " << core::spatial::to_string(chosen.broadphase)
-            << "\n";
+            << "\n"
+            << "shard    : " << core::spatial::to_string(chosen.shard);
+  if (chosen.shard == core::spatial::ShardMode::kSectors) {
+    std::cout << " (" << chosen.sectors_per_axis << "x"
+              << chosen.sectors_per_axis << ")";
+  }
+  std::cout << "\n";
 
   std::unique_ptr<obs::JsonlTraceSink> trace;
   if (!trace_path.empty()) {

@@ -16,6 +16,7 @@
 
 #include "src/atm/pipeline.hpp"
 #include "src/atm/platforms.hpp"
+#include "src/atm/scenarios.hpp"
 #include "src/core/table.hpp"
 #include "src/obs/jsonl_sink.hpp"
 
@@ -54,9 +55,9 @@ int main(int argc, char** argv) {
 
   for (auto make : {&tasks::make_titan_x_pascal, &tasks::make_xeon}) {
     auto backend = make();
-    tasks::PipelineConfig cfg;
+    tasks::PipelineConfig cfg =
+        tasks::make_pipeline_config(tasks::paper_airfield());
     cfg.aircraft = aircraft;
-    cfg.major_cycles = 1;
     cfg.trace = trace.get();
     const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
 

@@ -13,6 +13,7 @@
 
 #include "src/atm/extended/full_pipeline.hpp"
 #include "src/atm/platforms.hpp"
+#include "src/atm/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace atm;
@@ -28,10 +29,9 @@ int main(int argc, char** argv) {
   }
 
   auto backend = tasks::make_titan_x_pascal();
-  tasks::extended::FullSystemConfig cfg;
+  tasks::extended::FullSystemConfig cfg = tasks::make_full_config(
+      tasks::paper_airfield(), /*major_cycles=*/2, /*seed=*/2018);
   cfg.aircraft = aircraft;
-  cfg.major_cycles = 2;
-  cfg.seed = 2018;
   cfg.multi_radar = multi_radar;
 
   const auto result = tasks::extended::run_full_system(*backend, cfg);

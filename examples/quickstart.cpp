@@ -5,7 +5,7 @@
 //
 // This is the smallest end-to-end use of the library:
 //   1. pick a platform backend (any of the paper's six),
-//   2. describe the workload with PipelineConfig,
+//   2. pick a scenario and instantiate its PipelineConfig,
 //   3. run the real-time pipeline,
 //   4. read the deadline monitor and task statistics.
 #include <cstdlib>
@@ -13,6 +13,7 @@
 
 #include "src/atm/pipeline.hpp"
 #include "src/atm/platforms.hpp"
+#include "src/atm/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace atm;
@@ -23,13 +24,13 @@ int main(int argc, char** argv) {
   // 1. The platform: the paper's research card.
   auto backend = tasks::make_titan_x_pascal();
 
-  // 2. The workload: one major cycle = 16 half-second periods with
-  //    Task 1 (tracking & correlation) every period and Tasks 2+3
-  //    (collision detection & resolution) at the end of the cycle.
-  tasks::PipelineConfig cfg;
+  // 2. The workload: the paper's airfield scenario for one major cycle =
+  //    16 half-second periods with Task 1 (tracking & correlation) every
+  //    period and Tasks 2+3 (collision detection & resolution) at the end
+  //    of the cycle. Any seed reproduces exactly on this platform.
+  tasks::PipelineConfig cfg = tasks::make_pipeline_config(
+      tasks::paper_airfield(), /*major_cycles=*/1, /*seed=*/2018);
   cfg.aircraft = aircraft;
-  cfg.major_cycles = 1;
-  cfg.seed = 2018;  // any seed reproduces exactly on this platform
 
   // 3. Run it.
   const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);

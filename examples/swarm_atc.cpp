@@ -3,16 +3,17 @@
 //
 //   $ ./swarm_atc [drones]
 //
-// Demonstrates: customizing the airfield (SetupParams) and the task
-// parameters for a different vehicle class — slow, low-flying drones in a
-// tight operating box with a much smaller separation requirement — while
-// reusing the whole pipeline unchanged.
+// Demonstrates: the drone-swarm scenario — slow, low-flying drones in a
+// tight operating box with a much smaller separation requirement (0.5 nm
+// band, 200 ft gate, 15-degree turn steps up to 90) — driving the whole
+// pipeline unchanged through its scenario preset.
 #include <cstdlib>
 #include <iostream>
 
 #include "src/airfield/setup.hpp"
 #include "src/atm/pipeline.hpp"
 #include "src/atm/platforms.hpp"
+#include "src/atm/scenarios.hpp"
 #include "src/core/table.hpp"
 
 int main(int argc, char** argv) {
@@ -21,36 +22,13 @@ int main(int argc, char** argv) {
   const std::size_t drones =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 96;
 
-  // A 8 nm x 8 nm operating box; 20-80 knot drones between 100 and
-  // 1200 feet.
-  airfield::SetupParams swarm;
-  swarm.position_max_nm = 4.0;
-  swarm.min_speed_knots = 20.0;
-  swarm.max_speed_knots = 80.0;
-  swarm.min_altitude_feet = 100.0;
-  swarm.max_altitude_feet = 1200.0;
-
-  // Drone separation: a 0.5 nm total band (vs 3 nm for airliners), a
-  // 200 ft vertical gate, a 5-minute look-ahead, 1 minute critical, and
-  // sharper turns (15-degree steps up to 90: drones can yaw hard).
-  tasks::Task23Params separation;
-  separation.band_nm = 0.5;
-  separation.altitude_gate_feet = 200.0;
-  separation.horizon_periods = core::seconds_to_periods(5 * 60);
-  separation.critical_periods = core::seconds_to_periods(60);
-  separation.turn_step_deg = 15.0;
-  separation.turn_max_deg = 90.0;
-
-  // Tight radar: drones report GPS-grade positions.
-  airfield::RadarParams radar;
-  radar.noise_nm = 0.02;
-
-  tasks::Task1Params tracking;
-  tracking.box_half_nm = 0.05;  // 0.1 nm correlation box
+  // The Section 7.2 workload is a named scenario: an 8 nm x 8 nm box of
+  // 20-80 knot drones under 1200 ft, GPS-grade reports, drone separation.
+  const tasks::Scenario swarm = tasks::drone_swarm();
 
   // The mobile ATM center is a laptop: the paper's GTX 880M.
   auto backend = tasks::make_gtx_880m();
-  backend->load(airfield::make_airfield(drones, 2024, swarm));
+  backend->load(airfield::make_airfield(drones, 2024, swarm.setup));
 
   std::cout << "swarm ATM: " << drones << " drones in an 8 nm box on "
             << backend->name() << "\n\n";
@@ -59,13 +37,10 @@ int main(int argc, char** argv) {
                          "resolved", "unresolved", "avg task1 [ms]",
                          "task23 [ms]"});
   for (int cycle = 0; cycle < 4; ++cycle) {
-    tasks::PipelineConfig cfg;
+    tasks::PipelineConfig cfg = tasks::make_pipeline_config(
+        swarm, /*major_cycles=*/1,
+        /*seed=*/2024 + static_cast<std::uint64_t>(cycle));
     cfg.aircraft = drones;
-    cfg.major_cycles = 1;
-    cfg.seed = 2024 + static_cast<std::uint64_t>(cycle);
-    cfg.radar = radar;
-    cfg.task1 = tracking;
-    cfg.task23 = separation;
     cfg.preloaded = true;
     const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
     table.begin_row();

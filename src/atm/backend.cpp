@@ -27,9 +27,26 @@ void Backend::emit_task_event(std::string_view task, double modeled_ms,
   ev.conflicts = detail.conflicts;
   ev.resolved = detail.resolved;
   ev.broadphase = detail.broadphase;
+  ev.shard = detail.shard;
+  ev.sectors = detail.sectors;
+  ev.halo_candidates = detail.halo_candidates;
   ev.box_tests = detail.box_tests;
   ev.pair_candidates = detail.pair_candidates;
   ev.pair_tests = detail.pair_tests;
+  trace_->record(ev);
+}
+
+void Backend::emit_sector_counter(std::string_view counter, int sector,
+                                  std::uint64_t value) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kCounter;
+  ev.name = counter;
+  ev.backend = name();
+  ev.cycle = trace_cycle_;
+  ev.period = trace_period_;
+  ev.sector = sector;
+  ev.value = value;
   trace_->record(ev);
 }
 
@@ -41,6 +58,12 @@ Task1Result Backend::run_task1(airfield::RadarFrame& frame,
   TaskEventDetail detail;
   detail.passes = result.stats.passes;
   detail.broadphase = core::spatial::to_string(params.broadphase);
+  detail.shard = core::spatial::to_string(params.shard);
+  if (result.stats.sectors > 0) {
+    detail.sectors = result.stats.sectors;
+    detail.halo_candidates =
+        static_cast<std::int64_t>(result.stats.halo_candidates);
+  }
   detail.box_tests = static_cast<std::int64_t>(result.stats.box_tests);
   emit_task_event("task1", result.modeled_ms, sw.elapsed_ms(), detail);
   return result;
@@ -54,6 +77,12 @@ Task23Result Backend::run_task23(const Task23Params& params) {
   detail.conflicts = static_cast<std::int64_t>(result.stats.conflicts);
   detail.resolved = static_cast<std::int64_t>(result.stats.resolved);
   detail.broadphase = core::spatial::to_string(params.broadphase);
+  detail.shard = core::spatial::to_string(params.shard);
+  if (result.stats.sectors > 0) {
+    detail.sectors = result.stats.sectors;
+    detail.halo_candidates =
+        static_cast<std::int64_t>(result.stats.halo_candidates);
+  }
   detail.pair_candidates =
       static_cast<std::int64_t>(result.stats.pair_candidates);
   detail.pair_tests = static_cast<std::int64_t>(result.stats.pair_tests);

@@ -156,6 +156,13 @@ class Backend {
     return terrain_.get();
   }
 
+  /// Emit one per-sector kCounter event (e.g. "task23.sector_owned") when
+  /// a sink is attached; no-op otherwise. The sharded host backends call
+  /// this once per sector after a sharded run so sinks can roll up load
+  /// balance per sector.
+  void emit_sector_counter(std::string_view counter, int sector,
+                           std::uint64_t value);
+
  private:
   /// Optional outcome/work detail attached to a kTask event. Sentinel
   /// values (-1, empty) mean "not applicable" and sinks omit them.
@@ -164,6 +171,9 @@ class Backend {
     std::int64_t conflicts = -1;
     std::int64_t resolved = -1;
     std::string_view broadphase = {};
+    std::string_view shard = {};
+    int sectors = -1;
+    std::int64_t halo_candidates = -1;
     std::int64_t box_tests = -1;
     std::int64_t pair_candidates = -1;
     std::int64_t pair_tests = -1;

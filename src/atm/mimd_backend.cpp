@@ -45,6 +45,36 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
                                    const Task1Params& params) {
   const std::size_t n = db_.size();
   Task1Result result;
+
+  if (params.shard == core::spatial::ShardMode::kSectors) {
+    // Sector-sharded executive: sector tasks gather private snapshots and
+    // scan lock-free. The model charges one locked read per gathered
+    // record instead of one per inner-loop access — the sharding's whole
+    // point is that the [13] shared-record reader locks (and their
+    // contention) disappear from the hot loop.
+    mimd::WorkCounters work;
+    work.items = n;
+    sharded::ShardTelemetry telemetry;
+    result.stats = sharded::correlate_and_track(db_, frame, pool_,
+                                                shard_scratch_, params,
+                                                &telemetry);
+    work.inner_ops = telemetry.inner_ops;
+    work.locked_ops = telemetry.gather_ops + locks_.acquisitions();
+    work.contended = locks_.contended();
+    work.parallel_regions = telemetry.parallel_regions;
+    locks_.reset_counters();
+    last_work_ = work;
+    result.modeled_ms = model_.model_ms(work, jitter_rng_);
+    for (int s = 0; s < telemetry.sectors; ++s) {
+      emit_sector_counter("task1.sector_owned", s,
+                          telemetry.sector_owned[static_cast<std::size_t>(s)]);
+      emit_sector_counter(
+          "task1.sector_candidates", s,
+          telemetry.sector_candidates[static_cast<std::size_t>(s)]);
+    }
+    return result;
+  }
+
   result.stats.radars = frame.size();
   // Per-radar scratch; the frame can carry more returns than aircraft.
   nhits_.resize(frame.size());
@@ -215,6 +245,30 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
 Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
   const std::size_t n = db_.size();
   Task23Result result;
+
+  if (params.shard == core::spatial::ShardMode::kSectors) {
+    mimd::WorkCounters work;
+    work.items = n;
+    sharded::ShardTelemetry telemetry;
+    result.stats = sharded::detect_and_resolve(db_, pool_, shard_scratch_,
+                                               params, &telemetry);
+    work.inner_ops = telemetry.inner_ops;
+    work.locked_ops = telemetry.gather_ops + locks_.acquisitions();
+    work.contended = locks_.contended();
+    work.parallel_regions = telemetry.parallel_regions;
+    locks_.reset_counters();
+    last_work_ = work;
+    result.modeled_ms = model_.model_ms(work, jitter_rng_);
+    for (int s = 0; s < telemetry.sectors; ++s) {
+      emit_sector_counter("task23.sector_owned", s,
+                          telemetry.sector_owned[static_cast<std::size_t>(s)]);
+      emit_sector_counter(
+          "task23.sector_candidates", s,
+          telemetry.sector_candidates[static_cast<std::size_t>(s)]);
+    }
+    return result;
+  }
+
   result.stats.aircraft = n;
 
   mimd::WorkCounters work;

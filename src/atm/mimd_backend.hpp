@@ -21,6 +21,7 @@
 #pragma once
 
 #include "src/atm/backend.hpp"
+#include "src/atm/sharded.hpp"
 #include "src/core/spatial/swept_index.hpp"
 #include "src/core/spatial/uniform_grid.hpp"
 #include "src/mimd/thread_pool.hpp"
@@ -86,6 +87,11 @@ class MimdBackend final : public Backend {
   std::vector<std::uint8_t> eligible_;
   core::spatial::UniformGrid2D grid_;
   core::spatial::SweptIndex swept_;
+
+  // Sector-sharded executive (ShardMode::kSectors): per-sector snapshot
+  // buffers, reused across periods. The gather copies replace the [13]
+  // reader locks in the cost model — see do_run_task1/do_run_task23.
+  sharded::ShardScratch shard_scratch_;
 };
 
 }  // namespace atm::tasks

@@ -5,11 +5,30 @@
 
 namespace atm::tasks {
 
+mimd::ThreadPool& ReferenceBackend::shard_pool() {
+  if (pool_ == nullptr) pool_ = std::make_unique<mimd::ThreadPool>();
+  return *pool_;
+}
+
 Task1Result ReferenceBackend::do_run_task1(airfield::RadarFrame& frame,
                                            const Task1Params& params) {
   const rt::Stopwatch sw;
   Task1Result result;
-  result.stats = reference::correlate_and_track(db_, frame, scratch_, params);
+  if (params.shard == core::spatial::ShardMode::kSectors) {
+    sharded::ShardTelemetry telemetry;
+    result.stats = sharded::correlate_and_track(
+        db_, frame, shard_pool(), shard_scratch_, params, &telemetry);
+    for (int s = 0; s < telemetry.sectors; ++s) {
+      emit_sector_counter("task1.sector_owned", s,
+                          telemetry.sector_owned[static_cast<std::size_t>(s)]);
+      emit_sector_counter(
+          "task1.sector_candidates", s,
+          telemetry.sector_candidates[static_cast<std::size_t>(s)]);
+    }
+  } else {
+    result.stats =
+        reference::correlate_and_track(db_, frame, scratch_, params);
+  }
   result.modeled_ms = sw.elapsed_ms();
   return result;
 }
@@ -17,7 +36,21 @@ Task1Result ReferenceBackend::do_run_task1(airfield::RadarFrame& frame,
 Task23Result ReferenceBackend::do_run_task23(const Task23Params& params) {
   const rt::Stopwatch sw;
   Task23Result result;
-  result.stats = reference::detect_and_resolve(db_, params);
+  if (params.shard == core::spatial::ShardMode::kSectors) {
+    sharded::ShardTelemetry telemetry;
+    result.stats = sharded::detect_and_resolve(db_, shard_pool(),
+                                               shard_scratch_, params,
+                                               &telemetry);
+    for (int s = 0; s < telemetry.sectors; ++s) {
+      emit_sector_counter("task23.sector_owned", s,
+                          telemetry.sector_owned[static_cast<std::size_t>(s)]);
+      emit_sector_counter(
+          "task23.sector_candidates", s,
+          telemetry.sector_candidates[static_cast<std::size_t>(s)]);
+    }
+  } else {
+    result.stats = reference::detect_and_resolve(db_, params);
+  }
   result.modeled_ms = sw.elapsed_ms();
   return result;
 }

@@ -4,8 +4,11 @@
 // paper's platforms).
 #pragma once
 
+#include <memory>
+
 #include "src/atm/backend.hpp"
 #include "src/atm/reference/correlate.hpp"
+#include "src/atm/sharded.hpp"
 
 namespace atm::tasks {
 
@@ -32,8 +35,14 @@ class ReferenceBackend : public Backend {
   Task23Result do_run_task23(const Task23Params& params) override;
 
  private:
+  /// The pool the sharded paths run on; created on the first sharded call
+  /// (the plain sequential reference never pays for worker threads).
+  mimd::ThreadPool& shard_pool();
+
   airfield::FlightDb db_;
   reference::Task1Scratch scratch_;
+  std::unique_ptr<mimd::ThreadPool> pool_;
+  sharded::ShardScratch shard_scratch_;
 };
 
 }  // namespace atm::tasks

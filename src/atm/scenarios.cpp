@@ -1,5 +1,7 @@
 #include "src/atm/scenarios.hpp"
 
+#include <utility>
+
 namespace atm::tasks {
 
 Scenario paper_airfield() {
@@ -89,18 +91,26 @@ std::vector<Scenario> all_scenarios() {
           terminal_area(), drone_swarm()};
 }
 
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const Scenario& s : all_scenarios()) names.push_back(s.name);
+  return names;
+}
+
+bool scenario_by_name(std::string_view name, Scenario& out) {
+  for (Scenario& s : all_scenarios()) {
+    if (s.name == name) {
+      out = std::move(s);
+      return true;
+    }
+  }
+  return false;
+}
+
 PipelineConfig make_pipeline_config(const Scenario& scenario,
                                     int major_cycles, std::uint64_t seed) {
   PipelineConfig cfg;
-  cfg.aircraft = scenario.default_aircraft;
-  cfg.major_cycles = major_cycles;
-  cfg.seed = seed;
-  cfg.setup = scenario.setup;
-  cfg.radar = scenario.radar;
-  cfg.task1 = scenario.task1;
-  cfg.task23 = scenario.task23;
-  cfg.task1.broadphase = scenario.broadphase;
-  cfg.task23.broadphase = scenario.broadphase;
+  apply(scenario, cfg, major_cycles, seed);
   return cfg;
 }
 
@@ -108,15 +118,7 @@ extended::FullSystemConfig make_full_config(const Scenario& scenario,
                                             int major_cycles,
                                             std::uint64_t seed) {
   extended::FullSystemConfig cfg;
-  cfg.aircraft = scenario.default_aircraft;
-  cfg.major_cycles = major_cycles;
-  cfg.seed = seed;
-  cfg.setup = scenario.setup;
-  cfg.radar = scenario.radar;
-  cfg.task1 = scenario.task1;
-  cfg.task23 = scenario.task23;
-  cfg.task1.broadphase = scenario.broadphase;
-  cfg.task23.broadphase = scenario.broadphase;
+  apply(scenario, cfg, major_cycles, seed);
   cfg.terrain = scenario.terrain;
   cfg.advisory = scenario.advisory;
   return cfg;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/airfield/radar.hpp"
@@ -33,6 +34,11 @@ struct Scenario {
   /// yields identical task outcomes (see src/core/spatial/).
   core::spatial::BroadphaseMode broadphase =
       core::spatial::BroadphaseMode::kBruteForce;
+  /// Host-path sector sharding for both Task 1 and Tasks 2+3; copied into
+  /// the task bundles alongside `broadphase`. Either value yields
+  /// identical task outcomes (see src/core/spatial/sectors.hpp).
+  core::spatial::ShardMode shard = core::spatial::ShardMode::kNone;
+  int sectors_per_axis = 4;
 };
 
 /// The paper's evaluation setup: a 256 nm field, 30-600 knot traffic at
@@ -57,6 +63,37 @@ struct Scenario {
 
 /// Every scenario above, for sweep-style tests and demos.
 [[nodiscard]] std::vector<Scenario> all_scenarios();
+
+/// Registry: the names of every scenario, in all_scenarios() order. For
+/// `--scenario <name>` listings in CLIs and benches.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Registry lookup by name ("paper-airfield", "dense-en-route", ...).
+/// Returns false (leaving `out` untouched) for an unknown name.
+[[nodiscard]] bool scenario_by_name(std::string_view name, Scenario& out);
+
+/// Copy a scenario's workload knobs into a config. The single place the
+/// Scenario -> config field mapping lives: works for PipelineConfig,
+/// extended::FullSystemConfig, and any config exposing the same fields.
+/// The per-scenario broadphase/shard knobs fan out into both task bundles
+/// here, so callers configure the host paths exactly once.
+template <typename Config>
+void apply(const Scenario& scenario, Config& cfg, int major_cycles,
+           std::uint64_t seed) {
+  cfg.aircraft = scenario.default_aircraft;
+  cfg.major_cycles = major_cycles;
+  cfg.seed = seed;
+  cfg.setup = scenario.setup;
+  cfg.radar = scenario.radar;
+  cfg.task1 = scenario.task1;
+  cfg.task23 = scenario.task23;
+  cfg.task1.broadphase = scenario.broadphase;
+  cfg.task23.broadphase = scenario.broadphase;
+  cfg.task1.shard = scenario.shard;
+  cfg.task23.shard = scenario.shard;
+  cfg.task1.sectors_per_axis = scenario.sectors_per_axis;
+  cfg.task23.sectors_per_axis = scenario.sectors_per_axis;
+}
 
 /// Instantiate a core-pipeline configuration from a scenario.
 [[nodiscard]] PipelineConfig make_pipeline_config(const Scenario& scenario,

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "src/core/spatial/broadphase.hpp"
+#include "src/core/spatial/sectors.hpp"
 #include "src/core/units.hpp"
 
 namespace atm::tasks {
@@ -23,6 +24,15 @@ struct Task1Params {
   /// ClearSpeed, SIMD) ignore this field.
   core::spatial::BroadphaseMode broadphase =
       core::spatial::BroadphaseMode::kBruteForce;
+  /// Sector sharding on the host paths: kSectors partitions the airfield
+  /// into sectors_per_axis^2 sectors per pass and runs each sector's
+  /// radar scan as an independent thread-pool task over its candidate
+  /// (owned + halo) set. Outcomes are identical to the monolithic scan
+  /// by construction (see src/core/spatial/sectors.hpp); composes with
+  /// `broadphase`, which then prunes inside each sector. Platform
+  /// backends modeling fixed all-pairs hardware ignore this field.
+  core::spatial::ShardMode shard = core::spatial::ShardMode::kNone;
+  int sectors_per_axis = 4;
 };
 
 /// Tasks 2+3 (collision detection & resolution) parameters.
@@ -41,6 +51,13 @@ struct Task23Params {
   /// differ. Platform backends modeling all-pairs hardware ignore this.
   core::spatial::BroadphaseMode broadphase =
       core::spatial::BroadphaseMode::kBruteForce;
+  /// Sector sharding on the host paths: kSectors runs detection and the
+  /// trial rotations per sector over a gathered per-sector snapshot.
+  /// Outcomes are identical to the monolithic scan by construction;
+  /// composes with `broadphase` (a per-sector swept index). Platform
+  /// backends modeling all-pairs hardware ignore this field.
+  core::spatial::ShardMode shard = core::spatial::ShardMode::kNone;
+  int sectors_per_axis = 4;
 };
 
 /// Outcome counters of one Task 1 run.
@@ -54,6 +71,10 @@ struct Task1Stats {
   int passes = 0;                       ///< Bounding-box passes run (1..3).
   std::uint64_t box_tests = 0;          ///< Work: bounding-box membership
                                         ///< tests executed.
+  int sectors = 0;               ///< Work: sectors the run sharded into
+                                 ///< (0 = unsharded).
+  std::uint64_t halo_candidates = 0;  ///< Work: ghost entries the sector
+                                      ///< halos added across all passes.
 
   friend bool operator==(const Task1Stats&, const Task1Stats&) = default;
 };
@@ -70,6 +91,10 @@ struct Task23Stats {
                                       ///< altitude gate (broadphase output;
                                       ///< n-1 per scan under brute force).
   std::uint64_t rescans = 0;     ///< Work: full trial-path re-checks.
+  int sectors = 0;               ///< Work: sectors the run sharded into
+                                 ///< (0 = unsharded).
+  std::uint64_t halo_candidates = 0;  ///< Work: ghost entries the sector
+                                      ///< halos added.
 
   friend bool operator==(const Task23Stats&, const Task23Stats&) = default;
 };

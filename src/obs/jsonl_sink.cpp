@@ -89,6 +89,13 @@ std::string JsonlTraceSink::to_json(const TraceEvent& ev) {
     field_int(line, "resolved", static_cast<long long>(ev.resolved));
   }
   if (!ev.broadphase.empty()) field_str(line, "broadphase", ev.broadphase);
+  if (!ev.shard.empty()) field_str(line, "shard", ev.shard);
+  if (ev.sectors >= 0) field_int(line, "sectors", ev.sectors);
+  if (ev.halo_candidates >= 0) {
+    field_int(line, "halo_candidates",
+              static_cast<long long>(ev.halo_candidates));
+  }
+  if (ev.sector >= 0) field_int(line, "sector", ev.sector);
   if (ev.box_tests >= 0) {
     field_int(line, "box_tests", static_cast<long long>(ev.box_tests));
   }

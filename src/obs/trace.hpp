@@ -51,6 +51,10 @@ struct TraceEvent {
   std::int64_t conflicts = -1;  ///< Tasks 2+3 conflict count.
   std::int64_t resolved = -1;   ///< Tasks 2+3 resolution count.
   std::string broadphase;       ///< "brute" | "grid" ("" = not applicable).
+  std::string shard;            ///< "none" | "sectors" ("" = n/a).
+  int sectors = -1;             ///< Sector count of a sharded run.
+  std::int64_t halo_candidates = -1;  ///< Ghost entries the halos added.
+  int sector = -1;              ///< Sector index of a per-sector counter.
   std::int64_t box_tests = -1;       ///< Task-1 box membership tests.
   std::int64_t pair_candidates = -1; ///< Tasks 2+3 pairs enumerated
                                      ///< (pre-altitude-gate).

@@ -31,6 +31,13 @@ followed by a reason):
                         single factory surface benches and the CLI use.
   nolint-reason         NOLINT comments must name the suppressed check
                         and give a reason: `NOLINT(<check>): <why>`.
+  scenario-configs      examples/ must not default-construct
+                        PipelineConfig / FullSystemConfig and hand-fill
+                        the workload fields; instantiate through
+                        make_pipeline_config / make_full_config (the
+                        scenario registry) so every example states *what*
+                        it simulates and picks up scenario-wide knobs
+                        (broadphase, sharding) from the single surface.
 
 Usage:
   lint_atm.py [ROOT]    lint ROOT (default: repo root containing tools/)
@@ -55,6 +62,7 @@ RULES = (
     "no-nondeterminism",
     "backend-registration",
     "nolint-reason",
+    "scenario-configs",
 )
 
 # --- units-suffix vocabulary -------------------------------------------------
@@ -89,6 +97,8 @@ DOUBLE_PARAM = re.compile(
     r"(?<![\w.])double\s+(\w+)\s*(?:=\s*[^,;()]+)?\s*[,)]")
 NOLINT = re.compile(r"NOLINT(NEXTLINE)?(\(([^)]*)\))?(.*)")
 BACKEND_CLASS = re.compile(r"class\s+(\w+Backend)[\w\s]*:\s*public\s+Backend")
+HANDROLLED_CONFIG = re.compile(
+    r"\b(?:\w+::)*(PipelineConfig|FullSystemConfig)\s+\w+\s*;")
 
 
 class Violation:
@@ -214,6 +224,22 @@ def check_nolint_reason(path: Path, text: str) -> list[Violation]:
     return out
 
 
+def check_scenario_configs(path: Path, text: str) -> list[Violation]:
+    out: list[Violation] = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        m = HANDROLLED_CONFIG.search(line)
+        if not m or _waived(lines, i, "scenario-configs"):
+            continue
+        maker = ("make_pipeline_config" if m.group(1) == "PipelineConfig"
+                 else "make_full_config")
+        out.append(Violation(
+            "scenario-configs", path, i + 1,
+            f"hand-rolled {m.group(1)} in an example: instantiate via "
+            f"{maker}(<scenario>, ...) and override fields after"))
+    return out
+
+
 def check_backend_registration(src: Path) -> list[Violation]:
     platforms = src / "atm" / "platforms.cpp"
     if not platforms.is_file():
@@ -253,6 +279,11 @@ def lint(root: Path) -> list[Violation]:
         violations += check_no_nondeterminism(path, text)
         violations += check_nolint_reason(path, text)
     violations += check_backend_registration(src)
+    examples = root / "examples"
+    if examples.is_dir():
+        for path in sorted(examples.rglob("*.cpp")):
+            violations += check_scenario_configs(
+                path, path.read_text(encoding="utf-8"))
     return violations
 
 
@@ -276,6 +307,12 @@ class GoodBackend final : public Backend {
 double fly(double range_nm, double wait_periods = 2.0);
 int i = foo();  // NOLINT(bugprone-thing): fixture needs the raw call
 """,
+    "examples/good_example.cpp": """
+int main() {
+  tasks::PipelineConfig cfg = tasks::make_pipeline_config(scenario);
+  cfg.aircraft = 42;
+}
+""",
 }
 
 _FIXTURE_VIOLATIONS = {
@@ -293,6 +330,12 @@ double climb(double rate);
 #include <ctime>
 static long stamp() { return time(nullptr); }
 static int noise() { return std::rand(); }  // NOLINT
+""",
+    "examples/bad_example.cpp": """
+int main() {
+  tasks::PipelineConfig cfg;
+  cfg.aircraft = 42;
+}
 """,
 }
 
@@ -314,6 +357,7 @@ def self_test() -> int:
             "no-nondeterminism": 2,   # time(nullptr), std::rand
             "backend-registration": 2,  # BadBackend + OrphanBackend
             "nolint-reason": 1,       # bare NOLINT
+            "scenario-configs": 1,    # hand-rolled PipelineConfig
         }
         ok = by_rule == want
         if not ok:

@@ -16,7 +16,12 @@ schema). The summary prints, per backend:
     least one missed or skipped deadline, so a clean run prints none, and
   * a broadphase pruning table — per (task, broadphase mode), the mean
     candidate pairs enumerated per period and the mean exact tests that
-    survived, so grid vs brute effectiveness is visible from one trace.
+    survived, so grid vs brute effectiveness is visible from one trace,
+    and
+  * a per-sector rollup — for sharded runs (--shard sectors), one row
+    per (counter, sector) over the per-sector counter events the host
+    backends emit (task1.sector_owned, task23.sector_candidates, ...),
+    so load imbalance across the partition is visible from one trace.
 
 Only the standard library is required.
 """
@@ -80,6 +85,9 @@ def summarize(path):
     # backend -> (task, broadphase) -> PruneStats
     pruning = collections.defaultdict(
         lambda: collections.defaultdict(PruneStats))
+    # backend -> (counter, sector) -> [count, total]
+    sectors = collections.defaultdict(
+        lambda: collections.defaultdict(lambda: [0, 0]))
     bad_lines = 0
     events = 0
 
@@ -105,6 +113,10 @@ def summarize(path):
                 tasks[backend][name].add_task(ev)
                 if "broadphase" in ev:
                     pruning[backend][(name, ev["broadphase"])].add(ev)
+            elif kind == "counter" and "sector" in ev:
+                cell = sectors[backend][(name, ev["sector"])]
+                cell[0] += 1
+                cell[1] += ev.get("value", 0)
 
     if bad_lines:
         print(f"warning: {bad_lines} unparseable line(s) skipped",
@@ -135,6 +147,16 @@ def summarize(path):
                 kept = f"{test / cand:6.1%}" if cand else "     -"
                 print(f"{name:<10} {mode:<6} {ps.events:>5} "
                       f"{cand:>12.1f} {test:>12.1f} {kept:>7}")
+
+        if sectors[backend]:
+            print("\nper-sector rollup (sharded host runs):")
+            print(f"{'counter':<24} {'sector':>7} {'events':>7} "
+                  f"{'mean':>10} {'total':>12}")
+            for (counter, sector) in sorted(sectors[backend]):
+                count, total = sectors[backend][(counter, sector)]
+                mean = total / count if count else 0.0
+                print(f"{counter:<24} {sector:>7} {count:>7} "
+                      f"{mean:>10.1f} {total:>12}")
 
         trouble = {key: counts for key, counts in periods[backend].items()
                    if counts["missed"] or counts["skipped"]}
