@@ -55,7 +55,7 @@ TaskRun run_task1(const atm::tasks::Scenario& scenario, std::size_t n,
                   BroadphaseMode mode) {
   using namespace atm;
   tasks::Scenario s = scenario;
-  s.broadphase = mode;
+  s.policy.broadphase = mode;
   const tasks::PipelineConfig cfg = make_pipeline_config(s);
   BackendT backend;
   backend.load(airfield::make_airfield(n, cfg.seed, cfg.setup));
@@ -78,7 +78,7 @@ TaskRun run_task23(const atm::tasks::Scenario& scenario, std::size_t n,
                    BroadphaseMode mode) {
   using namespace atm;
   tasks::Scenario s = scenario;
-  s.broadphase = mode;
+  s.policy.broadphase = mode;
   const tasks::PipelineConfig cfg = make_pipeline_config(s);
   TaskRun run;
   for (int rep = 0; rep < kTask23Reps; ++rep) {

@@ -32,8 +32,8 @@ int main() {
       cfg.seed = 42 + n;
       cfg.trace = bench::bench_trace_sink();
       const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
-      const rt::TaskRecord& t1 = result.monitor.task("task1");
-      const rt::TaskRecord& t23 = result.monitor.task("task23");
+      const rt::TaskRecord& t1 = result.deadlines().task("task1");
+      const rt::TaskRecord& t23 = result.deadlines().task("task23");
       table.begin_row();
       table.add_cell(backend->name());
       table.add_cell(n);
@@ -43,8 +43,8 @@ int main() {
       table.add_cell(static_cast<long long>(t23.met));
       table.add_cell(static_cast<long long>(t23.missed));
       table.add_cell(static_cast<long long>(t23.skipped));
-      const std::uint64_t bad = result.monitor.total_missed() +
-                                result.monitor.total_skipped();
+      const std::uint64_t bad = result.deadlines().total_missed() +
+                                result.deadlines().total_skipped();
       table.add_cell(bad == 0 ? std::string("all deadlines met")
                               : std::to_string(bad) + " missed/skipped");
     }

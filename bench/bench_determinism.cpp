@@ -76,7 +76,7 @@ int main() {
   cfg.major_cycles = 2;
   cfg.trace = bench::bench_trace_sink();
   const tasks::PipelineResult result = tasks::run_pipeline(*titan, cfg);
-  const auto& t1 = result.monitor.task("task1").duration_ms;
+  const auto& t1 = result.deadlines().task("task1").duration_ms;
   core::TextTable wc({"mean [ms]", "max [ms]", "max/mean",
                       "within paper's 5x bound?"});
   wc.begin_row();

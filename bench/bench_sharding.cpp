@@ -59,8 +59,8 @@ atm::tasks::Task23Stats outcome_task23(atm::tasks::Task23Stats s) {
 atm::tasks::PipelineConfig sharded_config(
     const atm::tasks::Scenario& scenario, int sectors_per_axis) {
   atm::tasks::Scenario s = scenario;
-  s.shard = sectors_per_axis > 0 ? ShardMode::kSectors : ShardMode::kNone;
-  s.sectors_per_axis = sectors_per_axis > 0 ? sectors_per_axis : 4;
+  s.policy.shard = sectors_per_axis > 0 ? ShardMode::kSectors : ShardMode::kNone;
+  s.policy.sectors_per_axis = sectors_per_axis > 0 ? sectors_per_axis : 4;
   return make_pipeline_config(s);
 }
 

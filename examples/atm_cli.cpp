@@ -6,6 +6,7 @@
 //
 // Options:
 //   --list                 print platforms and scenarios, then exit
+//   --list-scenarios       print the scenario registry (one line each)
 //   --platform NAME        9800gt | 880m | titanx | staran | clearspeed |
 //                          xeon | phi | reference        (default titanx)
 //   --scenario NAME        one of the preset scenarios    (default paper-airfield)
@@ -20,6 +21,13 @@
 //                          sector on the thread pool (default: scenario's;
 //                          outcomes identical either way)
 //   --sectors N            sectors per axis in sectors mode (default 4)
+//   --governor             enable the deadline-aware overload governor
+//                          (degrades along tasks::degradation_ladder()
+//                          under sustained overload, recovers with
+//                          hysteresis; transitions appear in --trace)
+//   --faults               enable a representative seeded fault mix:
+//                          radar dropout bursts, ghost returns, noise
+//                          bursts, and stolen host time
 //   --multi-radar          use the multi-tower radar environment
 //   --full                 run the complete ATM system (terrain, display,
 //                          advisory, sporadic) instead of the core tasks
@@ -67,6 +75,31 @@ void list_options() {
   }
 }
 
+// One line per registry entry: the name column is driven by
+// scenario_names() so the listing and the lookup can never drift apart.
+void list_scenarios() {
+  for (const std::string& name : tasks::scenario_names()) {
+    tasks::Scenario s;
+    if (!tasks::scenario_by_name(name, s)) continue;
+    std::cout << name << " — " << s.description << "\n";
+  }
+}
+
+// The --faults preset: every injector feature at a rate high enough to
+// be visible in a short run but low enough that tracking survives.
+atm::rt::FaultConfig representative_faults() {
+  atm::rt::FaultConfig f;
+  f.enabled = true;
+  f.dropout_burst_probability = 0.05;
+  f.dropout_fraction = 0.25;
+  f.ghost_probability = 0.01;
+  f.noise_burst_probability = 0.05;
+  f.noise_burst_nm = 1.0;
+  f.stolen_time_probability = 0.10;
+  f.stolen_time_ms = 50.0;
+  return f;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,6 +115,8 @@ int main(int argc, char** argv) {
   std::string broadphase_key;
   std::string shard_key;
   int sectors_per_axis = 0;
+  bool governor = false;
+  bool faults = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +126,13 @@ int main(int argc, char** argv) {
     if (arg == "--list") {
       list_options();
       return 0;
+    } else if (arg == "--list-scenarios") {
+      list_scenarios();
+      return 0;
+    } else if (arg == "--governor") {
+      governor = true;
+    } else if (arg == "--faults") {
+      faults = true;
     } else if (arg == "--platform") {
       platform_key = next();
     } else if (arg == "--scenario") {
@@ -146,7 +188,7 @@ int main(int argc, char** argv) {
                 << "' (use brute or grid)\n";
       return 2;
     }
-    chosen.broadphase = *mode;
+    chosen.policy.broadphase = *mode;
   }
   if (!shard_key.empty()) {
     const auto mode = core::spatial::parse_shard_mode(shard_key);
@@ -155,20 +197,24 @@ int main(int argc, char** argv) {
                 << "' (use none or sectors)\n";
       return 2;
     }
-    chosen.shard = *mode;
+    chosen.policy.shard = *mode;
   }
-  if (sectors_per_axis > 0) chosen.sectors_per_axis = sectors_per_axis;
+  if (sectors_per_axis > 0) chosen.policy.sectors_per_axis = sectors_per_axis;
+  if (governor) chosen.policy.governor.enabled = true;
+  if (faults) chosen.policy.faults = representative_faults();
 
   std::cout << "platform : " << backend->name() << "\n"
             << "scenario : " << chosen.name << "\n"
-            << "broadphase : " << core::spatial::to_string(chosen.broadphase)
-            << "\n"
-            << "shard    : " << core::spatial::to_string(chosen.shard);
-  if (chosen.shard == core::spatial::ShardMode::kSectors) {
-    std::cout << " (" << chosen.sectors_per_axis << "x"
-              << chosen.sectors_per_axis << ")";
+            << "broadphase : "
+            << core::spatial::to_string(chosen.policy.broadphase) << "\n"
+            << "shard    : " << core::spatial::to_string(chosen.policy.shard);
+  if (chosen.policy.shard == core::spatial::ShardMode::kSectors) {
+    std::cout << " (" << chosen.policy.sectors_per_axis << "x"
+              << chosen.policy.sectors_per_axis << ")";
   }
   std::cout << "\n";
+  if (governor) std::cout << "governor : enabled\n";
+  if (faults) std::cout << "faults   : enabled (seeded)\n";
 
   std::unique_ptr<obs::JsonlTraceSink> trace;
   if (!trace_path.empty()) {
@@ -196,6 +242,10 @@ int main(int argc, char** argv) {
       trace->flush();
     }
     std::cout << result.monitor.summary() << "\n";
+    if (governor) {
+      std::cout << "governor : final level " << result.final_governor_level
+                << ", " << result.sporadic_shed << " query batches shed\n";
+    }
     const auto bad =
         result.monitor.total_missed() + result.monitor.total_skipped();
     std::cout << (bad == 0 ? "all deadlines met\n"
@@ -212,7 +262,12 @@ int main(int argc, char** argv) {
   cfg.recorder = &recorder;
   cfg.trace = trace.get();
   const tasks::PipelineResult result = tasks::run_pipeline(*backend, cfg);
-  std::cout << result.monitor.summary() << "\n";
+  std::cout << result.deadlines().summary() << "\n";
+  if (governor) {
+    std::cout << "governor : " << result.governor_degrades << " degrades, "
+              << result.governor_recovers << " recovers, final level "
+              << result.final_governor_level << "\n";
+  }
 
   if (retrace_id >= 0) {
     std::cout << "retrace of aircraft " << retrace_id
@@ -229,7 +284,7 @@ int main(int argc, char** argv) {
     std::cout << track;
   }
   const auto bad =
-      result.monitor.total_missed() + result.monitor.total_skipped();
+      result.deadlines().total_missed() + result.deadlines().total_skipped();
   std::cout << (bad == 0 ? "all deadlines met\n"
                          : std::to_string(bad) + " missed/skipped\n");
   return bad == 0 ? 0 : 1;

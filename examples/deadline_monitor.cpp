@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
         table.add_cell(std::string("-"));
       }
     }
-    std::cout << table << result.monitor.summary();
+    std::cout << table << result.deadlines().summary();
   }
 
   std::cout << "\nThe half-second period budget is absolute: an overrun "

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   // 4. Report.
   std::cout << "platform : " << backend->name() << "\n"
             << "aircraft : " << aircraft << "\n\n"
-            << result.monitor.summary() << "\n";
+            << result.deadlines().summary() << "\n";
 
   std::cout << "last Task 1:  " << result.last_task1.matched
             << " radars correlated, " << result.last_task1.unmatched_radars
@@ -50,11 +50,11 @@ int main(int argc, char** argv) {
             << " critical, " << result.last_task23.resolved << " resolved, "
             << result.last_task23.unresolved << " unresolved\n\n";
 
-  if (result.monitor.total_missed() + result.monitor.total_skipped() == 0) {
+  if (result.deadlines().total_missed() + result.deadlines().total_skipped() == 0) {
     std::cout << "every deadline met — the paper's CUDA result.\n";
   } else {
-    std::cout << "deadlines missed: " << result.monitor.total_missed()
-              << ", skipped: " << result.monitor.total_skipped() << "\n";
+    std::cout << "deadlines missed: " << result.deadlines().total_missed()
+              << ", skipped: " << result.deadlines().total_skipped() << "\n";
   }
   return 0;
 }

@@ -1,0 +1,68 @@
+#include "src/atm/degrade.hpp"
+
+#include <algorithm>
+
+#include "src/core/check.hpp"
+
+namespace atm::tasks {
+
+namespace {
+
+/// Sector counts the shard step uses: enable at 4x4, escalate to 8x8.
+constexpr int kShardSectorsPerAxis = 4;
+constexpr int kShardSectorsPerAxisMax = 8;
+
+/// The deepest retry count level 3 allows Task 1.
+constexpr int kCappedRetries = 1;
+
+/// How much coarser level 4 makes the trial-turn sweep.
+constexpr double kCoarseResolveFactor = 2.0;
+
+}  // namespace
+
+const std::vector<std::string>& degradation_ladder() {
+  static const std::vector<std::string> kLadder = {
+      "grid-broadphase", "raise-sectors", "cap-retries", "coarse-resolve",
+      "shed-sporadic",
+  };
+  return kLadder;
+}
+
+void apply_degradation(int level, Task1Params& task1, Task23Params& task23) {
+  ATM_CHECK_MSG(level >= 0 &&
+                    level <= static_cast<int>(degradation_ladder().size()),
+                "degradation level " << level << " outside the ladder (0.."
+                                     << degradation_ladder().size() << ")");
+  if (level >= 1) {  // grid-broadphase
+    task1.broadphase = core::spatial::BroadphaseMode::kGrid;
+    task23.broadphase = core::spatial::BroadphaseMode::kGrid;
+  }
+  if (level >= 2) {  // raise-sectors
+    const auto raise = [](core::spatial::ShardMode& shard, int& per_axis) {
+      if (shard == core::spatial::ShardMode::kSectors) {
+        per_axis = std::min(per_axis * 2, kShardSectorsPerAxisMax);
+      } else {
+        shard = core::spatial::ShardMode::kSectors;
+        per_axis = std::max(per_axis, kShardSectorsPerAxis);
+      }
+    };
+    raise(task1.shard, task1.sectors_per_axis);
+    raise(task23.shard, task23.sectors_per_axis);
+  }
+  if (level >= 3) {  // cap-retries
+    task1.retries = std::min(task1.retries, kCappedRetries);
+  }
+  if (level >= 4) {  // coarse-resolve
+    // Coarsen the sweep but keep at least the two extreme trial angles,
+    // so a critical aircraft is never left without a resolution attempt.
+    task23.turn_step_deg = std::min(task23.turn_step_deg *
+                                        kCoarseResolveFactor,
+                                    task23.turn_max_deg);
+  }
+}
+
+bool degradation_sheds_sporadic(int level) {
+  return level >= static_cast<int>(degradation_ladder().size());
+}
+
+}  // namespace atm::tasks

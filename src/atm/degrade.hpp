@@ -1,0 +1,48 @@
+// The degradation ladder: what each governor level means for the ATM
+// task parameters (see src/rt/governor.hpp for the controller and
+// docs/ROBUSTNESS.md for the design).
+//
+// Every step trades a little fidelity or host work for period headroom,
+// in escalation order — cheapest/most reversible first:
+//
+//   1 grid-broadphase  host candidate enumeration switches brute -> grid
+//                      (outcome-identical; pure work reduction)
+//   2 raise-sectors    host scans shard into sectors on the thread pool,
+//                      or double the sector count if already sharded
+//                      (outcome-identical; pure work redistribution)
+//   3 cap-retries      Task 1 box-doubling retries capped at 1 (late
+//                      returns may stay unmatched one period longer)
+//   4 coarse-resolve   Task 3 trial-turn sweep steps twice as coarse
+//                      (resolutions may bank harder than strictly needed)
+//   5 shed-sporadic    sporadic controller queries are shed outright
+//                      (full-system executive only; core tasks keep
+//                      running)
+//
+// Steps are cumulative: level k applies steps 1..k. Level 0 leaves every
+// parameter untouched, which is what keeps governed-but-idle runs
+// bit-identical to ungoverned ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/atm/task_types.hpp"
+
+namespace atm::tasks {
+
+/// Ladder step names in escalation order; size() is the deepest level.
+/// The pipeline hands this to rt::Governor so transition trace events
+/// carry the step being entered or left.
+[[nodiscard]] const std::vector<std::string>& degradation_ladder();
+
+/// Apply every ladder step up to `level` (0 = none) to the task
+/// parameter bundles in place. Call it on a fresh copy of the baseline
+/// parameters each period (the raise-sectors step escalates relative to
+/// what it finds, so re-applying to already-degraded bundles compounds).
+void apply_degradation(int level, Task1Params& task1, Task23Params& task23);
+
+/// True when `level` sheds the sporadic-query task (the full-system
+/// executive skips the batch and counts it as shed, not skipped).
+[[nodiscard]] bool degradation_sheds_sporadic(int level);
+
+}  // namespace atm::tasks

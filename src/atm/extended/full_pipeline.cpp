@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "src/airfield/setup.hpp"
+#include "src/atm/degrade.hpp"
 #include "src/atm/extended/sporadic.hpp"
 #include "src/core/units.hpp"
 #include "src/rt/clock.hpp"
@@ -28,16 +29,25 @@ FullSystemResult run_full_system(Backend& backend,
   const double period_ms = schedule.period_ms();
   core::Rng radar_rng(cfg.seed ^ 0x4ADA1257A3ABCDEFULL);
   core::Rng query_rng(cfg.seed ^ 0x5B0AAD1C00FFEE11ULL);
+  rt::FaultInjector faults(cfg.faults, cfg.seed);
+  rt::Governor governor(cfg.governor, degradation_ladder());
+
+  // Any non-met outcome in the current period; feeds the governor.
+  bool trouble = false;
 
   // Runs one task under deadline accounting; returns false when the task
   // had to be skipped (its period had already ended).
   const auto timed = [&](const char* name, double deadline_ms, auto&& fn) {
     if (clock.now_ms() >= deadline_ms) {
       result.monitor.record_skip(name);
+      trouble = true;
       return false;
     }
     const double ms = fn();
-    result.monitor.record(name, clock.now_ms(), ms, deadline_ms);
+    if (result.monitor.record(name, clock.now_ms(), ms, deadline_ms) !=
+        rt::Outcome::kMet) {
+      trouble = true;
+    }
     clock.advance_ms(ms);
     return true;
   };
@@ -45,8 +55,22 @@ FullSystemResult run_full_system(Backend& backend,
   int global_period = 0;
   for (int cycle = 0; cycle < cfg.major_cycles; ++cycle) {
     for (int period = 0; period < schedule.periods_per_cycle(); ++period) {
-      const double deadline =
-          static_cast<double>(global_period + 1) * period_ms;
+      const double period_start =
+          static_cast<double>(global_period) * period_ms;
+      const double deadline = period_start + period_ms;
+      trouble = false;
+
+      // Degrade the task parameters to the governor's current ladder
+      // level (level 0 copies the baseline untouched).
+      Task1Params task1_params = cfg.task1;
+      Task23Params task23_params = cfg.task23;
+      apply_degradation(governor.level(), task1_params, task23_params);
+
+      // Stolen host time (fault injection) preempts the executive before
+      // the period's first task; on the virtual clock this is exact and
+      // deterministic.
+      const double stolen_ms = faults.steal_ms();
+      if (stolen_ms > 0.0) clock.advance_ms(stolen_ms);
 
       // Radar creation precedes the period (untimed, Section 4.2).
       airfield::RadarFrame frame;
@@ -58,17 +82,18 @@ FullSystemResult run_full_system(Backend& backend,
             airfield::mean_coverage(multi_frame, cfg.aircraft);
       } else {
         frame = backend.generate_radar(radar_rng, cfg.radar, nullptr);
+        faults.apply(frame);
       }
 
       // Tracking & correlation.
       timed("task1", deadline, [&] {
         if (cfg.multi_radar) {
           const MultiRadarResult r =
-              backend.run_multi_task1(multi_frame, cfg.task1);
+              backend.run_multi_task1(multi_frame, task1_params);
           result.last_multi = r.stats;
           return r.modeled_ms;
         }
-        const Task1Result r = backend.run_task1(frame, cfg.task1);
+        const Task1Result r = backend.run_task1(frame, task1_params);
         result.last_task1 = r.stats;
         return r.modeled_ms;
       });
@@ -85,22 +110,30 @@ FullSystemResult run_full_system(Backend& backend,
       });
 
       // Sporadic controller queries, every period (arrival is simulation
-      // scaffolding; answering is the ATM task).
+      // scaffolding; answering is the ATM task). The governor's deepest
+      // rung sheds the whole batch — the queries still *arrive* (the rng
+      // draw keeps the stream aligned) but are not answered, so shedding
+      // never perturbs what a recovered period computes.
       if (cfg.sporadic.queries_per_batch > 0) {
         const std::vector<Query> batch =
             make_query_batch(backend.state(), query_rng, cfg.sporadic,
                              cfg.display.sectors_per_axis);
-        timed("sporadic", deadline, [&] {
-          const SporadicResult r = backend.run_sporadic(batch, cfg.sporadic);
-          result.last_sporadic = r.stats;
-          return r.modeled_ms;
-        });
+        if (degradation_sheds_sporadic(governor.level())) {
+          ++result.sporadic_shed;
+        } else {
+          timed("sporadic", deadline, [&] {
+            const SporadicResult r =
+                backend.run_sporadic(batch, cfg.sporadic);
+            result.last_sporadic = r.stats;
+            return r.modeled_ms;
+          });
+        }
       }
 
       // Collision detection & resolution + terrain, end of cycle.
       if (period == schedule.periods_per_cycle() - 1) {
         timed("task23", deadline, [&] {
-          const Task23Result r = backend.run_task23(cfg.task23);
+          const Task23Result r = backend.run_task23(task23_params);
           result.last_task23 = r.stats;
           return r.modeled_ms;
         });
@@ -121,11 +154,13 @@ FullSystemResult run_full_system(Backend& backend,
         });
       }
 
+      governor.observe(clock.now_ms() - period_start, period_ms, trouble);
       clock.advance_to_ms(deadline);
       ++global_period;
     }
   }
   result.virtual_end_ms = clock.now_ms();
+  result.final_governor_level = governor.level();
   return result;
 }
 

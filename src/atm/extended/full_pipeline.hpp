@@ -22,6 +22,8 @@
 #include "src/airfield/towers.hpp"
 #include "src/atm/backend.hpp"
 #include "src/rt/deadline.hpp"
+#include "src/rt/faults.hpp"
+#include "src/rt/governor.hpp"
 
 namespace atm::tasks::extended {
 
@@ -47,6 +49,14 @@ struct FullSystemConfig {
   bool multi_radar = false;
   airfield::TowerLayoutParams towers;
   bool apply_reentry = true;
+  /// Deadline-aware overload governor (disabled by default). The full
+  /// system walks the same tasks::degradation_ladder() as run_pipeline,
+  /// and its top rung additionally sheds the sporadic query task.
+  rt::GovernorConfig governor;
+  /// Seeded fault injection (disabled by default). The single-radar mode
+  /// corrupts the frame like run_pipeline; stolen time advances the
+  /// virtual clock in both radar modes.
+  rt::FaultConfig faults;
 };
 
 struct FullSystemResult {
@@ -61,6 +71,8 @@ struct FullSystemResult {
   std::vector<Advisory> last_queue;
   double virtual_end_ms = 0.0;
   double mean_coverage = 0.0;  ///< Returns per aircraft (multi-radar mode).
+  int final_governor_level = 0;     ///< Ladder level at run end.
+  std::uint64_t sporadic_shed = 0;  ///< Query batches the governor shed.
 };
 
 /// Load a fresh airfield + terrain into `backend` and run the full system.

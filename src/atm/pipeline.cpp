@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "src/airfield/setup.hpp"
+#include "src/atm/degrade.hpp"
+#include "src/core/check.hpp"
 #include "src/core/units.hpp"
 #include "src/rt/clock.hpp"
 
@@ -17,22 +19,62 @@ namespace {
 class TraceWiring {
  public:
   TraceWiring(Backend& backend, rt::DeadlineMonitor& monitor,
-              obs::TraceSink* sink)
-      : backend_(backend), monitor_(monitor) {
+              rt::Governor& governor, obs::TraceSink* sink)
+      : backend_(backend), monitor_(monitor), governor_(governor) {
     backend_.set_trace_sink(sink);
     monitor_.set_trace(sink);
+    governor_.set_trace(sink);
   }
   ~TraceWiring() {
     backend_.set_trace_sink(nullptr);
     monitor_.set_trace(nullptr);
+    governor_.set_trace(nullptr);
     backend_.set_trace_context(-1, -1);
     monitor_.set_trace_context({}, -1, -1);
+    governor_.set_trace_context({}, -1, -1);
   }
 
  private:
   Backend& backend_;
   rt::DeadlineMonitor& monitor_;
+  rt::Governor& governor_;
 };
+
+/// Cross-check the "PeriodLog derives from the monitor" contract: the
+/// per-period outcome fields are filled from the same record() calls
+/// that feed the DeadlineMonitor, so their aggregates must agree.
+void check_outcome_accounting(const PipelineResult& result) {
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t skipped = 0;
+  const auto tally = [&](rt::Outcome outcome) {
+    switch (outcome) {
+      case rt::Outcome::kMet:
+        ++met;
+        break;
+      case rt::Outcome::kMissed:
+        ++missed;
+        break;
+      case rt::Outcome::kSkipped:
+        ++skipped;
+        break;
+    }
+  };
+  for (const PeriodLog& log : result.periods) {
+    tally(log.task1_outcome);
+    if (log.task23_ran || log.task23_outcome == rt::Outcome::kSkipped) {
+      tally(log.task23_outcome);
+    }
+  }
+  const rt::DeadlineMonitor& monitor = result.deadlines();
+  ATM_CHECK_MSG(met == monitor.total_met() &&
+                    missed == monitor.total_missed() &&
+                    skipped == monitor.total_skipped(),
+                "PeriodLog outcomes diverge from the DeadlineMonitor: logs "
+                    << met << "/" << missed << "/" << skipped << " vs monitor "
+                    << monitor.total_met() << "/" << monitor.total_missed()
+                    << "/" << monitor.total_skipped());
+}
 
 }  // namespace
 
@@ -52,6 +94,14 @@ PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg) {
   // backend sees depend only on (seed, its own flight state).
   core::Rng radar_rng(cfg.seed ^ 0x4ADA1257A3ABCDEFULL);
 
+  // Fault injection draws from its own salted stream, so enabling it
+  // never perturbs airfield generation or radar noise.
+  rt::FaultInjector faults(cfg.faults, cfg.seed);
+
+  // The overload governor: observes every period, walks the degradation
+  // ladder on sustained overload, recovers with hysteresis.
+  rt::Governor governor(cfg.governor, degradation_ladder());
+
   // Executive clock: virtual mode advances by modeled task times;
   // wall-clock mode reads the host's steady clock.
   rt::VirtualClock vclock;
@@ -64,7 +114,7 @@ PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg) {
   };
 
   obs::TraceSink* trace = cfg.trace;
-  const TraceWiring wiring(backend, result.monitor, trace);
+  const TraceWiring wiring(backend, result.monitor_, governor, trace);
   const std::string backend_name =
       trace != nullptr ? backend.name() : std::string();
   obs::Counter wrapped_counter("wrapped_aircraft");
@@ -76,38 +126,65 @@ PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg) {
       PeriodLog log;
       log.cycle = cycle;
       log.period = period;
+      log.governor_level = governor.level();
       if (trace != nullptr) {
         backend.set_trace_context(cycle, period);
-        result.monitor.set_trace_context(backend_name, cycle, period);
+        result.monitor_.set_trace_context(backend_name, cycle, period);
+        governor.set_trace_context(backend_name, cycle, period);
       }
       const obs::Span period_span(trace, "period", backend_name, cycle,
                                   period);
 
+      // Task parameters this period runs with: the configured baseline,
+      // degraded to the governor's current ladder level (level 0 copies
+      // the baseline untouched).
+      Task1Params task1_params = cfg.task1;
+      Task23Params task23_params = cfg.task23;
+      apply_degradation(governor.level(), task1_params, task23_params);
+
+      // Stolen time (fault injection): other host load preempts the
+      // executive before the period's first task. Wall-clock mode waits
+      // it out for real; virtual mode advances the modeled clock, which
+      // makes overload deterministic.
+      log.stolen_ms = faults.steal_ms();
+      if (log.stolen_ms > 0.0) {
+        if (wallclock) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(log.stolen_ms));
+        } else {
+          vclock.advance_ms(log.stolen_ms);
+        }
+      }
+
       // Radar creation precedes the period and is not an ATM task
-      // (Section 4.2), so it does not consume period budget.
+      // (Section 4.2), so it does not consume period budget. Sensor
+      // faults corrupt the frame after generation, the way a degraded
+      // sensor corrupts a real sweep.
       airfield::RadarFrame frame =
           backend.generate_radar(radar_rng, cfg.radar, &log.radar_ms);
+      faults.apply(frame);
 
       // Periods live on a fixed time grid; an overrunning task delays the
       // start of everything after it, and a task whose period has already
       // ended is skipped (Section 3: "Remaining tasks that may not have
       // time to complete their execution before the end of the period must
       // be skipped").
-      const double period_deadline =
-          static_cast<double>(global_period + 1) * period_ms;
+      const double period_start =
+          static_cast<double>(global_period) * period_ms;
+      const double period_deadline = period_start + period_ms;
 
       // Task 1.
       if (now_ms() >= period_deadline) {
-        result.monitor.record_skip("task1");
+        result.monitor_.record_skip("task1");
         log.task1_outcome = rt::Outcome::kSkipped;
       } else {
         const double start = now_ms();
-        const Task1Result r1 = backend.run_task1(frame, cfg.task1);
+        const Task1Result r1 = backend.run_task1(frame, task1_params);
         const double duration =
             wallclock ? now_ms() - start : r1.modeled_ms;
         log.task1_ms = duration;
-        log.task1_outcome = result.monitor.record("task1", start, duration,
-                                                  period_deadline);
+        log.task1_outcome = result.monitor_.record("task1", start, duration,
+                                                   period_deadline);
         if (!wallclock) vclock.advance_ms(duration);
         result.task1_ms.add(duration);
         result.last_task1 = r1.stats;
@@ -127,22 +204,31 @@ PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg) {
       // Tasks 2+3 in the final period of the cycle, after Task 1.
       if (period == schedule.periods_per_cycle() - 1) {
         if (now_ms() >= period_deadline) {
-          result.monitor.record_skip("task23");
+          result.monitor_.record_skip("task23");
           log.task23_outcome = rt::Outcome::kSkipped;
         } else {
           const double start = now_ms();
-          const Task23Result r23 = backend.run_task23(cfg.task23);
+          const Task23Result r23 = backend.run_task23(task23_params);
           const double duration =
               wallclock ? now_ms() - start : r23.modeled_ms;
           log.task23_ran = true;
           log.task23_ms = duration;
-          log.task23_outcome = result.monitor.record(
+          log.task23_outcome = result.monitor_.record(
               "task23", start, duration, period_deadline);
           if (!wallclock) vclock.advance_ms(duration);
           result.task23_ms.add(duration);
           result.last_task23 = r23.stats;
         }
       }
+
+      // Feed the governor: utilization is everything consumed since the
+      // period's *scheduled* start (an overrun inherited from earlier
+      // periods is load too), and any miss or skip degrades immediately.
+      const bool trouble =
+          log.task1_outcome != rt::Outcome::kMet ||
+          (log.task23_ran && log.task23_outcome != rt::Outcome::kMet) ||
+          log.task23_outcome == rt::Outcome::kSkipped;
+      governor.observe(now_ms() - period_start, period_ms, trouble);
 
       // Wait out the remainder of the period so the next one does not
       // start ahead of schedule (Section 4.2). Overruns are *not* given
@@ -161,8 +247,26 @@ PipelineResult run_pipeline(Backend& backend, const PipelineConfig& cfg) {
     }
   }
   result.virtual_end_ms = now_ms();
+  result.final_governor_level = governor.level();
+  result.governor_degrades = governor.degrade_count();
+  result.governor_recovers = governor.recover_count();
   wrapped_counter.publish(trace);
+  if (faults.enabled() && trace != nullptr) {
+    obs::Counter dropouts("fault.dropouts");
+    dropouts.add(faults.total_dropouts());
+    dropouts.publish(trace);
+    obs::Counter ghosts("fault.ghosts");
+    ghosts.add(faults.total_ghosts());
+    ghosts.publish(trace);
+    obs::Counter bursts("fault.noise_bursts");
+    bursts.add(faults.total_noise_bursts());
+    bursts.publish(trace);
+    obs::Counter stolen("fault.steal_events");
+    stolen.add(faults.total_steal_events());
+    stolen.publish(trace);
+  }
   if (trace != nullptr) trace->flush();
+  check_outcome_accounting(result);
   return result;
 }
 

@@ -18,6 +18,8 @@
 #include "src/obs/trace.hpp"
 #include "src/rt/clock.hpp"
 #include "src/rt/deadline.hpp"
+#include "src/rt/faults.hpp"
+#include "src/rt/governor.hpp"
 #include "src/rt/schedule.hpp"
 
 namespace atm::tasks {
@@ -65,6 +67,17 @@ struct PipelineConfig {
   /// Tracing never alters results: a run with a sink produces the exact
   /// PipelineResult of a run without one.
   obs::TraceSink* trace = nullptr;
+
+  /// Deadline-aware overload governor (disabled by default). When
+  /// enabled, the executive walks the tasks::degradation_ladder() on
+  /// sustained overload and recovers with hysteresis; every transition
+  /// is one kGovernor trace event. A disabled governor leaves every run
+  /// bit-identical to the pre-governor executive.
+  rt::GovernorConfig governor;
+  /// Seeded fault injection (disabled by default): radar dropout bursts,
+  /// ghost returns, noise bursts, and stolen host time. Deterministic
+  /// given (seed, config); see src/rt/faults.hpp.
+  rt::FaultConfig faults;
 };
 
 /// What happened in one half-second period.
@@ -78,16 +91,47 @@ struct PeriodLog {
   double task23_ms = 0.0;
   rt::Outcome task23_outcome = rt::Outcome::kMet;
   std::size_t wrapped = 0;     ///< Aircraft re-entered at (-x, -y).
+  int governor_level = 0;      ///< Ladder level the period ran at.
+  double stolen_ms = 0.0;      ///< Host time the fault injector stole.
 };
 
-struct PipelineResult {
-  rt::DeadlineMonitor monitor;
+/// Result of one executive run. The deadline ledger lives behind
+/// deadlines(): the monitor is the single source of truth for met /
+/// missed / skipped (the per-period outcome fields in `periods` are
+/// derived from the very record() calls that fill it, and run_pipeline
+/// checks the two agree), so callers read aggregates from here instead
+/// of re-counting by hand.
+class PipelineResult {
+ public:
   std::vector<PeriodLog> periods;
   core::StreamingStats task1_ms;   ///< Over started Task 1 instances.
   core::StreamingStats task23_ms;  ///< Over started Task 2+3 instances.
   Task1Stats last_task1;
   Task23Stats last_task23;
   double virtual_end_ms = 0.0;     ///< Executive clock at run end.
+  int final_governor_level = 0;    ///< Ladder level at run end.
+  std::uint64_t governor_degrades = 0;  ///< Degrade transitions taken.
+  std::uint64_t governor_recovers = 0;  ///< Recover transitions taken.
+
+  /// The per-task deadline ledger of the run.
+  [[nodiscard]] const rt::DeadlineMonitor& deadlines() const {
+    return monitor_;
+  }
+
+  /// The paper's headline count: misses plus skips across all tasks.
+  [[nodiscard]] std::uint64_t missed_or_skipped() const {
+    return monitor_.total_missed() + monitor_.total_skipped();
+  }
+
+  /// True when every scheduled task instance met its period deadline.
+  [[nodiscard]] bool all_deadlines_met() const {
+    return missed_or_skipped() == 0;
+  }
+
+ private:
+  friend PipelineResult run_pipeline(Backend& backend,
+                                     const PipelineConfig& cfg);
+  rt::DeadlineMonitor monitor_;
 };
 
 /// Run cfg.major_cycles full major cycles on `backend` in the configured

@@ -18,6 +18,30 @@
 
 namespace atm::tasks {
 
+/// Execution policy of a scenario: every knob that shapes *how* the
+/// workload runs rather than *what* the workload is. tasks::apply() is
+/// the single place this block fans out into a config — the broadphase /
+/// shard knobs are copied into both task bundles, and the governor /
+/// fault blocks are copied to the config verbatim — so examples, benches,
+/// and tests configure execution through the policy instead of poking
+/// task parameters directly (the lint_atm scenario-configs rule enforces
+/// this outside tests).
+struct ScenarioPolicy {
+  /// Host-path candidate enumeration for both Task 1 and Tasks 2+3.
+  /// Either value yields identical task outcomes (see src/core/spatial/).
+  core::spatial::BroadphaseMode broadphase =
+      core::spatial::BroadphaseMode::kBruteForce;
+  /// Host-path sector sharding for both Task 1 and Tasks 2+3. Either
+  /// value yields identical task outcomes (src/core/spatial/sectors.hpp).
+  core::spatial::ShardMode shard = core::spatial::ShardMode::kNone;
+  int sectors_per_axis = 4;
+  /// Deadline-aware overload governor (disabled by default); see
+  /// src/rt/governor.hpp and src/atm/degrade.hpp for the ladder it walks.
+  rt::GovernorConfig governor;
+  /// Seeded fault injection (disabled by default); see src/rt/faults.hpp.
+  rt::FaultConfig faults;
+};
+
 struct Scenario {
   std::string name;
   std::string description;
@@ -28,17 +52,8 @@ struct Scenario {
   Task23Params task23;
   TerrainTaskParams terrain;
   AdvisoryParams advisory;
-  /// Host-path candidate enumeration for both Task 1 and Tasks 2+3;
-  /// make_pipeline_config / make_full_config copy it into the task param
-  /// bundles so one knob configures the whole workload. Either value
-  /// yields identical task outcomes (see src/core/spatial/).
-  core::spatial::BroadphaseMode broadphase =
-      core::spatial::BroadphaseMode::kBruteForce;
-  /// Host-path sector sharding for both Task 1 and Tasks 2+3; copied into
-  /// the task bundles alongside `broadphase`. Either value yields
-  /// identical task outcomes (see src/core/spatial/sectors.hpp).
-  core::spatial::ShardMode shard = core::spatial::ShardMode::kNone;
-  int sectors_per_axis = 4;
+  /// How the scenario executes (broadphase, sharding, governor, faults).
+  ScenarioPolicy policy;
 };
 
 /// The paper's evaluation setup: a 256 nm field, 30-600 knot traffic at
@@ -75,8 +90,9 @@ struct Scenario {
 /// Copy a scenario's workload knobs into a config. The single place the
 /// Scenario -> config field mapping lives: works for PipelineConfig,
 /// extended::FullSystemConfig, and any config exposing the same fields.
-/// The per-scenario broadphase/shard knobs fan out into both task bundles
-/// here, so callers configure the host paths exactly once.
+/// The policy block fans out here — broadphase/shard into both task
+/// bundles, governor and faults onto the config — so callers configure
+/// execution exactly once, on the Scenario.
 template <typename Config>
 void apply(const Scenario& scenario, Config& cfg, int major_cycles,
            std::uint64_t seed) {
@@ -87,12 +103,14 @@ void apply(const Scenario& scenario, Config& cfg, int major_cycles,
   cfg.radar = scenario.radar;
   cfg.task1 = scenario.task1;
   cfg.task23 = scenario.task23;
-  cfg.task1.broadphase = scenario.broadphase;
-  cfg.task23.broadphase = scenario.broadphase;
-  cfg.task1.shard = scenario.shard;
-  cfg.task23.shard = scenario.shard;
-  cfg.task1.sectors_per_axis = scenario.sectors_per_axis;
-  cfg.task23.sectors_per_axis = scenario.sectors_per_axis;
+  cfg.task1.broadphase = scenario.policy.broadphase;
+  cfg.task23.broadphase = scenario.policy.broadphase;
+  cfg.task1.shard = scenario.policy.shard;
+  cfg.task23.shard = scenario.policy.shard;
+  cfg.task1.sectors_per_axis = scenario.policy.sectors_per_axis;
+  cfg.task23.sectors_per_axis = scenario.policy.sectors_per_axis;
+  cfg.governor = scenario.policy.governor;
+  cfg.faults = scenario.policy.faults;
 }
 
 /// Instantiate a core-pipeline configuration from a scenario.

@@ -109,6 +109,11 @@ std::string JsonlTraceSink::to_json(const TraceEvent& ev) {
   if (ev.kind == EventKind::kCounter) {
     field_int(line, "value", static_cast<long long>(ev.value));
   }
+  if (ev.governor_level >= 0) field_int(line, "level", ev.governor_level);
+  if (ev.governor_from_level >= 0) {
+    field_int(line, "from_level", ev.governor_from_level);
+  }
+  if (ev.utilization >= 0.0) field_ms(line, "utilization", ev.utilization);
   line += '}';
   return line;
 }

@@ -27,6 +27,8 @@ std::string_view to_string(EventKind kind) {
       return "deadline";
     case EventKind::kCounter:
       return "counter";
+    case EventKind::kGovernor:
+      return "governor";
   }
   return "?";
 }

@@ -29,6 +29,7 @@ enum class EventKind : std::uint8_t {
   kTask,       ///< One backend task execution (task1, task23, terrain, ...).
   kDeadline,   ///< A DeadlineMonitor classification (met/missed/skipped).
   kCounter,    ///< A named counter published its value.
+  kGovernor,   ///< An overload-governor level transition (degrade/recover).
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind);
@@ -61,6 +62,10 @@ struct TraceEvent {
   std::int64_t pair_tests = -1;      ///< Tasks 2+3 Batcher tests
                                      ///< (post-altitude-gate).
   std::uint64_t value = 0;      ///< Counter value (kCounter).
+  int governor_level = -1;      ///< Ladder level entered (kGovernor).
+  int governor_from_level = -1; ///< Ladder level left (kGovernor).
+  double utilization = -1.0;    ///< Period budget utilization that drove
+                                ///< the transition (kGovernor).
 };
 
 /// Receiver interface. The executive emits from one thread in program

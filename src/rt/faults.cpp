@@ -1,0 +1,101 @@
+#include "src/rt/faults.hpp"
+
+#include <cmath>
+
+#include "src/core/check.hpp"
+
+namespace atm::rt {
+
+namespace {
+
+/// Salt keeping the fault stream independent of the airfield seed and
+/// the radar noise stream (which uses its own salt in the pipeline).
+constexpr std::uint64_t kFaultStreamSalt = 0xFA017ED5EEDFA017ULL;
+
+bool valid_probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed ^ kFaultStreamSalt) {
+  ATM_CHECK_MSG(valid_probability(config_.dropout_burst_probability) &&
+                    valid_probability(config_.dropout_fraction) &&
+                    valid_probability(config_.ghost_probability) &&
+                    valid_probability(config_.noise_burst_probability) &&
+                    valid_probability(config_.stolen_time_probability),
+                "fault probabilities must be in [0, 1]");
+  ATM_CHECK_MSG(config_.stolen_time_ms >= 0.0 &&
+                    std::isfinite(config_.stolen_time_ms) &&
+                    config_.noise_burst_nm >= 0.0,
+                "fault magnitudes must be finite and non-negative: "
+                "stolen_time_ms="
+                    << config_.stolen_time_ms
+                    << " noise_burst_nm=" << config_.noise_burst_nm);
+}
+
+FrameFaultSummary FaultInjector::apply(airfield::RadarFrame& frame) {
+  FrameFaultSummary summary;
+  if (!config_.enabled || frame.size() == 0) return summary;
+  const std::size_t n = frame.size();
+
+  // Noise burst first: it models a period of degraded sensing, so ghosts
+  // copied afterwards inherit the burst error like any real echo.
+  if (config_.noise_burst_probability > 0.0 &&
+      rng_.uniform() < config_.noise_burst_probability) {
+    summary.noise_burst = true;
+    ++noise_bursts_;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frame.rx[i] >= airfield::kDropoutCoordinate) continue;
+      frame.rx[i] +=
+          rng_.uniform(-config_.noise_burst_nm, config_.noise_burst_nm);
+      frame.ry[i] +=
+          rng_.uniform(-config_.noise_burst_nm, config_.noise_burst_nm);
+    }
+  }
+
+  // Ghosts: slot i is overwritten by a duplicate of slot j's echo (the
+  // victim's own return is lost — a ghost displaces, it does not add, so
+  // every backend still sees the paper's fixed-size frame). Ground truth
+  // follows the echo's source; the ATM tasks never read it.
+  if (config_.ghost_probability > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng_.uniform() >= config_.ghost_probability) continue;
+      const std::size_t j = static_cast<std::size_t>(
+          rng_.uniform_u64(0, static_cast<std::uint64_t>(n - 1)));
+      if (j == i) continue;
+      frame.rx[i] = frame.rx[j];
+      frame.ry[i] = frame.ry[j];
+      frame.truth[i] = frame.truth[j];
+      ++summary.ghosts;
+    }
+    ghosts_ += summary.ghosts;
+  }
+
+  // Dropout burst last: a whole sweep degrades at once, and anything the
+  // burst hits — original return or ghost — vanishes off-field.
+  if (config_.dropout_burst_probability > 0.0 &&
+      rng_.uniform() < config_.dropout_burst_probability) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng_.uniform() >= config_.dropout_fraction) continue;
+      if (frame.rx[i] >= airfield::kDropoutCoordinate) continue;
+      frame.rx[i] = airfield::kDropoutCoordinate;
+      frame.ry[i] = airfield::kDropoutCoordinate;
+      ++summary.dropouts;
+    }
+    dropouts_ += summary.dropouts;
+  }
+  return summary;
+}
+
+double FaultInjector::steal_ms() {
+  if (!config_.enabled || config_.stolen_time_probability <= 0.0 ||
+      config_.stolen_time_ms <= 0.0) {
+    return 0.0;
+  }
+  if (rng_.uniform() >= config_.stolen_time_probability) return 0.0;
+  ++steal_events_;
+  stolen_ms_ += config_.stolen_time_ms;
+  return config_.stolen_time_ms;
+}
+
+}  // namespace atm::rt

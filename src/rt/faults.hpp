@@ -1,0 +1,102 @@
+// Deterministic, seeded fault injection for the real-time executive.
+//
+// The equivalence suites prove every backend computes the same flight
+// state from the same inputs; this layer makes the *inputs* hostile in a
+// reproducible way, so overload and degraded sensing are scenarios, not
+// ad-hoc test hacks. Two fault families:
+//
+//   * sensor faults, applied to each period's RadarFrame in place —
+//     dropout bursts (returns replaced by the off-field sentinel, the
+//     paper's "a radar report may not be obtained"), ghost/duplicate
+//     echoes (a return overwritten by a copy of another aircraft's
+//     return), and noise bursts (extra positional error on every
+//     return); and
+//
+//   * stolen time — preemption by other host load. In kWallclock mode
+//     the executive busy-waits the stolen slice out before the period's
+//     tasks; in kVirtual mode it advances the virtual clock, which makes
+//     overload deterministic and unit-testable.
+//
+// All randomness comes from one core::Rng owned by the injector and
+// seeded from (run seed, fixed salt), so the same (seed, config, call
+// sequence) produces bit-identical faulted frames on every backend and
+// every run — the property tests/faults_test.cpp asserts.
+#pragma once
+
+#include <cstdint>
+
+#include "src/airfield/radar.hpp"
+#include "src/core/rng.hpp"
+
+namespace atm::rt {
+
+/// Fault environment of a run. Disabled by default; a disabled injector
+/// never touches a frame, never draws from its generator, and steals no
+/// time, so runs without faults stay bit-identical to runs made before
+/// this layer existed.
+struct FaultConfig {
+  bool enabled = false;
+  /// Per-period probability of a radar dropout burst; during a burst
+  /// each return independently drops with `dropout_fraction`.
+  double dropout_burst_probability = 0.0;
+  double dropout_fraction = 0.25;
+  /// Per-return probability of being overwritten by a ghost: a duplicate
+  /// echo of another (uniformly drawn) return in the same frame.
+  double ghost_probability = 0.0;
+  /// Per-period probability of a noise burst adding uniform
+  /// [-noise_burst_nm, +noise_burst_nm] to both coordinates of every
+  /// live return.
+  double noise_burst_probability = 0.0;
+  double noise_burst_nm = 1.0;
+  /// Per-period probability that other host load steals
+  /// `stolen_time_ms` from the period before its first task runs.
+  double stolen_time_probability = 0.0;
+  double stolen_time_ms = 0.0;
+};
+
+/// What one FaultInjector::apply() call did to a frame.
+struct FrameFaultSummary {
+  std::uint64_t dropouts = 0;     ///< Returns replaced by the sentinel.
+  std::uint64_t ghosts = 0;       ///< Returns overwritten by duplicates.
+  bool noise_burst = false;       ///< Extra noise applied to the frame.
+};
+
+class FaultInjector {
+ public:
+  /// `seed` is the run seed; the injector salts it so its stream is
+  /// independent of airfield generation and radar noise.
+  FaultInjector(const FaultConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+
+  /// Mutate one radar frame in place: noise burst, then ghosts, then the
+  /// dropout burst (a ghost can itself be dropped — echoes vanish too).
+  /// Frame size never changes. No-op (and draw-free) when disabled.
+  FrameFaultSummary apply(airfield::RadarFrame& frame);
+
+  /// Stolen host time for the upcoming period, in ms (0 when none).
+  /// No-op (and draw-free) when disabled.
+  [[nodiscard]] double steal_ms();
+
+  /// Aggregates over the run, for end-of-run counters.
+  [[nodiscard]] std::uint64_t total_dropouts() const { return dropouts_; }
+  [[nodiscard]] std::uint64_t total_ghosts() const { return ghosts_; }
+  [[nodiscard]] std::uint64_t total_noise_bursts() const {
+    return noise_bursts_;
+  }
+  [[nodiscard]] std::uint64_t total_steal_events() const {
+    return steal_events_;
+  }
+  [[nodiscard]] double total_stolen_ms() const { return stolen_ms_; }
+
+ private:
+  FaultConfig config_;
+  core::Rng rng_;
+  std::uint64_t dropouts_ = 0;
+  std::uint64_t ghosts_ = 0;
+  std::uint64_t noise_bursts_ = 0;
+  std::uint64_t steal_events_ = 0;
+  double stolen_ms_ = 0.0;
+};
+
+}  // namespace atm::rt

@@ -1,0 +1,111 @@
+#include "src/rt/governor.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "src/core/check.hpp"
+
+namespace atm::rt {
+
+namespace {
+
+const std::string kBaselineName = "baseline";
+
+}  // namespace
+
+std::string_view to_string(GovernorAction action) {
+  switch (action) {
+    case GovernorAction::kHold:
+      return "hold";
+    case GovernorAction::kDegrade:
+      return "degrade";
+    case GovernorAction::kRecover:
+      return "recover";
+  }
+  return "?";
+}
+
+Governor::Governor(const GovernorConfig& config,
+                   std::vector<std::string> ladder)
+    : config_(config), ladder_(std::move(ladder)) {
+  // Controller contract: a recover threshold at or above the degrade
+  // threshold removes the deadband and lets the level oscillate every
+  // period — the exact failure mode the hysteresis exists to prevent.
+  ATM_CHECK_MSG(!config_.enabled ||
+                    config_.recover_utilization < config_.degrade_utilization,
+                "governor hysteresis band is empty: recover_utilization="
+                    << config_.recover_utilization << " >= degrade_utilization="
+                    << config_.degrade_utilization);
+  ATM_CHECK_MSG(config_.degrade_hold_periods >= 1 &&
+                    config_.recover_hold_periods >= 1,
+                "governor hold periods must be >= 1 (degrade="
+                    << config_.degrade_hold_periods
+                    << " recover=" << config_.recover_hold_periods << ")");
+}
+
+const std::string& Governor::step_name(int level) const {
+  if (level <= 0 || level > max_level()) return kBaselineName;
+  return ladder_[static_cast<std::size_t>(level - 1)];
+}
+
+GovernorAction Governor::observe(double used_ms, double budget_ms,
+                                 bool deadline_trouble) {
+  if (!config_.enabled || ladder_.empty()) return GovernorAction::kHold;
+  ATM_CHECK_MSG(budget_ms > 0.0 && std::isfinite(used_ms) && used_ms >= 0.0,
+                "bad governor observation: used_ms=" << used_ms
+                                                     << " budget_ms="
+                                                     << budget_ms);
+  const double utilization = used_ms / budget_ms;
+  const bool hot =
+      deadline_trouble || utilization > config_.degrade_utilization;
+  const bool calm = !hot && utilization < config_.recover_utilization;
+
+  if (hot) {
+    calm_streak_ = 0;
+    if (++hot_streak_ >= config_.degrade_hold_periods &&
+        level_ < max_level()) {
+      hot_streak_ = 0;
+      const int from = level_++;
+      ++degrades_;
+      emit(GovernorAction::kDegrade, from, utilization);
+      return GovernorAction::kDegrade;
+    }
+    return GovernorAction::kHold;
+  }
+  hot_streak_ = 0;
+  if (!calm) {
+    // Deadband: neither hot enough to degrade nor calm enough to start
+    // (or continue) recovering. The level holds and any recovery streak
+    // restarts, which is what keeps a near-budget workload stable.
+    calm_streak_ = 0;
+    return GovernorAction::kHold;
+  }
+  if (++calm_streak_ >= config_.recover_hold_periods && level_ > 0) {
+    calm_streak_ = 0;
+    const int from = level_--;
+    ++recovers_;
+    emit(GovernorAction::kRecover, from, utilization);
+    return GovernorAction::kRecover;
+  }
+  return GovernorAction::kHold;
+}
+
+void Governor::emit(GovernorAction action, int from_level,
+                    double utilization_ratio) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kGovernor;
+  // The event names the ladder step being entered (degrade) or left
+  // (recover) — either way, the deeper of the two levels.
+  ev.name = step_name(std::max(level_, from_level));
+  ev.backend = trace_backend_;
+  ev.cycle = trace_cycle_;
+  ev.period = trace_period_;
+  ev.outcome = to_string(action);
+  ev.governor_level = level_;
+  ev.governor_from_level = from_level;
+  ev.utilization = utilization_ratio;
+  trace_->record(ev);
+}
+
+}  // namespace atm::rt

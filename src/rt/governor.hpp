@@ -1,0 +1,119 @@
+// Deadline-aware overload governor: a feedback controller that watches
+// per-period budget utilization and walks a degradation ladder with
+// hysteresis.
+//
+// The paper only *counts* deadline misses (rt::DeadlineMonitor): the CUDA
+// and SIMD platforms never miss, the 16-core Xeon misses many as traffic
+// grows, and the executive silently skips whatever no longer fits the
+// period. A production ATM loop must instead shed and degrade work under
+// overload — drop to a cheaper candidate enumeration, coarsen the
+// resolution sweep, shed sporadic queries — and recover step by step when
+// headroom returns. The Governor is the generic controller half of that:
+// it owns the level state machine, the thresholds, and the hysteresis,
+// while the *meaning* of each ladder step (what changes in the task
+// parameters) belongs to the layer that owns those parameters (see
+// src/atm/degrade.hpp and docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.hpp"
+
+namespace atm::rt {
+
+/// Tuning for the overload governor. Defaults are conservative: degrade
+/// quickly (one hot period) and recover slowly (four calm periods), with
+/// a deadband between the two thresholds so the level cannot oscillate on
+/// a workload that hovers near the budget.
+struct GovernorConfig {
+  /// Master switch. Disabled governors never change level and emit no
+  /// trace events, so a disabled run is bit-identical to a run without a
+  /// governor at all.
+  bool enabled = false;
+  /// Degrade one step when period utilization (time consumed since the
+  /// period's scheduled start, over the period budget) exceeds this — or
+  /// immediately when any deadline in the period was missed or skipped.
+  double degrade_utilization = 0.90;
+  /// Recover one step only while utilization stays strictly below this.
+  /// Must be below degrade_utilization: the gap is the hysteresis band.
+  double recover_utilization = 0.60;
+  /// Consecutive hot periods required before degrading one step.
+  int degrade_hold_periods = 1;
+  /// Consecutive calm periods required before recovering one step.
+  int recover_hold_periods = 4;
+};
+
+/// What the governor decided after one period observation.
+enum class GovernorAction {
+  kHold,     ///< Level unchanged (deadband, streak not yet long enough,
+             ///< already at a ladder end, or governor disabled).
+  kDegrade,  ///< Stepped one level down the ladder (level + 1).
+  kRecover,  ///< Stepped one level back up (level - 1).
+};
+
+[[nodiscard]] std::string_view to_string(GovernorAction action);
+
+/// The level state machine. Level 0 is the undegraded baseline; level k
+/// (1-based) means ladder steps 1..k are in force. The governor never
+/// moves more than one step per observation, never leaves [0, ladder
+/// size], and emits one obs::EventKind::kGovernor trace event per
+/// transition when a sink is attached.
+class Governor {
+ public:
+  /// `ladder` names the degradation steps in escalation order; its size
+  /// bounds the level. An empty ladder pins the governor at level 0.
+  Governor(const GovernorConfig& config, std::vector<std::string> ladder);
+
+  /// Feed one period's observation: `used_ms` is the time consumed
+  /// between the period's *scheduled* start and task completion (so an
+  /// overrun inherited from earlier periods counts as load),
+  /// `budget_ms` the period length, and `deadline_trouble` whether any
+  /// task in the period was missed or skipped. Returns the action taken;
+  /// level() is the level the *next* period should run at.
+  GovernorAction observe(double used_ms, double budget_ms,
+                         bool deadline_trouble);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] int max_level() const {
+    return static_cast<int>(ladder_.size());
+  }
+  /// Name of ladder step `level` (1-based); "baseline" for level 0.
+  [[nodiscard]] const std::string& step_name(int level) const;
+
+  /// Transition counts over the run.
+  [[nodiscard]] std::uint64_t degrade_count() const { return degrades_; }
+  [[nodiscard]] std::uint64_t recover_count() const { return recovers_; }
+
+  // --- Observability -------------------------------------------------------
+
+  /// Attach (or detach, with nullptr) a sink receiving one kGovernor
+  /// event per level transition. The sink is borrowed, never owned.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Stamp subsequent transition events with the executive position.
+  void set_trace_context(std::string backend, int cycle, int period) {
+    trace_backend_ = std::move(backend);
+    trace_cycle_ = cycle;
+    trace_period_ = period;
+  }
+
+ private:
+  void emit(GovernorAction action, int from_level, double utilization_ratio);
+
+  GovernorConfig config_;
+  std::vector<std::string> ladder_;
+  int level_ = 0;
+  int hot_streak_ = 0;
+  int calm_streak_ = 0;
+  std::uint64_t degrades_ = 0;
+  std::uint64_t recovers_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  std::string trace_backend_;
+  int trace_cycle_ = -1;
+  int trace_period_ = -1;
+};
+
+}  // namespace atm::rt

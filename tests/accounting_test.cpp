@@ -110,7 +110,7 @@ TEST(Accounting, PeriodLogsCarryPerPeriodDetail) {
   // The monitor's mean equals the logs' mean.
   double sum = 0.0;
   for (const PeriodLog& log : result.periods) sum += log.task1_ms;
-  EXPECT_NEAR(result.monitor.task("task1").duration_ms.mean(), sum / 16.0,
+  EXPECT_NEAR(result.deadlines().task("task1").duration_ms.mean(), sum / 16.0,
               1e-12);
 }
 

@@ -35,7 +35,7 @@ Task23Stats outcome_only(Task23Stats s) {
 PipelineConfig config_with_mode(const Scenario& scenario,
                                 BroadphaseMode mode, int cycles = 1) {
   Scenario s = scenario;
-  s.broadphase = mode;
+  s.policy.broadphase = mode;
   return make_pipeline_config(s, cycles);
 }
 
@@ -155,7 +155,7 @@ TEST(BroadphaseEquivalence, GridEdgeReentryAircraftStayIdentical) {
 
 TEST(BroadphaseEquivalence, ScenarioModeReachesBothParamBundles) {
   Scenario s = paper_airfield();
-  s.broadphase = BroadphaseMode::kGrid;
+  s.policy.broadphase = BroadphaseMode::kGrid;
   const PipelineConfig cfg = make_pipeline_config(s);
   EXPECT_EQ(cfg.task1.broadphase, BroadphaseMode::kGrid);
   EXPECT_EQ(cfg.task23.broadphase, BroadphaseMode::kGrid);

@@ -172,7 +172,7 @@ TEST(CostModel, WorstCaseWithinPaperFiveTimesBound) {
   cfg.major_cycles = 2;
   CudaBackend titan(simt::titan_x_pascal());
   const PipelineResult result = run_pipeline(titan, cfg);
-  const auto& t1 = result.monitor.task("task1").duration_ms;
+  const auto& t1 = result.deadlines().task("task1").duration_ms;
   EXPECT_LT(t1.max(), 5.0 * t1.mean());
   EXPECT_GT(t1.max(), 0.0);
 }

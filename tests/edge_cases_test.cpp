@@ -78,7 +78,7 @@ TEST(EdgeCases, PartialDropoutStillTracksTheRest) {
   cfg.radar.dropout_probability = 0.2;
   auto backend = make_gtx_880m();
   const PipelineResult result = run_pipeline(*backend, cfg);
-  EXPECT_EQ(result.monitor.total_missed(), 0u);
+  EXPECT_EQ(result.deadlines().total_missed(), 0u);
   // Roughly 80% of radars still correlate.
   EXPECT_GT(result.last_task1.matched, 250u);
   EXPECT_GT(result.last_task1.unmatched_radars, 30u);

@@ -1,0 +1,195 @@
+// Determinism and semantics of the seeded fault injector
+// (src/rt/faults.hpp): the same (seed, config, call sequence) must
+// produce bit-identical faulted frames, and each fault family must do
+// exactly what it says to a frame.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/airfield/radar.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/platforms.hpp"
+#include "src/core/rng.hpp"
+#include "src/rt/faults.hpp"
+
+namespace atm::rt {
+namespace {
+
+airfield::RadarFrame make_frame(std::size_t n, std::uint64_t seed) {
+  airfield::RadarFrame frame;
+  core::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    frame.rx.push_back(rng.uniform(-128.0, 128.0));
+    frame.ry.push_back(rng.uniform(-128.0, 128.0));
+    frame.truth.push_back(static_cast<std::int32_t>(i));
+  }
+  return frame;
+}
+
+FaultConfig everything_config() {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.dropout_burst_probability = 0.5;
+  cfg.dropout_fraction = 0.3;
+  cfg.ghost_probability = 0.05;
+  cfg.noise_burst_probability = 0.5;
+  cfg.noise_burst_nm = 2.0;
+  cfg.stolen_time_probability = 0.25;
+  cfg.stolen_time_ms = 100.0;
+  return cfg;
+}
+
+TEST(FaultInjector, SameSeedProducesBitIdenticalFrames) {
+  const FaultConfig cfg = everything_config();
+  FaultInjector a(cfg, 42);
+  FaultInjector b(cfg, 42);
+  for (int period = 0; period < 32; ++period) {
+    airfield::RadarFrame fa = make_frame(257, 7u + period);
+    airfield::RadarFrame fb = make_frame(257, 7u + period);
+    a.apply(fa);
+    b.apply(fb);
+    ASSERT_EQ(fa.rx, fb.rx) << "period " << period;
+    ASSERT_EQ(fa.ry, fb.ry) << "period " << period;
+    ASSERT_EQ(fa.truth, fb.truth) << "period " << period;
+    ASSERT_EQ(a.steal_ms(), b.steal_ms()) << "period " << period;
+  }
+  EXPECT_EQ(a.total_dropouts(), b.total_dropouts());
+  EXPECT_EQ(a.total_ghosts(), b.total_ghosts());
+  EXPECT_EQ(a.total_stolen_ms(), b.total_stolen_ms());
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  const FaultConfig cfg = everything_config();
+  FaultInjector a(cfg, 42);
+  FaultInjector b(cfg, 43);
+  bool diverged = false;
+  for (int period = 0; period < 16 && !diverged; ++period) {
+    airfield::RadarFrame fa = make_frame(257, 7u + period);
+    airfield::RadarFrame fb = make_frame(257, 7u + period);
+    a.apply(fa);
+    b.apply(fb);
+    diverged = fa.rx != fb.rx;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, DisabledInjectorNeverTouchesAFrame) {
+  FaultConfig cfg = everything_config();
+  cfg.enabled = false;
+  FaultInjector inj(cfg, 42);
+  airfield::RadarFrame frame = make_frame(100, 9);
+  const airfield::RadarFrame before = frame;
+  const FrameFaultSummary summary = inj.apply(frame);
+  EXPECT_EQ(frame.rx, before.rx);
+  EXPECT_EQ(frame.ry, before.ry);
+  EXPECT_EQ(summary.dropouts, 0u);
+  EXPECT_EQ(summary.ghosts, 0u);
+  EXPECT_FALSE(summary.noise_burst);
+  EXPECT_DOUBLE_EQ(inj.steal_ms(), 0.0);
+}
+
+TEST(FaultInjector, DropoutsReplaceReturnsWithTheSentinel) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.dropout_burst_probability = 1.0;
+  cfg.dropout_fraction = 1.0;
+  FaultInjector inj(cfg, 1);
+  airfield::RadarFrame frame = make_frame(64, 2);
+  const FrameFaultSummary summary = inj.apply(frame);
+  EXPECT_EQ(summary.dropouts, 64u);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_GE(frame.rx[i], airfield::kDropoutCoordinate);
+    EXPECT_GE(frame.ry[i], airfield::kDropoutCoordinate);
+  }
+  // Frame size is invariant under every fault family.
+  EXPECT_EQ(frame.size(), 64u);
+}
+
+TEST(FaultInjector, GhostsDuplicateAnotherReturnInPlace) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.ghost_probability = 1.0;
+  FaultInjector inj(cfg, 3);
+  airfield::RadarFrame frame = make_frame(128, 4);
+  const airfield::RadarFrame before = frame;
+  const FrameFaultSummary summary = inj.apply(frame);
+  EXPECT_GT(summary.ghosts, 0u);
+  EXPECT_EQ(frame.size(), before.size());
+  // Every return still holds a value that exists somewhere in the frame's
+  // lineage: either its own original echo or a copy of another slot.
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (frame.truth[i] != before.truth[i]) ++moved;
+  }
+  // A chain of ghosts can coincidentally restore a slot's original truth,
+  // so moved is bounded by — not equal to — the ghost count.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, summary.ghosts);
+}
+
+TEST(FaultInjector, StolenTimeIsAllOrNothingPerPeriod) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.stolen_time_probability = 0.5;
+  cfg.stolen_time_ms = 42.0;
+  FaultInjector inj(cfg, 5);
+  std::uint64_t events = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double ms = inj.steal_ms();
+    if (ms > 0.0) {
+      EXPECT_DOUBLE_EQ(ms, 42.0);
+      ++events;
+    }
+  }
+  EXPECT_EQ(inj.total_steal_events(), events);
+  EXPECT_DOUBLE_EQ(inj.total_stolen_ms(), 42.0 * static_cast<double>(events));
+  // ~50% rate; a wildly skewed draw would mean the stream is broken.
+  EXPECT_GT(events, 120u);
+  EXPECT_LT(events, 280u);
+}
+
+TEST(FaultedPipeline, SameSeedSameFaultsSameResult) {
+  // End to end: a faulted virtual-mode run is a pure function of
+  // (seed, config) — the whole point of seeding the injector.
+  tasks::PipelineConfig cfg;
+  cfg.aircraft = 300;
+  cfg.major_cycles = 2;
+  cfg.faults = everything_config();
+  cfg.faults.stolen_time_ms = 30.0;
+  auto a = tasks::make_titan_x_pascal();
+  auto b = tasks::make_titan_x_pascal();
+  const tasks::PipelineResult ra = tasks::run_pipeline(*a, cfg);
+  const tasks::PipelineResult rb = tasks::run_pipeline(*b, cfg);
+  EXPECT_EQ(ra.virtual_end_ms, rb.virtual_end_ms);
+  EXPECT_EQ(ra.last_task1, rb.last_task1);
+  EXPECT_EQ(ra.last_task23, rb.last_task23);
+  ASSERT_EQ(ra.periods.size(), rb.periods.size());
+  for (std::size_t i = 0; i < ra.periods.size(); ++i) {
+    EXPECT_EQ(ra.periods[i].task1_ms, rb.periods[i].task1_ms);
+    EXPECT_EQ(ra.periods[i].stolen_ms, rb.periods[i].stolen_ms);
+  }
+  EXPECT_TRUE(a->state().same_flight_state(b->state()));
+}
+
+TEST(FaultedPipeline, DropoutsReduceMatchesButTrackingSurvives) {
+  tasks::PipelineConfig cfg;
+  cfg.aircraft = 400;
+  cfg.major_cycles = 1;
+  auto clean_backend = tasks::make_reference();
+  const tasks::PipelineResult clean =
+      tasks::run_pipeline(*clean_backend, cfg);
+  cfg.faults.enabled = true;
+  cfg.faults.dropout_burst_probability = 1.0;
+  cfg.faults.dropout_fraction = 0.3;
+  auto faulted_backend = tasks::make_reference();
+  const tasks::PipelineResult faulted =
+      tasks::run_pipeline(*faulted_backend, cfg);
+  // Roughly 30% of returns vanish every period: fewer matches, but the
+  // tracker keeps the majority of the fleet.
+  EXPECT_LT(faulted.last_task1.matched, clean.last_task1.matched);
+  EXPECT_GT(faulted.last_task1.matched, 400u / 2);
+  EXPECT_GT(faulted.last_task1.unmatched_radars, 0u);
+}
+
+}  // namespace
+}  // namespace atm::rt

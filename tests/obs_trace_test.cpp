@@ -44,12 +44,12 @@ TEST(ObsTrace, TaskEventCountsMatchSchedule) {
   EXPECT_EQ(sink.count(EventKind::kSpanEnd, "period"), 32u);
   // Deadline events agree with the monitor's aggregates.
   EXPECT_EQ(sink.count_outcome("task1", "met"),
-            result.monitor.task("task1").met);
+            result.deadlines().task("task1").met);
   EXPECT_EQ(sink.count_outcome("task23", "met"),
-            result.monitor.task("task23").met);
+            result.deadlines().task("task23").met);
   EXPECT_EQ(sink.count(EventKind::kDeadline),
-            result.monitor.total_met() + result.monitor.total_missed() +
-                result.monitor.total_skipped());
+            result.deadlines().total_met() + result.deadlines().total_missed() +
+                result.deadlines().total_skipped());
 }
 
 TEST(ObsTrace, EventsCarryContextAndPayload) {
@@ -122,8 +122,8 @@ TEST(ObsTrace, MissAndSkipEventsAgreeWithMonitor) {
   cfg.trace = &sink;
   const PipelineResult result = run_pipeline(slow, cfg);
 
-  ASSERT_GT(result.monitor.total_missed(), 0u);
-  ASSERT_GT(result.monitor.total_skipped(), 0u);
+  ASSERT_GT(result.deadlines().total_missed(), 0u);
+  ASSERT_GT(result.deadlines().total_skipped(), 0u);
   std::uint64_t missed = 0;
   std::uint64_t skipped = 0;
   for (const TraceEvent& ev : sink.events()) {
@@ -135,8 +135,8 @@ TEST(ObsTrace, MissAndSkipEventsAgreeWithMonitor) {
       ++skipped;
     }
   }
-  EXPECT_EQ(missed, result.monitor.total_missed());
-  EXPECT_EQ(skipped, result.monitor.total_skipped());
+  EXPECT_EQ(missed, result.deadlines().total_missed());
+  EXPECT_EQ(skipped, result.deadlines().total_skipped());
 }
 
 TEST(ObsTrace, NullSinkProducesBitIdenticalResults) {
@@ -160,8 +160,8 @@ TEST(ObsTrace, NullSinkProducesBitIdenticalResults) {
     EXPECT_EQ(with.periods[i].task1_outcome, without.periods[i].task1_outcome);
   }
   EXPECT_EQ(with.virtual_end_ms, without.virtual_end_ms);
-  EXPECT_EQ(with.monitor.total_met(), without.monitor.total_met());
-  EXPECT_EQ(with.monitor.total_missed(), without.monitor.total_missed());
+  EXPECT_EQ(with.deadlines().total_met(), without.deadlines().total_met());
+  EXPECT_EQ(with.deadlines().total_missed(), without.deadlines().total_missed());
   EXPECT_EQ(with.last_task1, without.last_task1);
   EXPECT_EQ(with.last_task23, without.last_task23);
   EXPECT_TRUE(traced->state().same_flight_state(bare->state()));

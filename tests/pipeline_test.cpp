@@ -30,8 +30,8 @@ TEST(Pipeline, PaperScheduleShape) {
     }
   }
   EXPECT_EQ(task23_runs, 2);
-  EXPECT_EQ(result.monitor.task("task1").scheduled(), 32u);
-  EXPECT_EQ(result.monitor.task("task23").scheduled(), 2u);
+  EXPECT_EQ(result.deadlines().task("task1").scheduled(), 32u);
+  EXPECT_EQ(result.deadlines().task("task23").scheduled(), 2u);
 }
 
 TEST(Pipeline, VirtualTimeEndsOnCycleBoundary) {
@@ -51,8 +51,8 @@ TEST(Pipeline, FastPlatformNeverMissesDeadlines) {
   cfg.aircraft = 1500;
   cfg.major_cycles = 1;
   const PipelineResult result = run_pipeline(*titan, cfg);
-  EXPECT_EQ(result.monitor.total_missed(), 0u);
-  EXPECT_EQ(result.monitor.total_skipped(), 0u);
+  EXPECT_EQ(result.deadlines().total_missed(), 0u);
+  EXPECT_EQ(result.deadlines().total_skipped(), 0u);
 }
 
 TEST(Pipeline, OverloadedPlatformMissesAndSkips) {
@@ -76,8 +76,8 @@ TEST(Pipeline, OverloadedPlatformMissesAndSkips) {
   cfg.aircraft = 50;
   cfg.major_cycles = 1;
   const PipelineResult result = run_pipeline(slow, cfg);
-  EXPECT_GT(result.monitor.total_missed(), 0u);
-  EXPECT_GT(result.monitor.total_skipped(), 0u);
+  EXPECT_GT(result.deadlines().total_missed(), 0u);
+  EXPECT_GT(result.deadlines().total_skipped(), 0u);
   // Overruns delay the virtual clock past the nominal cycle end.
   EXPECT_GT(result.virtual_end_ms, core::kMajorCycleSeconds * 1000.0);
 }
@@ -155,7 +155,7 @@ TEST(Pipeline, RadarTimeReportedButNotCharged) {
   double radar_total = 0.0;
   for (const PeriodLog& log : result.periods) radar_total += log.radar_ms;
   EXPECT_GT(radar_total, 0.0);
-  EXPECT_EQ(result.monitor.total_missed(), 0u);
+  EXPECT_EQ(result.deadlines().total_missed(), 0u);
 }
 
 TEST(Pipeline, PreloadedRunContinuesExistingState) {

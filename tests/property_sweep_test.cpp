@@ -48,8 +48,8 @@ TEST_P(PipelinePropertyTest, CoreInvariantsOverAFullCycle) {
   }
 
   // Task accounting: 16 Task 1 instances, 1 Tasks 2+3 instance.
-  EXPECT_EQ(result.monitor.task("task1").scheduled(), 16u);
-  EXPECT_EQ(result.monitor.task("task23").scheduled(), 1u);
+  EXPECT_EQ(result.deadlines().task("task1").scheduled(), 16u);
+  EXPECT_EQ(result.deadlines().task("task23").scheduled(), 1u);
 
   // Correlation sanity at the paper's noise level.
   EXPECT_GT(result.last_task1.matched, aircraft * 6 / 10);

@@ -44,9 +44,9 @@ TEST_P(ScenarioRunTest, EveryScenarioRunsCleanOnTheResearchCard) {
   auto backend = make_titan_x_pascal();
   const PipelineConfig cfg = make_pipeline_config(scenario, 1, 7);
   const PipelineResult result = run_pipeline(*backend, cfg);
-  EXPECT_EQ(result.monitor.total_missed(), 0u)
+  EXPECT_EQ(result.deadlines().total_missed(), 0u)
       << scenario.name << " missed deadlines on the Titan X";
-  EXPECT_EQ(result.monitor.task("task1").scheduled(), 16u);
+  EXPECT_EQ(result.deadlines().task("task1").scheduled(), 16u);
   // The flight population survived intact.
   EXPECT_EQ(backend->state().size(), scenario.default_aircraft);
 }

@@ -43,9 +43,9 @@ Task23Stats outcome_only(Task23Stats s) {
 PipelineConfig make_config(const Scenario& scenario, BroadphaseMode phase,
                            ShardMode shard, int sectors_per_axis) {
   Scenario s = scenario;
-  s.broadphase = phase;
-  s.shard = shard;
-  s.sectors_per_axis = sectors_per_axis;
+  s.policy.broadphase = phase;
+  s.policy.shard = shard;
+  s.policy.sectors_per_axis = sectors_per_axis;
   return make_pipeline_config(s);
 }
 
@@ -177,8 +177,8 @@ TEST(SectorEquivalence, BoundaryClusterAtSectorSeamsStaysIdentical) {
   PipelineConfig base_cfg = make_pipeline_config(s);
   base_cfg.aircraft = db.size();
   base_cfg.preloaded = true;
-  s.shard = ShardMode::kSectors;
-  s.sectors_per_axis = 4;
+  s.policy.shard = ShardMode::kSectors;
+  s.policy.sectors_per_axis = 4;
   PipelineConfig shard_cfg = make_pipeline_config(s);
   shard_cfg.aircraft = db.size();
   shard_cfg.preloaded = true;
@@ -201,8 +201,8 @@ TEST(SectorEquivalence, BoundaryClusterAtSectorSeamsStaysIdentical) {
 
 TEST(SectorEquivalence, ScenarioShardKnobsReachBothParamBundles) {
   Scenario s = paper_airfield();
-  s.shard = ShardMode::kSectors;
-  s.sectors_per_axis = 8;
+  s.policy.shard = ShardMode::kSectors;
+  s.policy.sectors_per_axis = 8;
   const PipelineConfig cfg = make_pipeline_config(s);
   EXPECT_EQ(cfg.task1.shard, ShardMode::kSectors);
   EXPECT_EQ(cfg.task1.sectors_per_axis, 8);

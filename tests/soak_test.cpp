@@ -27,9 +27,9 @@ TEST(Soak, ThirtyMajorCyclesStayConsistent) {
   const PipelineResult result = run_pipeline(*backend, cfg);
 
   // Scheduling: 480 Task 1 periods, 30 collision passes, zero misses.
-  EXPECT_EQ(result.monitor.task("task1").scheduled(), 480u);
-  EXPECT_EQ(result.monitor.task("task23").scheduled(), 30u);
-  EXPECT_EQ(result.monitor.total_missed(), 0u);
+  EXPECT_EQ(result.deadlines().task("task1").scheduled(), 480u);
+  EXPECT_EQ(result.deadlines().task("task23").scheduled(), 30u);
+  EXPECT_EQ(result.deadlines().total_missed(), 0u);
   EXPECT_DOUBLE_EQ(result.virtual_end_ms, 30.0 * 8000.0);
 
   // State integrity after 4 simulated minutes.

@@ -184,6 +184,46 @@ INSTANTIATE_TEST_SUITE_P(
                                                                 : "brute";
     });
 
+// --- Governed + faulted pipelines sharing one sink --------------------------
+
+TEST(TsanStress, GovernedFaultedPipelinesShareOneSink) {
+  // Two threads each drive their own governed, fault-injected MIMD
+  // pipeline (thread pool inside each backend) into ONE shared recording
+  // sink: governor transitions, deadline events, and per-task events all
+  // interleave through the sink's mutex while the injector perturbs
+  // every frame. Each run stays independently deterministic — the shared
+  // sink is observability, never state.
+  obs::RecordingSink sink;
+  tasks::PipelineConfig cfg;
+  cfg.aircraft = 300;
+  cfg.major_cycles = 1;
+  cfg.trace = &sink;
+  cfg.governor.enabled = true;
+  cfg.faults.enabled = true;
+  cfg.faults.dropout_burst_probability = 0.5;
+  cfg.faults.dropout_fraction = 0.25;
+  cfg.faults.ghost_probability = 0.02;
+  cfg.faults.stolen_time_probability = 1.0;
+  cfg.faults.stolen_time_ms = 480.0;  // keep every period hot
+
+  double end_a = 0.0;
+  double end_b = 0.0;
+  std::thread ta([&] {
+    tasks::MimdBackend backend(mimd::paper_xeon_spec(), /*pool_workers=*/4);
+    end_a = tasks::run_pipeline(backend, cfg).virtual_end_ms;
+  });
+  std::thread tb([&] {
+    tasks::MimdBackend backend(mimd::paper_xeon_spec(), /*pool_workers=*/4);
+    end_b = tasks::run_pipeline(backend, cfg).virtual_end_ms;
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(end_a, end_b);
+  // Both governors walked the ladder and traced it into the shared sink.
+  EXPECT_GE(sink.count(obs::EventKind::kGovernor), 2u);
+  EXPECT_GT(sink.count(obs::EventKind::kDeadline), 0u);
+}
+
 // --- Concurrent trace-sink emission -----------------------------------------
 
 TEST(TsanStress, RecordingSinkConcurrentEmission) {

@@ -94,8 +94,8 @@ TEST(VectorBackend, HoldsDeadlinesInPipeline) {
   cfg.major_cycles = 1;
   VectorBackend phi;
   const PipelineResult result = run_pipeline(phi, cfg);
-  EXPECT_EQ(result.monitor.total_missed(), 0u);
-  EXPECT_EQ(result.monitor.total_skipped(), 0u);
+  EXPECT_EQ(result.deadlines().total_missed(), 0u);
+  EXPECT_EQ(result.deadlines().total_skipped(), 0u);
 }
 
 TEST(VectorBackend, Avx512DesktopFasterThanPhiPerCore) {

@@ -24,8 +24,8 @@ TEST(WallClock, SmallWorkloadHoldsRealDeadlines) {
   const PipelineResult result = run_pipeline(ref, cfg);
   const double elapsed = sw.elapsed_ms();
 
-  EXPECT_EQ(result.monitor.total_missed(), 0u);
-  EXPECT_EQ(result.monitor.total_skipped(), 0u);
+  EXPECT_EQ(result.deadlines().total_missed(), 0u);
+  EXPECT_EQ(result.deadlines().total_skipped(), 0u);
   // The executive waited out each period: the run cannot finish early.
   EXPECT_GE(elapsed, 16 * 40.0 - 5.0);
   EXPECT_DOUBLE_EQ(static_cast<double>(result.periods.size()), 16.0);
@@ -41,7 +41,7 @@ TEST(WallClock, ImpossiblePeriodMissesAndSkips) {
   cfg.real_period_ms = 1.0;
   ReferenceBackend ref;
   const PipelineResult result = run_pipeline(ref, cfg);
-  EXPECT_GT(result.monitor.total_missed() + result.monitor.total_skipped(),
+  EXPECT_GT(result.deadlines().total_missed() + result.deadlines().total_skipped(),
             0u);
 }
 
@@ -57,6 +57,39 @@ TEST(WallClock, DurationsAreRealNotModeled) {
   const PipelineResult result = run_pipeline(ref, cfg);
   EXPECT_GT(result.task1_ms.mean(), 0.0);
   EXPECT_LT(result.task1_ms.max(), 25.0);
+}
+
+TEST(WallClock, GovernorConvertsSkipsIntoDegradedMetPeriods) {
+  // 3000 aircraft brute-force Task 1 takes ~10x a 25 ms real period on
+  // this host, so the ungoverned executive misses and skips nearly every
+  // instance. The governed executive degrades to the grid broadphase
+  // after the first bad period and then *meets* deadlines while degraded.
+  PipelineConfig cfg;
+  cfg.aircraft = 3000;
+  cfg.major_cycles = 2;
+  cfg.clock_mode = ClockMode::kWallclock;
+  cfg.real_period_ms = 25.0;
+  ReferenceBackend ungoverned_ref;
+  const PipelineResult ungoverned = run_pipeline(ungoverned_ref, cfg);
+  ASSERT_GT(ungoverned.missed_or_skipped(), 4u);
+
+  cfg.governor.enabled = true;
+  // Hold every degradation for the whole run: this smoke is about the
+  // degrade direction, not the recovery schedule.
+  cfg.governor.recover_hold_periods = 1000;
+  ReferenceBackend governed_ref;
+  const PipelineResult governed = run_pipeline(governed_ref, cfg);
+
+  EXPECT_GT(governed.governor_degrades, 0u);
+  EXPECT_LT(governed.missed_or_skipped(), ungoverned.missed_or_skipped());
+  // The converted periods: degraded (level > 0) yet meeting the deadline.
+  std::size_t degraded_met = 0;
+  for (const PeriodLog& log : governed.periods) {
+    if (log.governor_level > 0 && log.task1_outcome == rt::Outcome::kMet) {
+      ++degraded_met;
+    }
+  }
+  EXPECT_GT(degraded_met, 0u);
 }
 
 TEST(WallClock, RecorderWorksInWallClockModeToo) {

@@ -37,7 +37,15 @@ followed by a reason):
                         make_pipeline_config / make_full_config (the
                         scenario registry) so every example states *what*
                         it simulates and picks up scenario-wide knobs
-                        (broadphase, sharding) from the single surface.
+                        (broadphase, sharding, governor, faults) from the
+                        single surface. Additionally, neither examples/
+                        nor bench/ may assign into cfg.task1.* /
+                        cfg.task23.* directly: those bundles are owned by
+                        Scenario::policy (and, at run time, by the
+                        degradation ladder) — poking them from a driver
+                        silently diverges from what `--scenario` claims
+                        to run. Tests are exempt (they probe params on
+                        purpose).
 
 Usage:
   lint_atm.py [ROOT]    lint ROOT (default: repo root containing tools/)
@@ -99,6 +107,9 @@ NOLINT = re.compile(r"NOLINT(NEXTLINE)?(\(([^)]*)\))?(.*)")
 BACKEND_CLASS = re.compile(r"class\s+(\w+Backend)[\w\s]*:\s*public\s+Backend")
 HANDROLLED_CONFIG = re.compile(
     r"\b(?:\w+::)*(PipelineConfig|FullSystemConfig)\s+\w+\s*;")
+#: Assignment into a task-parameter bundle (`cfg.task1.x = ...`). The
+#: trailing [^=] keeps comparisons (`==`) out.
+TASK_PARAM_POKE = re.compile(r"\.(task1|task23)(?:\.\w+)+\s*=(?!=)")
 
 
 class Violation:
@@ -224,19 +235,29 @@ def check_nolint_reason(path: Path, text: str) -> list[Violation]:
     return out
 
 
-def check_scenario_configs(path: Path, text: str) -> list[Violation]:
+def check_scenario_configs(path: Path, text: str,
+                           handrolled: bool = True) -> list[Violation]:
     out: list[Violation] = []
     lines = text.splitlines()
     for i, line in enumerate(lines):
-        m = HANDROLLED_CONFIG.search(line)
-        if not m or _waived(lines, i, "scenario-configs"):
-            continue
-        maker = ("make_pipeline_config" if m.group(1) == "PipelineConfig"
-                 else "make_full_config")
-        out.append(Violation(
-            "scenario-configs", path, i + 1,
-            f"hand-rolled {m.group(1)} in an example: instantiate via "
-            f"{maker}(<scenario>, ...) and override fields after"))
+        if handrolled:
+            m = HANDROLLED_CONFIG.search(line)
+            if m and not _waived(lines, i, "scenario-configs"):
+                maker = ("make_pipeline_config"
+                         if m.group(1) == "PipelineConfig"
+                         else "make_full_config")
+                out.append(Violation(
+                    "scenario-configs", path, i + 1,
+                    f"hand-rolled {m.group(1)} in an example: instantiate "
+                    f"via {maker}(<scenario>, ...) and override fields "
+                    "after"))
+        poke = TASK_PARAM_POKE.search(line)
+        if poke and not _waived(lines, i, "scenario-configs"):
+            out.append(Violation(
+                "scenario-configs", path, i + 1,
+                f"direct write into {poke.group(1)} params: route this "
+                "knob through Scenario::policy (scenarios.hpp) so the "
+                "scenario name still describes the run"))
     return out
 
 
@@ -284,6 +305,13 @@ def lint(root: Path) -> list[Violation]:
         for path in sorted(examples.rglob("*.cpp")):
             violations += check_scenario_configs(
                 path, path.read_text(encoding="utf-8"))
+    bench = root / "bench"
+    if bench.is_dir():
+        # Benches may hand-assemble configs (they sweep axes on purpose)
+        # but must not poke task-parameter bundles past the scenario.
+        for path in sorted(bench.rglob("*.cpp")):
+            violations += check_scenario_configs(
+                path, path.read_text(encoding="utf-8"), handrolled=False)
     return violations
 
 
@@ -313,6 +341,14 @@ int main() {
   cfg.aircraft = 42;
 }
 """,
+    "bench/good_bench.cpp": """
+int main() {
+  tasks::Scenario s = tasks::dense_en_route();
+  s.policy.governor.enabled = true;
+  tasks::PipelineConfig cfg = tasks::make_pipeline_config(s);
+  bool brute = cfg.task1.broadphase == core::spatial::kBruteForce;
+}
+""",
 }
 
 _FIXTURE_VIOLATIONS = {
@@ -337,6 +373,12 @@ int main() {
   cfg.aircraft = 42;
 }
 """,
+    "bench/bad_bench.cpp": """
+int main() {
+  tasks::PipelineConfig cfg = tasks::make_pipeline_config(scenario);
+  cfg.task23.resolution.turn_step_deg = 6.0;
+}
+""",
 }
 
 
@@ -357,7 +399,8 @@ def self_test() -> int:
             "no-nondeterminism": 2,   # time(nullptr), std::rand
             "backend-registration": 2,  # BadBackend + OrphanBackend
             "nolint-reason": 1,       # bare NOLINT
-            "scenario-configs": 1,    # hand-rolled PipelineConfig
+            # hand-rolled PipelineConfig + bench task-param poke
+            "scenario-configs": 2,
         }
         ok = by_rule == want
         if not ok:

@@ -21,14 +21,26 @@ schema). The summary prints, per backend:
   * a per-sector rollup — for sharded runs (--shard sectors), one row
     per (counter, sector) over the per-sector counter events the host
     backends emit (task1.sector_owned, task23.sector_candidates, ...),
-    so load imbalance across the partition is visible from one trace.
+    so load imbalance across the partition is visible from one trace,
+    and
+  * a governor-transition table — for governed runs (--governor), one
+    row per overload-governor level change (kind "governor"), in trace
+    order: when the executive degraded, which ladder rung it took, at
+    what measured utilization, and when it recovered.
+
+`trace_summary.py --self-test` checks the summary of a built-in fixture
+trace against a golden transcript (run by ctest as
+trace_summary_self_test).
 
 Only the standard library is required.
 """
 import collections
+import contextlib
+import io
 import json
 import pathlib
 import sys
+import tempfile
 
 
 def fmt_ms(value):
@@ -88,6 +100,8 @@ def summarize(path):
     # backend -> (counter, sector) -> [count, total]
     sectors = collections.defaultdict(
         lambda: collections.defaultdict(lambda: [0, 0]))
+    # backend -> [governor transition events, in trace order]
+    governor = collections.defaultdict(list)
     bad_lines = 0
     events = 0
 
@@ -117,6 +131,8 @@ def summarize(path):
                 cell = sectors[backend][(name, ev["sector"])]
                 cell[0] += 1
                 cell[1] += ev.get("value", 0)
+            elif kind == "governor":
+                governor[backend].append(ev)
 
     if bad_lines:
         print(f"warning: {bad_lines} unparseable line(s) skipped",
@@ -125,7 +141,7 @@ def summarize(path):
         print(f"no trace events in {path}")
         return 1
 
-    for backend in sorted(tasks):
+    for backend in sorted(set(tasks) | set(governor)):
         print(f"\n== {backend} ==")
         print(f"{'task':<10} {'met':>6} {'missed':>7} {'skipped':>8} "
               f"{'worst slack [ms]':>17} {'mean modeled [ms]':>18}")
@@ -158,6 +174,21 @@ def summarize(path):
                 print(f"{counter:<24} {sector:>7} {count:>7} "
                       f"{mean:>10.1f} {total:>12}")
 
+        if governor[backend]:
+            transitions = governor[backend]
+            print(f"\ngovernor transitions ({len(transitions)}):")
+            print(f"{'cycle':>6} {'period':>7} {'action':<8} {'from':>4} "
+                  f"{'to':>3} {'rung':<18} {'utilization':>12}")
+            for ev in transitions:
+                util = ev.get("utilization")
+                print(f"{ev.get('cycle', -1):>6} {ev.get('period', -1):>7} "
+                      f"{ev.get('outcome', '?'):<8} "
+                      f"{ev.get('from_level', -1):>4} "
+                      f"{ev.get('level', -1):>3} {ev.get('name', '?'):<18} "
+                      f"{fmt_ms(util):>12}")
+            final = transitions[-1].get("level", -1)
+            print(f"final level: {final}")
+
         trouble = {key: counts for key, counts in periods[backend].items()
                    if counts["missed"] or counts["skipped"]}
         if not trouble:
@@ -173,7 +204,84 @@ def summarize(path):
     return 0
 
 
+# --- self test ---------------------------------------------------------------
+
+#: A hand-written slice of a governed, faulted wall-clock run: the first
+#: periods miss, the governor walks down two rungs, holds, then takes one
+#: rung back. Key names match src/obs/jsonl_sink.cpp exactly.
+_FIXTURE_TRACE = """\
+{"kind":"deadline","backend":"xeon","name":"task1","cycle":0,"period":0,"outcome":"missed","slack_ms":-12.5}
+{"kind":"governor","backend":"xeon","name":"grid-broadphase","cycle":0,"period":0,"outcome":"degrade","level":1,"from_level":0,"utilization":1.2500}
+{"kind":"deadline","backend":"xeon","name":"task1","cycle":0,"period":1,"outcome":"missed","slack_ms":-3.0}
+{"kind":"governor","backend":"xeon","name":"raise-sectors","cycle":0,"period":1,"outcome":"degrade","level":2,"from_level":1,"utilization":1.0600}
+{"kind":"deadline","backend":"xeon","name":"task1","cycle":0,"period":2,"outcome":"met","slack_ms":4.0}
+{"kind":"deadline","backend":"xeon","name":"task1","cycle":0,"period":3,"outcome":"met","slack_ms":6.5}
+{"kind":"deadline","backend":"xeon","name":"task23","cycle":0,"period":15,"outcome":"met","slack_ms":10.0}
+{"kind":"governor","backend":"xeon","name":"raise-sectors","cycle":1,"period":3,"outcome":"recover","level":1,"from_level":2,"utilization":0.4100}
+{"kind":"task","backend":"xeon","name":"task1","cycle":0,"period":2,"measured_ms":3.2,"broadphase":"grid","pair_candidates":120,"pair_tests":40}
+"""
+
+#: Golden transcript for the fixture above. Regenerate by running the
+#: fixture through summarize() and reviewing the diff — this is the
+#: contract for the governor-transition table layout.
+_FIXTURE_GOLDEN = """\
+
+== xeon ==
+task          met  missed  skipped  worst slack [ms]  mean modeled [ms]
+task1           2       2        0          -12.5000                  -
+task23          1       0        0           10.0000                  -
+
+broadphase pruning (mean per task execution):
+task       mode    runs   candidates  exact tests    kept
+task1      grid       1        120.0         40.0   33.3%
+
+governor transitions (3):
+ cycle  period action   from  to rung                utilization
+     0       0 degrade     0   1 grid-broadphase          1.2500
+     0       1 degrade     1   2 raise-sectors            1.0600
+     1       3 recover     2   1 raise-sectors            0.4100
+final level: 1
+
+periods with misses or skips (2):
+ cycle  period   met  missed  skipped
+     0       0     0       1        0
+     0       1     0       1        0
+"""
+
+
+def self_test():
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".jsonl", prefix="trace_summary_fixture_",
+            delete=False) as fh:
+        fh.write(_FIXTURE_TRACE)
+        fixture = pathlib.Path(fh.name)
+    try:
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            status = summarize(fixture)
+        if status != 0:
+            print(f"self-test FAILED: summarize returned {status}",
+                  file=sys.stderr)
+            return 1
+        if out.getvalue() != _FIXTURE_GOLDEN:
+            print("self-test FAILED: output diverged from the golden "
+                  "transcript:", file=sys.stderr)
+            import difflib
+            diff = difflib.unified_diff(
+                _FIXTURE_GOLDEN.splitlines(keepends=True),
+                out.getvalue().splitlines(keepends=True),
+                fromfile="golden", tofile="got")
+            sys.stderr.writelines(diff)
+            return 1
+    finally:
+        fixture.unlink()
+    print("trace_summary self-test: ok")
+    return 0
+
+
 def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
     if len(sys.argv) != 2:
         print(__doc__)
         return 2
