@@ -1,0 +1,84 @@
+// Clang Thread Safety Analysis annotation macros — layer 5 of the
+// static-analysis stack (docs/STATIC_ANALYSIS.md).
+//
+// TSan (layer 1) only catches races the schedule happens to expose at
+// run time; these attributes let Clang prove lock discipline at compile
+// time, the approach Abseil and LLVM use on their own concurrency code.
+// Every ATM_* macro expands to the corresponding
+// `__attribute__((...))` under Clang and to nothing elsewhere, so GCC
+// builds are untouched (the default CI job, built with GCC and
+// -Werror, is the regression test that they really do compile away).
+//
+// The analysis runs when `ATM_THREAD_SAFETY=ON` adds `-Wthread-safety
+// -Wthread-safety-beta` (promoted to errors) to every library under
+// src/ — see the CMake option in the top-level CMakeLists.txt and the
+// negative-compile tests under tests/static/ that pin down each rule
+// the analysis enforces.
+//
+// Cheat-sheet (full reference:
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   ATM_CAPABILITY("mutex")      class is a lockable capability
+//   ATM_SCOPED_CAPABILITY        RAII class acquiring in ctor, releasing
+//                                in dtor
+//   ATM_GUARDED_BY(mu)           field may only be touched holding mu
+//   ATM_PT_GUARDED_BY(mu)        pointee may only be touched holding mu
+//   ATM_REQUIRES(mu)             caller must already hold mu
+//   ATM_ACQUIRE(mu...) / ATM_RELEASE(mu...)   function takes / drops mu
+//   ATM_TRY_ACQUIRE(true, mu)    returns `true` iff mu was taken
+//   ATM_EXCLUDES(mu)             caller must NOT hold mu (deadlock guard)
+//   ATM_NO_THREAD_SAFETY_ANALYSIS  opt a function out (forbidden outside
+//                                src/core/sync/ — lint + acceptance gate)
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define ATM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ATM_THREAD_ANNOTATION_(x)  // not Clang: annotations compile away
+#endif
+
+#define ATM_CAPABILITY(x) ATM_THREAD_ANNOTATION_(capability(x))
+
+#define ATM_SCOPED_CAPABILITY ATM_THREAD_ANNOTATION_(scoped_lockable)
+
+#define ATM_GUARDED_BY(x) ATM_THREAD_ANNOTATION_(guarded_by(x))
+
+#define ATM_PT_GUARDED_BY(x) ATM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define ATM_ACQUIRED_BEFORE(...) \
+  ATM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define ATM_ACQUIRED_AFTER(...) \
+  ATM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define ATM_REQUIRES(...) \
+  ATM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define ATM_REQUIRES_SHARED(...) \
+  ATM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define ATM_ACQUIRE(...) \
+  ATM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define ATM_ACQUIRE_SHARED(...) \
+  ATM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define ATM_RELEASE(...) \
+  ATM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define ATM_RELEASE_SHARED(...) \
+  ATM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define ATM_TRY_ACQUIRE(...) \
+  ATM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define ATM_TRY_ACQUIRE_SHARED(...) \
+  ATM_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define ATM_EXCLUDES(...) ATM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define ATM_ASSERT_CAPABILITY(x) ATM_THREAD_ANNOTATION_(assert_capability(x))
+
+#define ATM_RETURN_CAPABILITY(x) ATM_THREAD_ANNOTATION_(lock_returned(x))
+
+#define ATM_NO_THREAD_SAFETY_ANALYSIS \
+  ATM_THREAD_ANNOTATION_(no_thread_safety_analysis)

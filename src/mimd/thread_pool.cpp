@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(unsigned workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -38,7 +38,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   job.next.store(begin);
 
   {
-    std::lock_guard lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     job_ = &job;
     ++job_generation_;
   }
@@ -57,9 +57,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // Wait until every iteration ran AND no worker still holds a reference
   // to the (stack-allocated) job.
   const std::size_t total = end - begin;
-  std::unique_lock lock(mutex_);
+  sync::MutexLock lock(mutex_);
   job_ = nullptr;  // stop new workers from picking the job up
-  cv_done_.wait(lock, [&] {
+  cv_done_.wait(lock.native_handle(), [&] {
     return job.done.load() >= total && job.active.load() == 0;
   });
   // Join contract: every iteration ran exactly once. More would mean two
@@ -77,11 +77,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock lock(mutex_);
-      cv_work_.wait(lock, [&] {
-        return stop_ ||
-               (job_ != nullptr && job_generation_ != seen_generation);
-      });
+      sync::MutexLock lock(mutex_);
+      // Spelled as an explicit loop (not the predicate overload): the
+      // guarded reads sit in this function's body, where the analysis
+      // sees the scoped capability — inside a wait-predicate lambda it
+      // could not prove mutex_ is held.
+      while (!(stop_ ||
+               (job_ != nullptr && job_generation_ != seen_generation))) {
+        cv_work_.wait(lock.native_handle());
+      }
       if (stop_) return;
       job = job_;
       seen_generation = job_generation_;
@@ -95,7 +99,7 @@ void ThreadPool::worker_loop() {
       job->done.fetch_add(stop - start);
     }
     {
-      std::lock_guard lock(mutex_);
+      const sync::MutexLock lock(mutex_);
       job->active.fetch_sub(1);
     }
     cv_done_.notify_all();

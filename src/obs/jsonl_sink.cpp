@@ -121,13 +121,13 @@ std::string JsonlTraceSink::to_json(const TraceEvent& ev) {
 void JsonlTraceSink::record(const TraceEvent& event) {
   // Serialize before locking: only the stream write needs the mutex.
   const std::string line = to_json(event);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (!ok()) return;
+  const sync::MutexLock lock(mutex_);
+  if (!ok_locked()) return;
   *out_ << line << '\n';
 }
 
 void JsonlTraceSink::flush() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   if (out_ != nullptr) out_->flush();
 }
 

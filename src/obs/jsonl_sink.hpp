@@ -6,10 +6,10 @@
 #pragma once
 
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <string>
 
+#include "src/core/sync/mutex.hpp"
 #include "src/obs/trace.hpp"
 
 namespace atm::obs {
@@ -26,15 +26,27 @@ class JsonlTraceSink final : public TraceSink {
   void record(const TraceEvent& event) override;
   void flush() override;
 
-  [[nodiscard]] bool ok() const { return out_ != nullptr && out_->good(); }
+  /// Whether the sink has a healthy stream. Takes the sink's mutex:
+  /// checking stream state is a read of the same object record() writes,
+  /// so an unlocked peek would race concurrent emission (the annotation
+  /// pass surfaced exactly that — see docs/STATIC_ANALYSIS.md, layer 5).
+  [[nodiscard]] bool ok() const {
+    const sync::MutexLock lock(mutex_);
+    return ok_locked();
+  }
 
   /// Serialize one event to a JSON object (no trailing newline).
   [[nodiscard]] static std::string to_json(const TraceEvent& event);
 
  private:
-  std::mutex mutex_;  ///< Serializes record()/flush(): whole lines only.
-  std::ofstream file_;
-  std::ostream* out_ = nullptr;
+  [[nodiscard]] bool ok_locked() const ATM_REQUIRES(mutex_) {
+    return out_ != nullptr && out_->good();
+  }
+
+  mutable sync::Mutex mutex_;  ///< Serializes record()/flush(): whole
+                               ///< lines only, and guards stream state.
+  std::ofstream file_;  ///< Only touched through out_ (under mutex_).
+  std::ostream* out_ ATM_PT_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace atm::obs

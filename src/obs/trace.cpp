@@ -35,7 +35,7 @@ std::string_view to_string(EventKind kind) {
 
 std::size_t RecordingSink::count(EventKind kind,
                                  std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const TraceEvent& ev : events_) {
     if (ev.kind == kind && (name.empty() || ev.name == name)) ++n;
@@ -45,7 +45,7 @@ std::size_t RecordingSink::count(EventKind kind,
 
 std::size_t RecordingSink::count_outcome(std::string_view task,
                                          std::string_view outcome) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const TraceEvent& ev : events_) {
     if (ev.kind == EventKind::kDeadline && ev.name == task &&

@@ -15,10 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/core/sync/mutex.hpp"
 
 namespace atm::obs {
 
@@ -87,13 +88,16 @@ class TraceSink {
 class RecordingSink final : public TraceSink {
  public:
   void record(const TraceEvent& event) override {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     events_.push_back(event);
   }
 
-  /// Direct view of the recorded events. Only valid while no other
-  /// thread is recording (inspect after the emitting work has joined).
+  /// Direct view of the recorded events. The returned reference is only
+  /// valid while no other thread is recording (inspect after the
+  /// emitting work has joined); taking the lock here serializes with any
+  /// recorder still in flight at the moment of the call.
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    const sync::MutexLock lock(mutex_);
     return events_;
   }
 
@@ -107,13 +111,13 @@ class RecordingSink final : public TraceSink {
                                           std::string_view outcome) const;
 
   void clear() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     events_.clear();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable sync::Mutex mutex_;
+  std::vector<TraceEvent> events_ ATM_GUARDED_BY(mutex_);
 };
 
 /// RAII span: emits kSpanBegin at construction and kSpanEnd (carrying the

@@ -1,0 +1,60 @@
+# Negative-compile driver for the Clang Thread Safety Analysis rules
+# (docs/STATIC_ANALYSIS.md, layer 5). Run as a ctest COMMAND:
+#
+#   cmake -DCOMPILER=<clang++> -DSNIPPET=<file.cpp> -DREPO_ROOT=<root>
+#         -DEXPECT=<regex|COMPILES> -P check_compile.cmake
+#
+# EXPECT=COMPILES       the snippet must compile cleanly (positive
+#                       control: proves failures below are real findings,
+#                       not a broken include path or flag set).
+# EXPECT=<regex>        the snippet must FAIL to compile, the diagnostics
+#                       must match <regex>, and the failure must come
+#                       from the thread-safety analysis — so each rule
+#                       the analysis enforces is itself regression-tested,
+#                       the same way lint_atm.py --self-test pins its
+#                       rules.
+#
+# The flag set mirrors atm_apply_thread_safety() in the top-level
+# CMakeLists.txt; keep the two in sync.
+
+foreach(var COMPILER SNIPPET REPO_ROOT EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_compile.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only
+          -I${REPO_ROOT}
+          -Wthread-safety -Wthread-safety-beta
+          -Werror=thread-safety -Werror=thread-safety-beta
+          ${SNIPPET}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+set(diagnostics "${out}${err}")
+
+if(EXPECT STREQUAL "COMPILES")
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "positive control ${SNIPPET} failed to compile — the harness "
+      "itself is broken (wrong flags/include path?):\n${diagnostics}")
+  endif()
+  return()
+endif()
+
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "${SNIPPET} compiled cleanly but seeds a lock-discipline violation: "
+    "the thread-safety analysis no longer catches it")
+endif()
+if(NOT diagnostics MATCHES "thread-safety")
+  message(FATAL_ERROR
+    "${SNIPPET} failed for a reason other than the thread-safety "
+    "analysis:\n${diagnostics}")
+endif()
+if(NOT diagnostics MATCHES "${EXPECT}")
+  message(FATAL_ERROR
+    "${SNIPPET} failed, but its diagnostics do not match the expected "
+    "rule '${EXPECT}':\n${diagnostics}")
+endif()

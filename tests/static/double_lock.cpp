@@ -1,0 +1,21 @@
+// Negative-compile snippet: acquiring a mutex already held (std::mutex
+// self-deadlocks here at run time; the analysis rejects it at compile
+// time). Expected diagnostic:
+//   acquiring mutex 'mu' that is already held
+#include "src/core/sync/mutex.hpp"
+
+namespace {
+
+void oops(atm::sync::Mutex& mu) {
+  mu.lock();
+  mu.lock();  // BAD: already held
+  mu.unlock();
+}
+
+}  // namespace
+
+int main() {
+  atm::sync::Mutex mu;
+  oops(mu);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Negative-compile snippet: calling an ATM_REQUIRES function without
+// holding the capability it demands. Expected diagnostic:
+//   calling function 'insert_locked' requires holding mutex 'mu_'
+#include "src/core/sync/mutex.hpp"
+
+namespace {
+
+class Db {
+ public:
+  void insert_locked() ATM_REQUIRES(mu_) { ++rows_; }
+
+  void insert() {
+    insert_locked();  // BAD: caller never acquired mu_
+  }
+
+ private:
+  atm::sync::Mutex mu_;
+  int rows_ ATM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Db db;
+  db.insert();
+  return 0;
+}

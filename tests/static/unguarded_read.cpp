@@ -1,0 +1,22 @@
+// Negative-compile snippet: reading an ATM_GUARDED_BY field without
+// holding its mutex. Expected diagnostic (pinned by check_compile.cmake):
+//   reading variable 'balance_' requires holding mutex 'mu_'
+#include "src/core/sync/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  int peek() const { return balance_; }  // BAD: no lock held
+
+ private:
+  mutable atm::sync::Mutex mu_;
+  int balance_ ATM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  const Account account;
+  return account.peek();
+}

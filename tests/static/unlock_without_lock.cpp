@@ -1,0 +1,18 @@
+// Negative-compile snippet: releasing a mutex that is not held.
+// Expected diagnostic:
+//   releasing mutex 'mu' that was not held
+#include "src/core/sync/mutex.hpp"
+
+namespace {
+
+void oops(atm::sync::Mutex& mu) {
+  mu.unlock();  // BAD: never locked
+}
+
+}  // namespace
+
+int main() {
+  atm::sync::Mutex mu;
+  oops(mu);
+  return 0;
+}

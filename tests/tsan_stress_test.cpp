@@ -24,12 +24,49 @@
 #include "src/atm/scenarios.hpp"
 #include "src/core/rng.hpp"
 #include "src/core/spatial/broadphase.hpp"
+#include "src/core/sync/mutex.hpp"
 #include "src/mimd/thread_pool.hpp"
 #include "src/obs/jsonl_sink.hpp"
 #include "src/obs/trace.hpp"
 
 namespace atm {
 namespace {
+
+// --- sync::Mutex / sync::MutexLock ------------------------------------------
+
+TEST(TsanStress, AnnotatedMutexGuardsPlainCounter) {
+  // The same primitive the static layer proves (ATM_GUARDED_BY +
+  // sync::MutexLock, see tests/static/) hammered dynamically, so the
+  // compile-time and run-time race detectors cover one contract. Mixes
+  // scoped locks with the manual try_lock/lock fallback with_lock uses.
+  struct Guarded {
+    sync::Mutex mu;
+    long long value ATM_GUARDED_BY(mu) = 0;
+  } counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, t] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        if ((i + t) % 3 == 0) {
+          // StripedLocks::with_lock's contended shape.
+          if (!counter.mu.try_lock()) counter.mu.lock();
+          ++counter.value;
+          counter.mu.unlock();
+        } else {
+          const sync::MutexLock lock(counter.mu);
+          ++counter.value;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const sync::MutexLock lock(counter.mu);
+  EXPECT_EQ(counter.value,
+            static_cast<long long>(kThreads) * kAddsPerThread);
+}
 
 // --- mimd::ThreadPool -------------------------------------------------------
 
@@ -250,6 +287,45 @@ TEST(TsanStress, RecordingSinkConcurrentEmission) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(sink.count(obs::EventKind::kCounter, "stress"),
             static_cast<std::size_t>(kThreads) * kEventsPerThread);
+}
+
+TEST(TsanStress, JsonlSinkOkProbesRaceAgainstRecording) {
+  // Regression for a latent lock-contract bug the annotation pass
+  // surfaced: ok() used to read the stream's state (out_->good())
+  // without the sink mutex — racy against record()'s writes whenever
+  // the stream reports an error (healthy writes never touch the iostate
+  // word, which is why TSan alone never caught it). ok() now takes the
+  // lock (ATM_PT_GUARDED_BY(mutex_) on out_ makes the unlocked peek a
+  // compile error under clang); this test pins the concurrent
+  // ok()/record() interleaving and the lock-taking contract.
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  constexpr int kMinEvents = 2000;
+  constexpr int kProbes = 2000;
+  std::atomic<bool> prober_done{false};
+  std::thread prober([&] {
+    for (int i = 0; i < kProbes; ++i) EXPECT_TRUE(sink.ok());
+    prober_done.store(true, std::memory_order_release);
+  });
+  // Record until the prober finished (and at least kMinEvents), so the
+  // two threads are guaranteed to overlap regardless of scheduling.
+  int events = 0;
+  while (!prober_done.load(std::memory_order_acquire) ||
+         events < kMinEvents) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kCounter;
+    ev.name = "probe";
+    ev.value = static_cast<std::uint64_t>(events);
+    sink.record(ev);
+    ++events;
+  }
+  prober.join();
+  sink.flush();
+  EXPECT_TRUE(sink.ok());
+  std::size_t lines = 0;
+  std::istringstream reader(out.str());
+  for (std::string line; std::getline(reader, line);) ++lines;
+  EXPECT_EQ(lines, static_cast<std::size_t>(events));
 }
 
 TEST(TsanStress, JsonlSinkConcurrentEmissionKeepsLinesWhole) {

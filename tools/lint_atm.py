@@ -46,6 +46,14 @@ followed by a reason):
                         silently diverges from what `--scenario` claims
                         to run. Tests are exempt (they probe params on
                         purpose).
+  sync-wrapper          raw std::mutex / std::lock_guard /
+                        std::unique_lock / std::scoped_lock are forbidden
+                        in src/ outside src/core/sync/: a raw mutex is
+                        invisible to the Clang thread-safety analysis
+                        (docs/STATIC_ANALYSIS.md, layer 5), so data it
+                        guards can be touched lock-free without any
+                        build breaking. Lock through atm::sync::Mutex /
+                        MutexLock instead.
 
 Usage:
   lint_atm.py [ROOT]    lint ROOT (default: repo root containing tools/)
@@ -71,6 +79,7 @@ RULES = (
     "backend-registration",
     "nolint-reason",
     "scenario-configs",
+    "sync-wrapper",
 )
 
 # --- units-suffix vocabulary -------------------------------------------------
@@ -110,6 +119,11 @@ HANDROLLED_CONFIG = re.compile(
 #: Assignment into a task-parameter bundle (`cfg.task1.x = ...`). The
 #: trailing [^=] keeps comparisons (`==`) out.
 TASK_PARAM_POKE = re.compile(r"\.(task1|task23)(?:\.\w+)+\s*=(?!=)")
+#: Raw standard lock types (sync-wrapper). Matched on code with line
+#: comments stripped, so prose mentioning std::mutex stays legal.
+RAW_SYNC_TYPE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
 
 
 class Violation:
@@ -261,6 +275,25 @@ def check_scenario_configs(path: Path, text: str,
     return out
 
 
+def check_sync_wrapper(path: Path, text: str) -> list[Violation]:
+    # src/core/sync/ is the annotated wrapper layer itself — the one
+    # place allowed to name the raw standard types.
+    if "core/sync" in path.as_posix():
+        return []
+    out: list[Violation] = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        code = line.split("//", 1)[0]
+        m = RAW_SYNC_TYPE.search(code)
+        if m and not _waived(lines, i, "sync-wrapper"):
+            out.append(Violation(
+                "sync-wrapper", path, i + 1,
+                f"raw {m.group(0)} in src/: the thread-safety analysis "
+                "cannot see it — use atm::sync::Mutex / MutexLock "
+                "(src/core/sync/mutex.hpp)"))
+    return out
+
+
 def check_backend_registration(src: Path) -> list[Violation]:
     platforms = src / "atm" / "platforms.cpp"
     if not platforms.is_file():
@@ -299,6 +332,7 @@ def lint(root: Path) -> list[Violation]:
             violations += check_units_suffix(path, text)
         violations += check_no_nondeterminism(path, text)
         violations += check_nolint_reason(path, text)
+        violations += check_sync_wrapper(path, text)
     violations += check_backend_registration(src)
     examples = root / "examples"
     if examples.is_dir():
@@ -349,6 +383,25 @@ int main() {
   bool brute = cfg.task1.broadphase == core::spatial::kBruteForce;
 }
 """,
+    # The wrapper layer itself may (must) name the raw types...
+    "src/core/sync/mutex.hpp": """
+#include <mutex>
+namespace atm::sync {
+class Mutex {
+ private:
+  std::mutex m_;
+};
+}
+""",
+    # ...elsewhere a comment mention is fine, and a waiver silences a use.
+    "src/rt/good_waiter.cpp": """
+// interop shim over a std::mutex owned by the embedding app
+void pump(App& app) {
+  // atm-lint: allow(sync-wrapper): foreign lock owned by the host app
+  std::lock_guard<std::mutex> lk(app.mu);
+  app.drain();
+}
+""",
 }
 
 _FIXTURE_VIOLATIONS = {
@@ -379,6 +432,14 @@ int main() {
   cfg.task23.resolution.turn_step_deg = 6.0;
 }
 """,
+    "src/obs/bad_sink.hpp": """
+#pragma once
+#include <mutex>
+class BadSink {
+ private:
+  std::mutex m_;
+};
+""",
 }
 
 
@@ -401,6 +462,7 @@ def self_test() -> int:
             "nolint-reason": 1,       # bare NOLINT
             # hand-rolled PipelineConfig + bench task-param poke
             "scenario-configs": 2,
+            "sync-wrapper": 1,        # raw std::mutex outside core/sync
         }
         ok = by_rule == want
         if not ok:
