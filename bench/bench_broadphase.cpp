@@ -37,6 +37,8 @@ struct TaskRun {
 
 atm::tasks::Task1Stats outcome_task1(atm::tasks::Task1Stats s) {
   s.box_tests = 0;
+  s.kernel = -1;
+  s.lanes_masked = 0;
   return s;
 }
 
@@ -44,6 +46,8 @@ atm::tasks::Task23Stats outcome_task23(atm::tasks::Task23Stats s) {
   s.pair_tests = 0;
   s.pair_candidates = 0;
   s.rescans = 0;
+  s.kernel = -1;
+  s.lanes_masked = 0;
   return s;
 }
 
@@ -116,6 +120,23 @@ int main(int argc, char** argv) {
       bench::scenario_from_args(argc, argv, tasks::dense_en_route());
   const std::vector<std::size_t> sweep{1000, 3000, 6000};
 
+  bench::JsonReport report("broadphase",
+                           bench::json_path_from_args(argc, argv));
+  report.set_scenario(scenario.name);
+  report.add_param("task1_periods", static_cast<long long>(kTask1Periods));
+  report.add_param("task23_reps", static_cast<long long>(kTask23Reps));
+  const auto add_json = [&](const char* task, const char* backend,
+                            std::size_t n, const char* mode,
+                            const TaskRun& run, const std::string& digest) {
+    report.begin_result();
+    report.add_field("task", std::string(task));
+    report.add_field("backend", std::string(backend));
+    report.add_field("aircraft", static_cast<long long>(n));
+    report.add_field("broadphase", std::string(mode));
+    report.add_field("wall_ms", run.wall_ms);
+    report.add_field("digest", digest);
+  };
+
   core::TextTable table({"task", "backend", "aircraft", "brute [ms]",
                          "grid [ms]", "speedup", "grid candidates",
                          "grid exact tests"});
@@ -133,6 +154,10 @@ int main(int argc, char** argv) {
                                            BroadphaseMode::kGrid);
     outcomes_match &=
         outcome_task1(t1_brute.task1) == outcome_task1(t1_grid.task1);
+    add_json("task1", "reference", n, "brute", t1_brute,
+             bench::outcome_digest(t1_brute.task1));
+    add_json("task1", "reference", n, "grid", t1_grid,
+             bench::outcome_digest(t1_grid.task1));
     add_speedup_row(table, "task1", "reference", n, t1_brute, t1_grid,
                     static_cast<double>(t1_grid.task1.box_tests),
                     static_cast<double>(t1_grid.task1.box_tests));
@@ -146,6 +171,10 @@ int main(int argc, char** argv) {
                                             BroadphaseMode::kGrid);
     outcomes_match &=
         outcome_task23(t23_brute.task23) == outcome_task23(t23_grid.task23);
+    add_json("task23", "reference", n, "brute", t23_brute,
+             bench::outcome_digest(t23_brute.task23));
+    add_json("task23", "reference", n, "grid", t23_grid,
+             bench::outcome_digest(t23_grid.task23));
     add_speedup_row(table, "task23", "reference", n, t23_brute, t23_grid,
                     static_cast<double>(t23_grid.task23.pair_candidates),
                     static_cast<double>(t23_grid.task23.pair_tests));
@@ -167,6 +196,10 @@ int main(int argc, char** argv) {
         run_task23<tasks::MimdBackend>(scenario, n, BroadphaseMode::kGrid);
     outcomes_match &=
         outcome_task23(m23_brute.task23) == outcome_task23(m23_grid.task23);
+    add_json("task23", "mimd-xeon", n, "brute", m23_brute,
+             bench::outcome_digest(m23_brute.task23));
+    add_json("task23", "mimd-xeon", n, "grid", m23_grid,
+             bench::outcome_digest(m23_grid.task23));
     add_speedup_row(table, "task23", "mimd-xeon", n, m23_brute, m23_grid,
                     static_cast<double>(m23_grid.task23.pair_candidates),
                     static_cast<double>(m23_grid.task23.pair_tests));
@@ -184,7 +217,8 @@ int main(int argc, char** argv) {
   std::printf("dense-en-route @ 3000 aircraft: task1 grid speedup %.2fx, "
               "task23 grid speedup %.2fx\n",
               speedup_t1_3000, speedup_t23_3000);
-  if (!outcomes_match) return 1;
+  const bool json_ok = report.write();
+  if (!outcomes_match || !json_ok) return 1;
   std::cout << "\nObservation: the grid prunes candidate work roughly "
                "linearly in density for Task 1\nand the swept index turns "
                "the all-pairs scan into a near-linear pass over "

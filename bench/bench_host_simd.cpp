@@ -1,0 +1,316 @@
+// Host-SIMD kernel ablation: scalar vs AVX2 batch kernels on the host
+// hot paths (src/core/kern/, docs/PERF.md).
+//
+// The paper's SIMD platforms win by doing the per-record flight math in
+// lockstep lanes. The host reproduction gets the same lever from the
+// batch-kernel layer: Task 1's box tests and Tasks 2+3's band
+// intersections run 4-wide under AVX2, bit-identical to the portable
+// scalar kernels by contract. This bench measures both levels of that
+// claim on the dense-en-route scenario:
+//
+//   * end to end — full Task 1 / Tasks 2+3 runs on the reference backend
+//     under every {broadphase} x {scalar, avx2} combination, checking
+//     that the outcome digests never move while the kernel changes, and
+//   * the band kernel alone — a tight band_intersect_batch microbench at
+//     3000 aircraft, where the AVX2 kernel must clear 2x over scalar
+//     (non-smoke; the full-path wins are smaller because gathers and
+//     caller decision logic are kernel-independent).
+//
+// On hosts without AVX2 (or ATM_HOST_SIMD=OFF builds) the avx2 request
+// resolves to scalar by contract; the bench reports that and skips the
+// speedup gate instead of failing.
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/airfield/setup.hpp"
+#include "src/atm/reference_backend.hpp"
+#include "src/atm/scenarios.hpp"
+#include "src/core/kern/kernels.hpp"
+#include "src/core/kern/soa_snapshot.hpp"
+#include "src/core/table.hpp"
+#include "src/rt/clock.hpp"
+
+namespace {
+
+using atm::core::kern::Kernel;
+using atm::core::kern::KernelMode;
+using atm::core::spatial::BroadphaseMode;
+
+struct TaskRun {
+  double wall_ms = 0.0;     ///< Host wall time (sum/best, see runners).
+  double modeled_ms = 0.0;  ///< Modeled platform time.
+  atm::tasks::Task1Stats task1;
+  atm::tasks::Task23Stats task23;
+};
+
+/// Sum `periods` consecutive Task 1 runs from a fresh airfield. Radar
+/// noise is seeded identically per call, so every kernel sees
+/// bit-identical frames.
+TaskRun run_task1(const atm::tasks::Scenario& scenario, std::size_t n,
+                  BroadphaseMode phase, KernelMode kernel, int periods) {
+  using namespace atm;
+  tasks::Scenario s = scenario;
+  s.policy.broadphase = phase;
+  s.policy.kernel = kernel;
+  const tasks::PipelineConfig cfg = make_pipeline_config(s);
+  tasks::ReferenceBackend backend;
+  backend.load(airfield::make_airfield(n, cfg.seed, cfg.setup));
+  core::Rng rng(cfg.seed + 1);
+  TaskRun run;
+  for (int p = 0; p < periods; ++p) {
+    airfield::RadarFrame frame =
+        backend.generate_radar(rng, cfg.radar, nullptr);
+    const rt::Stopwatch sw;
+    const tasks::Task1Result result = backend.run_task1(frame, cfg.task1);
+    run.wall_ms += sw.elapsed_ms();
+    run.modeled_ms += result.modeled_ms;
+    run.task1 = result.stats;
+  }
+  return run;
+}
+
+/// Run Tasks 2+3 once per rep from a fresh airfield; keep the best rep.
+TaskRun run_task23(const atm::tasks::Scenario& scenario, std::size_t n,
+                   BroadphaseMode phase, KernelMode kernel, int reps) {
+  using namespace atm;
+  tasks::Scenario s = scenario;
+  s.policy.broadphase = phase;
+  s.policy.kernel = kernel;
+  const tasks::PipelineConfig cfg = make_pipeline_config(s);
+  TaskRun run;
+  for (int rep = 0; rep < reps; ++rep) {
+    tasks::ReferenceBackend backend;
+    backend.load(airfield::make_airfield(n, cfg.seed, cfg.setup));
+    const rt::Stopwatch sw;
+    const tasks::Task23Result result = backend.run_task23(cfg.task23);
+    const double ms = sw.elapsed_ms();
+    if (rep == 0 || ms < run.wall_ms) run.wall_ms = ms;
+    if (rep == 0 || result.modeled_ms < run.modeled_ms) {
+      run.modeled_ms = result.modeled_ms;
+    }
+    run.task23 = result.stats;
+  }
+  return run;
+}
+
+struct MicroRun {
+  double wall_ms = 0.0;        ///< Best-of-reps full-fleet scan time.
+  std::uint64_t conflicts = 0; ///< Conflict-lane count (digest input).
+  std::uint64_t checksum = 0;  ///< XOR of conflict tmin bit patterns.
+  std::uint64_t lanes_masked = 0;
+};
+
+/// The band kernel alone: scan every aircraft against the whole fleet
+/// through band_intersect_batch, no broadphase, no decision logic beyond
+/// a self-skip — the purest view of the lane-level speedup.
+MicroRun band_micro(const atm::airfield::FlightDb& db, Kernel kernel,
+                    int reps) {
+  using namespace atm;
+  const tasks::Task23Params defaults;
+  const core::kern::BandParams params{defaults.band_nm,
+                                      defaults.horizon_periods,
+                                      defaults.altitude_gate_feet};
+  core::kern::SoaSnapshot snap;
+  snap.gather(db);
+  const core::kern::SoaView view = snap.view();
+  const std::size_t n = view.n;
+  core::kern::AlignedVector<double> tmin(n);
+  std::vector<std::uint8_t> flags(n);
+  MicroRun best;
+  for (int rep = 0; rep < reps; ++rep) {
+    MicroRun run;
+    const rt::Stopwatch sw;
+    for (std::size_t i = 0; i < n; ++i) {
+      core::kern::band_intersect_batch(
+          kernel, view, nullptr, n, view.x[i], view.y[i], view.alt[i],
+          view.dx[i], view.dy[i], params, tmin.data(), flags.data(),
+          &run.lanes_masked);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || (flags[j] & core::kern::kBandConflict) == 0) continue;
+        ++run.conflicts;
+        std::uint64_t bits;
+        static_assert(sizeof bits == sizeof tmin[j]);
+        __builtin_memcpy(&bits, &tmin[j], sizeof bits);
+        run.checksum ^= bits;
+      }
+    }
+    run.wall_ms = sw.elapsed_ms();
+    // Each rep masks the same lanes, so keeping the fastest rep whole
+    // (lanes included) is representative.
+    if (rep == 0 || run.wall_ms < best.wall_ms) best = run;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace atm;
+  const tasks::Scenario scenario =
+      bench::scenario_from_args(argc, argv, tasks::dense_en_route());
+  const bool smoke = bench::smoke_mode();
+  const bool avx2 = core::kern::avx2_available();
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{600}
+            : std::vector<std::size_t>{1000, 3000, 6000};
+  const int task1_periods = smoke ? 2 : 8;
+  const int task23_reps = smoke ? 1 : 3;
+  const std::size_t micro_n = smoke ? 600 : 3000;
+  const int micro_reps = smoke ? 1 : 5;
+
+  bench::JsonReport report("host_simd",
+                           bench::json_path_from_args(argc, argv));
+  report.set_scenario(scenario.name);
+  report.add_param("smoke", static_cast<long long>(smoke));
+  report.add_param("avx2_available", static_cast<long long>(avx2));
+  report.add_param("task1_periods", static_cast<long long>(task1_periods));
+  report.add_param("task23_reps", static_cast<long long>(task23_reps));
+  report.add_param("micro_aircraft", static_cast<long long>(micro_n));
+  report.add_param("micro_reps", static_cast<long long>(micro_reps));
+  report.add_param("micro_speedup_gate", 2.0);
+
+  core::TextTable table({"task", "mode", "aircraft", "scalar [ms]",
+                         "avx2 [ms]", "speedup", "avx2 lanes masked",
+                         "digests"});
+  bool outcomes_match = true;
+
+  const auto add_json = [&](const char* task, const char* mode,
+                            std::size_t n, const char* kernel,
+                            const TaskRun& run, const std::string& digest,
+                            std::uint64_t lanes) {
+    report.begin_result();
+    report.add_field("task", std::string(task));
+    report.add_field("broadphase", std::string(mode));
+    report.add_field("aircraft", static_cast<long long>(n));
+    report.add_field("kernel", std::string(kernel));
+    report.add_field("wall_ms", run.wall_ms);
+    report.add_field("modeled_ms", run.modeled_ms);
+    report.add_field("digest", digest);
+    report.add_field("lanes_masked", static_cast<long long>(lanes));
+  };
+
+  for (const std::size_t n : sweep) {
+    for (const BroadphaseMode phase :
+         {BroadphaseMode::kBruteForce, BroadphaseMode::kGrid}) {
+      const char* mode = phase == BroadphaseMode::kGrid ? "grid" : "brute";
+
+      const TaskRun t1_s =
+          run_task1(scenario, n, phase, KernelMode::kScalar, task1_periods);
+      const TaskRun t1_v =
+          run_task1(scenario, n, phase, KernelMode::kAvx2, task1_periods);
+      const std::string d1_s = bench::outcome_digest(t1_s.task1);
+      const std::string d1_v = bench::outcome_digest(t1_v.task1);
+      const bool m1 = d1_s == d1_v;
+      outcomes_match &= m1;
+      table.begin_row();
+      table.add_cell("task1");
+      table.add_cell(mode);
+      table.add_cell(n);
+      table.add_cell(t1_s.wall_ms, 3);
+      table.add_cell(t1_v.wall_ms, 3);
+      table.add_cell(t1_v.wall_ms > 0.0 ? t1_s.wall_ms / t1_v.wall_ms : 0.0,
+                     2);
+      table.add_cell(t1_v.task1.lanes_masked);
+      table.add_cell(m1 ? "match" : "DIVERGED");
+      add_json("task1", mode, n, "scalar", t1_s, d1_s,
+               t1_s.task1.lanes_masked);
+      add_json("task1", mode, n, "avx2", t1_v, d1_v,
+               t1_v.task1.lanes_masked);
+
+      const TaskRun t23_s =
+          run_task23(scenario, n, phase, KernelMode::kScalar, task23_reps);
+      const TaskRun t23_v =
+          run_task23(scenario, n, phase, KernelMode::kAvx2, task23_reps);
+      const std::string d23_s = bench::outcome_digest(t23_s.task23);
+      const std::string d23_v = bench::outcome_digest(t23_v.task23);
+      const bool m23 = d23_s == d23_v;
+      outcomes_match &= m23;
+      table.begin_row();
+      table.add_cell("task23");
+      table.add_cell(mode);
+      table.add_cell(n);
+      table.add_cell(t23_s.wall_ms, 3);
+      table.add_cell(t23_v.wall_ms, 3);
+      table.add_cell(
+          t23_v.wall_ms > 0.0 ? t23_s.wall_ms / t23_v.wall_ms : 0.0, 2);
+      table.add_cell(t23_v.task23.lanes_masked);
+      table.add_cell(m23 ? "match" : "DIVERGED");
+      add_json("task23", mode, n, "scalar", t23_s, d23_s,
+               t23_s.task23.lanes_masked);
+      add_json("task23", mode, n, "avx2", t23_v, d23_v,
+               t23_v.task23.lanes_masked);
+    }
+  }
+
+  // The band kernel alone, both implementations over the same snapshot.
+  const tasks::PipelineConfig micro_cfg = make_pipeline_config(scenario);
+  const airfield::FlightDb micro_db =
+      airfield::make_airfield(micro_n, micro_cfg.seed, micro_cfg.setup);
+  const MicroRun micro_s = band_micro(micro_db, Kernel::kScalar, micro_reps);
+  const MicroRun micro_v =
+      band_micro(micro_db, core::kern::resolve(KernelMode::kAvx2),
+                 micro_reps);
+  const bool micro_match = micro_s.conflicts == micro_v.conflicts &&
+                           micro_s.checksum == micro_v.checksum;
+  outcomes_match &= micro_match;
+  const double micro_speedup =
+      micro_v.wall_ms > 0.0 ? micro_s.wall_ms / micro_v.wall_ms : 0.0;
+  report.begin_result();
+  report.add_field("task", std::string("band_kernel_micro"));
+  report.add_field("aircraft", static_cast<long long>(micro_n));
+  report.add_field("kernel", std::string("scalar"));
+  report.add_field("wall_ms", micro_s.wall_ms);
+  report.add_field("conflict_lanes",
+                   static_cast<long long>(micro_s.conflicts));
+  report.begin_result();
+  report.add_field("task", std::string("band_kernel_micro"));
+  report.add_field("aircraft", static_cast<long long>(micro_n));
+  report.add_field("kernel",
+                   std::string(avx2 ? "avx2" : "scalar (avx2 unavailable)"));
+  report.add_field("wall_ms", micro_v.wall_ms);
+  report.add_field("conflict_lanes",
+                   static_cast<long long>(micro_v.conflicts));
+  report.add_field("speedup", micro_speedup);
+
+  std::printf("== Host-SIMD kernel ablation: %s ==\n", scenario.name.c_str());
+  std::printf("%s\n", scenario.description.c_str());
+  std::printf("avx2 kernels available: %s (requests resolve to %s)\n",
+              avx2 ? "yes" : "no",
+              to_string(core::kern::resolve(KernelMode::kAuto)).data());
+  std::printf("Task 1 sums %d consecutive periods; Tasks 2+3 take the best "
+              "of %d runs.\n\n",
+              task1_periods, task23_reps);
+  std::cout << table;
+
+  std::printf("\nband_intersect_batch microbench @ %zu aircraft "
+              "(best of %d full-fleet scans):\n",
+              micro_n, micro_reps);
+  std::printf("  scalar %.3f ms, avx2 %.3f ms, speedup %.2fx, "
+              "lane digests %s\n",
+              micro_s.wall_ms, micro_v.wall_ms, micro_speedup,
+              micro_match ? "match" : "DIVERGED");
+
+  std::printf("\ntask outcomes identical across kernels: %s\n",
+              outcomes_match ? "yes" : "NO — KERNEL BUG");
+  const bool json_ok = report.write();
+  if (!outcomes_match || !json_ok) return 1;
+  if (smoke) {
+    std::printf("smoke mode: end-to-end check only, no speedup gate.\n");
+    return 0;
+  }
+  if (!avx2) {
+    std::printf("avx2 unavailable on this host/build: digest checks only, "
+                "no speedup gate.\n");
+    return 0;
+  }
+  std::cout << "\nObservation: the 4-wide AVX2 band kernel buys its win "
+               "inside the lanes — the\nfull-path speedup is smaller "
+               "because snapshot gathers and caller decision\nlogic are "
+               "kernel-independent, which is exactly the Amdahl split the "
+               "paper's\nSIMD-vs-host comparison turns on.\n";
+  return micro_speedup >= 2.0 ? 0 : 1;
+}

@@ -44,6 +44,8 @@ atm::tasks::Task1Stats outcome_task1(atm::tasks::Task1Stats s) {
   s.box_tests = 0;
   s.sectors = 0;
   s.halo_candidates = 0;
+  s.kernel = -1;
+  s.lanes_masked = 0;
   return s;
 }
 
@@ -53,6 +55,8 @@ atm::tasks::Task23Stats outcome_task23(atm::tasks::Task23Stats s) {
   s.rescans = 0;
   s.sectors = 0;
   s.halo_candidates = 0;
+  s.kernel = -1;
+  s.lanes_masked = 0;
   return s;
 }
 
@@ -124,6 +128,13 @@ int main(int argc, char** argv) {
   const int task1_periods = smoke ? 2 : 8;
   const int task23_reps = smoke ? 1 : 3;
 
+  bench::JsonReport report("sharding",
+                           bench::json_path_from_args(argc, argv));
+  report.set_scenario(scenario.name);
+  report.add_param("smoke", static_cast<long long>(smoke));
+  report.add_param("task1_periods", static_cast<long long>(task1_periods));
+  report.add_param("task23_reps", static_cast<long long>(task23_reps));
+
   core::TextTable table({"task", "metric", "aircraft", "unsharded [ms]",
                          "2x2 [ms]", "4x4 [ms]", "speedup 4x4",
                          "halo cands 4x4"});
@@ -139,6 +150,24 @@ int main(int argc, char** argv) {
           scenario, n, axis, task23_reps));
       t23_mimd.push_back(run_task23<tasks::MimdBackend>(
           scenario, n, axis, task23_reps));
+      const auto add_json = [&](const char* task, const char* backend,
+                                const TaskRun& run,
+                                const std::string& digest) {
+        report.begin_result();
+        report.add_field("task", std::string(task));
+        report.add_field("backend", std::string(backend));
+        report.add_field("aircraft", static_cast<long long>(n));
+        report.add_field("sectors_per_axis", static_cast<long long>(axis));
+        report.add_field("wall_ms", run.wall_ms);
+        report.add_field("modeled_ms", run.modeled_ms);
+        report.add_field("digest", digest);
+      };
+      add_json("task1", "reference", t1_ref.back(),
+               bench::outcome_digest(t1_ref.back().task1));
+      add_json("task23", "reference", t23_ref.back(),
+               bench::outcome_digest(t23_ref.back().task23));
+      add_json("task23", "mimd-xeon", t23_mimd.back(),
+               bench::outcome_digest(t23_mimd.back().task23));
       if (axis > 0) {
         outcomes_match &= outcome_task1(t1_ref.front().task1) ==
                           outcome_task1(t1_ref.back().task1);
@@ -188,7 +217,8 @@ int main(int argc, char** argv) {
 
   std::printf("\ntask outcomes identical across sector counts: %s\n",
               outcomes_match ? "yes" : "NO — SHARDING BUG");
-  if (!outcomes_match) return 1;
+  const bool json_ok = report.write();
+  if (!outcomes_match || !json_ok) return 1;
   if (smoke) {
     std::printf("smoke mode: end-to-end check only, no speedup gate.\n");
     return 0;

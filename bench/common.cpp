@@ -1,11 +1,13 @@
 #include "bench/common.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-
 #include <memory>
+#include <string_view>
+#include <utility>
 
 #include "src/airfield/setup.hpp"
 #include "src/core/table.hpp"
@@ -35,6 +37,181 @@ tasks::Scenario scenario_from_args(int argc, char** argv,
     std::exit(2);
   }
   return chosen;
+}
+
+std::string json_path_from_args(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[i + 1];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(std::string("--json=").size());
+    }
+  }
+  return path;
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_string(std::string_view s) {
+  std::string out = "\"";
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string outcome_digest(const tasks::Task1Stats& stats) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "task1|%llu|%llu|%llu|%llu|%llu|%llu|%d",
+                static_cast<unsigned long long>(stats.radars),
+                static_cast<unsigned long long>(stats.matched),
+                static_cast<unsigned long long>(stats.discarded_radars),
+                static_cast<unsigned long long>(stats.unmatched_radars),
+                static_cast<unsigned long long>(stats.ambiguous_aircraft),
+                static_cast<unsigned long long>(stats.updated_aircraft),
+                stats.passes);
+  return hex64(fnv1a(buf));
+}
+
+std::string outcome_digest(const tasks::Task23Stats& stats) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "task23|%llu|%llu|%llu|%llu|%llu",
+                static_cast<unsigned long long>(stats.aircraft),
+                static_cast<unsigned long long>(stats.conflicts),
+                static_cast<unsigned long long>(stats.critical),
+                static_cast<unsigned long long>(stats.resolved),
+                static_cast<unsigned long long>(stats.unresolved));
+  return hex64(fnv1a(buf));
+}
+
+void JsonReport::param_raw(const std::string& key, std::string encoded) {
+  if (!enabled()) return;
+  params_.emplace_back(key, std::move(encoded));
+}
+
+void JsonReport::field_raw(const std::string& key, std::string encoded) {
+  if (!enabled() || results_.empty()) return;
+  std::string& row = results_.back();
+  if (!row.empty()) row += ',';
+  row += json_string(key);
+  row += ':';
+  row += encoded;
+}
+
+void JsonReport::add_param(const std::string& key, const std::string& value) {
+  param_raw(key, json_string(value));
+}
+
+void JsonReport::add_param(const std::string& key, long long value) {
+  param_raw(key, std::to_string(value));
+}
+
+void JsonReport::add_param(const std::string& key, double value) {
+  param_raw(key, json_double(value));
+}
+
+void JsonReport::begin_result() {
+  if (enabled()) results_.emplace_back();
+}
+
+void JsonReport::add_field(const std::string& key, const std::string& value) {
+  field_raw(key, json_string(value));
+}
+
+void JsonReport::add_field(const std::string& key, long long value) {
+  field_raw(key, std::to_string(value));
+}
+
+void JsonReport::add_field(const std::string& key, double value) {
+  field_raw(key, json_double(value));
+}
+
+bool JsonReport::write() const {
+  if (!enabled()) return true;
+  std::string doc = "{\"bench\":";
+  doc += json_string(bench_);
+  if (!scenario_.empty()) {
+    doc += ",\"scenario\":";
+    doc += json_string(scenario_);
+  }
+  doc += ",\"params\":{";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i != 0) doc += ',';
+    doc += json_string(params_[i].first);
+    doc += ':';
+    doc += params_[i].second;
+  }
+  doc += "},\"results\":[";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    if (i != 0) doc += ',';
+    doc += '{';
+    doc += results_[i];
+    doc += '}';
+  }
+  doc += "]}\n";
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "warning: cannot open --json file " << path_ << "\n";
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  if (!ok) std::cerr << "warning: short write to --json file " << path_ << "\n";
+  else std::cout << "(json report written to " << path_ << ")\n";
+  return ok;
 }
 
 obs::TraceSink* bench_trace_sink() {

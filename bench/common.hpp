@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/atm/backend.hpp"
@@ -53,6 +54,68 @@ namespace atm::bench {
 /// while every platform except the Xeon still meets its deadlines.
 /// Already smoke-truncated via maybe_smoke().
 [[nodiscard]] std::vector<std::size_t> default_sweep();
+
+/// Parse an optional `--json <path>` (or `--json=<path>`) flag from a
+/// bench's argv. Returns an empty string when the flag is absent. Other
+/// arguments are left for the bench to interpret.
+[[nodiscard]] std::string json_path_from_args(int argc, char** argv);
+
+/// Hex FNV-1a digest over a task run's *outcome* counters (the work
+/// counters — box_tests, pair tests/candidates, rescans, sector and
+/// kernel bookkeeping — are excluded, matching the equivalence tests'
+/// outcome_only strip). Two runs that agree on every outcome produce the
+/// same digest regardless of broadphase, sharding, or kernel choice, so
+/// a JSON report consumer can cross-check equivalence without rerunning.
+[[nodiscard]] std::string outcome_digest(const tasks::Task1Stats& stats);
+[[nodiscard]] std::string outcome_digest(const tasks::Task23Stats& stats);
+
+/// Machine-readable bench report, written as one JSON document when the
+/// bench passes `--json <path>`. Constructed with an empty path the
+/// report is inert: every call is a no-op and write() succeeds. Schema:
+///
+///   {"bench": "<name>", "scenario": "<name>",
+///    "params": {"<key>": <value>, ...},
+///    "results": [{"<key>": <value>, ...}, ...]}
+///
+/// Params describe the run configuration (smoke mode, sweep, reps);
+/// each result row carries one measurement (task, aircraft count,
+/// wall/modeled ms, outcome digest, ...). CI's bench-smoke step writes
+/// BENCH_<name>.json files and uploads them as artifacts.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void set_scenario(const std::string& name) { scenario_ = name; }
+
+  void add_param(const std::string& key, const std::string& value);
+  void add_param(const std::string& key, long long value);
+  void add_param(const std::string& key, double value);
+
+  /// Start a new result row; add_field calls attach to the latest row.
+  void begin_result();
+  void add_field(const std::string& key, const std::string& value);
+  void add_field(const std::string& key, long long value);
+  void add_field(const std::string& key, double value);
+
+  /// Write the accumulated document. Returns true on success and always
+  /// when the report is disabled; prints a warning to stderr on failure.
+  [[nodiscard]] bool write() const;
+
+ private:
+  void param_raw(const std::string& key, std::string encoded);
+  void field_raw(const std::string& key, std::string encoded);
+
+  std::string bench_;
+  std::string path_;
+  std::string scenario_;
+  /// (key, pre-encoded JSON value) pairs, in insertion order.
+  std::vector<std::pair<std::string, std::string>> params_;
+  /// One pre-encoded `"k":v,...` body per result row.
+  std::vector<std::string> results_;
+};
 
 /// A measured (aircraft count, modeled ms) series for one platform.
 struct Series {

@@ -21,6 +21,10 @@
 //                          sector on the thread pool (default: scenario's;
 //                          outcomes identical either way)
 //   --sectors N            sectors per axis in sectors mode (default 4)
+//   --kernel MODE          auto | scalar | avx2: host-path batch kernel
+//                          for Task 1 and Tasks 2+3 (default auto = AVX2
+//                          when the build and CPU provide it; outcomes
+//                          bit-identical either way)
 //   --governor             enable the deadline-aware overload governor
 //                          (degrades along tasks::degradation_ladder()
 //                          under sustained overload, recovers with
@@ -46,6 +50,7 @@
 #include "src/atm/pipeline.hpp"
 #include "src/atm/platforms.hpp"
 #include "src/atm/scenarios.hpp"
+#include "src/core/kern/kernels.hpp"
 #include "src/core/spatial/broadphase.hpp"
 #include "src/core/table.hpp"
 #include "src/obs/jsonl_sink.hpp"
@@ -114,6 +119,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string broadphase_key;
   std::string shard_key;
+  std::string kernel_key;
   int sectors_per_axis = 0;
   bool governor = false;
   bool faults = false;
@@ -151,6 +157,10 @@ int main(int argc, char** argv) {
       shard_key = next();
     } else if (arg.rfind("--shard=", 0) == 0) {
       shard_key = arg.substr(std::strlen("--shard="));
+    } else if (arg == "--kernel") {
+      kernel_key = next();
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      kernel_key = arg.substr(std::strlen("--kernel="));
     } else if (arg == "--sectors") {
       sectors_per_axis = std::atoi(next());
     } else if (arg == "--multi-radar") {
@@ -199,6 +209,15 @@ int main(int argc, char** argv) {
     }
     chosen.policy.shard = *mode;
   }
+  if (!kernel_key.empty()) {
+    core::kern::KernelMode mode;
+    if (!core::kern::kernel_mode_from_string(kernel_key, mode)) {
+      std::cerr << "unknown kernel '" << kernel_key
+                << "' (use auto, scalar, or avx2)\n";
+      return 2;
+    }
+    chosen.policy.kernel = mode;
+  }
   if (sectors_per_axis > 0) chosen.policy.sectors_per_axis = sectors_per_axis;
   if (governor) chosen.policy.governor.enabled = true;
   if (faults) chosen.policy.faults = representative_faults();
@@ -212,7 +231,11 @@ int main(int argc, char** argv) {
     std::cout << " (" << chosen.policy.sectors_per_axis << "x"
               << chosen.policy.sectors_per_axis << ")";
   }
-  std::cout << "\n";
+  std::cout << "\n"
+            << "kernel   : "
+            << core::kern::to_string(
+                   core::kern::resolve(chosen.policy.kernel))
+            << "\n";
   if (governor) std::cout << "governor : enabled\n";
   if (faults) std::cout << "faults   : enabled (seeded)\n";
 

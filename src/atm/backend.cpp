@@ -33,6 +33,8 @@ void Backend::emit_task_event(std::string_view task, double modeled_ms,
   ev.box_tests = detail.box_tests;
   ev.pair_candidates = detail.pair_candidates;
   ev.pair_tests = detail.pair_tests;
+  ev.kernel = detail.kernel;
+  ev.lanes_masked = detail.lanes_masked;
   trace_->record(ev);
 }
 
@@ -65,6 +67,11 @@ Task1Result Backend::run_task1(airfield::RadarFrame& frame,
         static_cast<std::int64_t>(result.stats.halo_candidates);
   }
   detail.box_tests = static_cast<std::int64_t>(result.stats.box_tests);
+  if (result.stats.kernel >= 0) {
+    detail.kernel = core::kern::to_string(
+        static_cast<core::kern::Kernel>(result.stats.kernel));
+    detail.lanes_masked = static_cast<std::int64_t>(result.stats.lanes_masked);
+  }
   emit_task_event("task1", result.modeled_ms, sw.elapsed_ms(), detail);
   return result;
 }
@@ -86,6 +93,11 @@ Task23Result Backend::run_task23(const Task23Params& params) {
   detail.pair_candidates =
       static_cast<std::int64_t>(result.stats.pair_candidates);
   detail.pair_tests = static_cast<std::int64_t>(result.stats.pair_tests);
+  if (result.stats.kernel >= 0) {
+    detail.kernel = core::kern::to_string(
+        static_cast<core::kern::Kernel>(result.stats.kernel));
+    detail.lanes_masked = static_cast<std::int64_t>(result.stats.lanes_masked);
+  }
   emit_task_event("task23", result.modeled_ms, sw.elapsed_ms(), detail);
   return result;
 }

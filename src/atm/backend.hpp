@@ -177,6 +177,8 @@ class Backend {
     std::int64_t box_tests = -1;
     std::int64_t pair_candidates = -1;
     std::int64_t pair_tests = -1;
+    std::string_view kernel = {};
+    std::int64_t lanes_masked = -1;
   };
 
   /// Shared helper: emit one kTask event (only called with a sink).

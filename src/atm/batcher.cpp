@@ -1,70 +1,24 @@
+// Thin wrappers over the canonical band math in src/core/kern/. The
+// implementation lives there so the batch kernels (scalar and AVX2) and
+// the platform backends (CUDA model, associative tasks) share one source
+// of truth for Equations 1-6; this TU just adapts the result structs to
+// the historical batcher API.
 #include "src/atm/batcher.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "src/core/check.hpp"
+#include "src/core/kern/band_math.hpp"
 
 namespace atm::tasks {
-namespace {
-
-/// Relative velocities below this (nm/period) are treated as parallel
-/// tracks. 1e-9 nm/period = 7.2e-6 knots: far below any physical closure.
-constexpr double kParallelEps = 1e-9;
-
-}  // namespace
 
 AxisWindow axis_band_window(double p, double v, double band_nm) {
-  AxisWindow w;
-  if (std::fabs(v) < kParallelEps) {
-    if (std::fabs(p) <= band_nm) {
-      w.always = true;
-    } else {
-      w.never = true;
-    }
-    return w;
-  }
-  const double t1 = (-band_nm - p) / v;
-  const double t2 = (band_nm - p) / v;
-  w.entry = std::min(t1, t2);
-  w.exit = std::max(t1, t2);
-  return w;
+  const core::kern::AxisWindow w = core::kern::axis_band_window(p, v, band_nm);
+  return AxisWindow{w.entry, w.exit, w.always, w.never};
 }
 
 PairConflict batcher_pair_test(double px, double py, double vx, double vy,
                                double band_nm, double horizon_periods) {
-  PairConflict out;
-
-  // Equations 1-6 precondition: a non-positive band_nm or horizon_periods makes every
-  // window empty and Tasks 2+3 report zero conflicts — a silently useless
-  // sweep, not an error any caller ever wants.
-  ATM_CHECK_MSG(band_nm > 0.0 && horizon_periods > 0.0,
-                "degenerate Batcher params: band_nm=" << band_nm << " horizon_periods="
-                                                   << horizon_periods);
-
-  const AxisWindow wx = axis_band_window(px, vx, band_nm);
-  const AxisWindow wy = axis_band_window(py, vy, band_nm);
-  if (wx.never || wy.never) return out;
-
-  // Equations 5-6: largest entry, smallest exit; an "always" axis
-  // contributes (-inf, +inf) and drops out of the max/min.
-  double entry = 0.0;
-  double exit = horizon_periods;
-  if (!wx.always) {
-    entry = std::max(entry, wx.entry);
-    exit = std::min(exit, wx.exit);
-  }
-  if (!wy.always) {
-    entry = std::max(entry, wy.entry);
-    exit = std::min(exit, wy.exit);
-  }
-
-  if (entry < exit) {
-    out.conflict = true;
-    out.time_min = entry;
-    out.time_max = exit;
-  }
-  return out;
+  const core::kern::PairWindow pw =
+      core::kern::pair_band_test(px, py, vx, vy, band_nm, horizon_periods);
+  return PairConflict{pw.conflict, pw.time_min, pw.time_max};
 }
 
 }  // namespace atm::tasks

@@ -16,8 +16,13 @@
 // which agrees with the printed equations whenever they apply and is
 // correct for diverging pairs. This is the same test on every backend, so
 // the platforms stay result-equivalent.
+//
+// The math itself lives in src/core/kern/band_math.hpp (the single
+// source of truth the batch kernels also compile from); these wrappers
+// keep the historical per-pair API for the platform backends.
 #pragma once
 
+#include "src/core/kern/band_math.hpp"
 #include "src/core/units.hpp"
 
 namespace atm::tasks {
@@ -56,8 +61,7 @@ struct PairConflict {
 [[nodiscard]] inline bool altitude_gate(
     double alt_a, double alt_b,
     double gate_feet = core::kAltitudeGateFeet) {
-  const double d = alt_a - alt_b;
-  return (d < 0 ? -d : d) < gate_feet;
+  return core::kern::altitude_gate_pass(alt_a, alt_b, gate_feet);
 }
 
 }  // namespace atm::tasks

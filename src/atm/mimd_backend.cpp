@@ -3,11 +3,11 @@
 #include <atomic>
 #include <cmath>
 
-#include "src/atm/batcher.hpp"
 #include "src/atm/extended/display.hpp"
 #include "src/atm/extended/sporadic.hpp"
 #include "src/atm/extended/terrain_task.hpp"
 #include "src/atm/reference/collision.hpp"
+#include "src/core/kern/kernels.hpp"
 #include "src/core/units.hpp"
 #include "src/core/vec2.hpp"
 
@@ -76,6 +76,8 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
   }
 
   result.stats.radars = frame.size();
+  const core::kern::Kernel kernel = core::kern::resolve(params.kernel);
+  result.stats.kernel = static_cast<int>(kernel);
   // Per-radar scratch; the frame can carry more returns than aircraft.
   nhits_.resize(frame.size());
   hit_id_.resize(frame.size());
@@ -84,6 +86,7 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
   work.items = n;
   std::atomic<std::uint64_t> inner_ops{0};
   std::atomic<std::uint64_t> box_tests{0};
+  std::atomic<std::uint64_t> lanes_masked{0};
 
   db_.reset_correlation_state();
   frame.reset_matches();
@@ -107,56 +110,67 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
 
     std::fill(nradars_.begin(), nradars_.end(), 0);
 
-    // kGrid: bin eligible aircraft once per pass (serial, O(n)); workers
-    // then query the immutable grid concurrently. rmatch is not mutated
-    // during the scan, so the build-time mask equals the brute-force
-    // path's inline eligibility check and outcomes are identical.
+    // Eligibility mask, computed serially once per pass for both modes
+    // (the kernels consume it brute-force; the grid build bins by it).
+    // rmatch is not mutated during the scan, so the hoisted mask equals
+    // the historical inline eligibility check and outcomes are identical.
     const bool use_grid =
         params.broadphase == core::spatial::BroadphaseMode::kGrid;
+    std::size_t eligible_count = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      const bool e =
+          db_.rmatch[a] == static_cast<std::int8_t>(MatchState::kUnmatched);
+      eligible_[a] = e ? 1 : 0;
+      eligible_count += e ? 1u : 0u;
+    }
     if (use_grid) {
-      for (std::size_t a = 0; a < n; ++a) {
-        eligible_[a] =
-            db_.rmatch[a] == static_cast<std::int8_t>(MatchState::kUnmatched)
-                ? 1
-                : 0;
-      }
       grid_.build(ex_, ey_, eligible_, /*cell_hint_nm=*/2.0 * half);
     }
 
-    // Coverage scan: one worker-claimed radar scans the shared aircraft
-    // table (all of it, or just the grid cells under its box); hits on
-    // shared per-aircraft counters go through the striped locks.
+    // Coverage scan: one worker-claimed radar runs a batch box kernel
+    // over the shared aircraft table (all of it, eligibility-masked, or
+    // just the grid cells under its box); hits on shared per-aircraft
+    // counters go through the striped locks. The candidate/hit buffers
+    // are per-thread (the pool has no worker ids; thread_local buffers
+    // persist across chunks and runs, which is exactly the reuse the
+    // scratch wants).
     pool_.parallel_for(0, frame.size(), kChunk, [&](std::size_t r) {
       if (frame.rmatch_with[r] != kNone) return;
       nhits_[r] = 0;
       hit_id_[r] = kNone;
+      thread_local std::vector<std::int32_t> cand;
+      thread_local std::vector<std::int32_t> hits;
+      hits.resize(n);
       std::uint64_t local_ops = 0;
       std::uint64_t local_tests = 0;
-      const auto test = [&](std::size_t a) {
-        ++local_tests;
-        if (std::fabs(ex_[a] - frame.rx[r]) < half &&
-            std::fabs(ey_[a] - frame.ry[r]) < half) {
-          ++nhits_[r];
-          hit_id_[r] = static_cast<std::int32_t>(a);
-          locks_.with_lock(a, [&] { ++nradars_[a]; });
-        }
-      };
+      std::uint64_t local_lanes = 0;
+      std::size_t hit_count = 0;
       if (use_grid) {
+        cand.clear();
         grid_.for_each_in_box(frame.rx[r] - half, frame.rx[r] + half,
                               frame.ry[r] - half, frame.ry[r] + half,
                               [&](std::size_t a) {
-                                ++local_ops;
-                                test(a);
+                                cand.push_back(static_cast<std::int32_t>(a));
                               });
+        local_ops += cand.size();
+        local_tests += cand.size();
+        hit_count = core::kern::box_test_batch_indexed(
+            kernel, ex_.data(), ey_.data(), cand.data(), cand.size(),
+            frame.rx[r], frame.ry[r], half, hits.data(), &local_lanes);
       } else {
-        for (std::size_t a = 0; a < n; ++a) {
-          ++local_ops;
-          if (db_.rmatch[a] !=
-              static_cast<std::int8_t>(MatchState::kUnmatched)) {
-            continue;
-          }
-          test(a);
-        }
+        // Brute force sweeps the whole shared table (local_ops counts the
+        // record reads) but only the eligible records are box tests.
+        local_ops += n;
+        local_tests += eligible_count;
+        hit_count = core::kern::box_test_batch(
+            kernel, ex_.data(), ey_.data(), n, eligible_.data(),
+            frame.rx[r], frame.ry[r], half, hits.data(), &local_lanes);
+      }
+      for (std::size_t h = 0; h < hit_count; ++h) {
+        const auto a = static_cast<std::size_t>(hits[h]);
+        ++nhits_[r];
+        hit_id_[r] = hits[h];
+        locks_.with_lock(a, [&] { ++nradars_[a]; });
       }
       inner_ops.fetch_add(local_ops, std::memory_order_relaxed);
       // Outcome counter (architecture-independent): eligible box tests.
@@ -164,6 +178,7 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
       // locks (stripe r and stripe r' don't exclude each other — TSan
       // caught the lost updates); accumulate like the other outcome stats.
       box_tests.fetch_add(local_tests, std::memory_order_relaxed);
+      lanes_masked.fetch_add(local_lanes, std::memory_order_relaxed);
     });
     ++work.parallel_regions;
 
@@ -231,6 +246,7 @@ Task1Result MimdBackend::do_run_task1(airfield::RadarFrame& frame,
   }
 
   result.stats.box_tests = box_tests.load();
+  result.stats.lanes_masked = lanes_masked.load();
   work.inner_ops = inner_ops.load();
   // [13]-style shared-record reader locks (counted, see header) plus the
   // write locks the execution really performed.
@@ -270,19 +286,25 @@ Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
   }
 
   result.stats.aircraft = n;
+  const core::kern::Kernel kernel = core::kern::resolve(params.kernel);
+  result.stats.kernel = static_cast<int>(kernel);
 
   mimd::WorkCounters work;
   work.items = n;
   std::atomic<std::uint64_t> inner_ops{0};
+  std::atomic<std::uint64_t> lanes_masked{0};
   std::atomic<std::uint64_t> pair_tests{0}, pair_candidates{0}, rescans{0},
       conflicts{0}, critical{0}, resolved_count{0}, unresolved{0};
 
   db_.reset_collision_state();
   std::fill(resolved_.begin(), resolved_.end(), 0);
 
-  // kGrid: one swept index, built serially, queried read-only by every
-  // worker. Valid for the whole scan phase — positions/velocities only
-  // change in the commit region below.
+  // One serially gathered snapshot (and, under kGrid, one swept index
+  // over the same slots) queried read-only by every worker. Valid for
+  // the whole scan phase — positions/velocities only change in the
+  // commit region below.
+  snap_.gather(db_);
+  const core::kern::SoaView view = snap_.view();
   const core::spatial::SweptIndex* index = nullptr;
   if (params.broadphase == core::spatial::BroadphaseMode::kGrid) {
     reference::build_swept_index(db_, params, swept_);
@@ -291,10 +313,12 @@ Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
 
   pool_.parallel_for(0, n, /*chunk=*/8, [&](std::size_t i) {
     reference::ScanWork local_work;
+    thread_local reference::ScanScratch scratch;
     std::uint64_t scans = 1;  // detection sweep; trials add theirs below
-    const reference::DetectOutcome det = reference::scan_against_all(
-        db_, i, db_.dx[i], db_.dy[i], params, local_work,
-        /*stop_at_critical=*/false, index);
+    const reference::DetectOutcome det = reference::scan_candidates(
+        view, /*ids=*/nullptr, static_cast<std::int32_t>(i), db_.x[i],
+        db_.y[i], db_.alt[i], db_.dx[i], db_.dy[i], params, kernel,
+        local_work, /*stop_at_critical=*/false, index, scratch);
     if (det.conflict) {
       conflicts.fetch_add(1, std::memory_order_relaxed);
       locks_.with_lock(i, [&] {
@@ -316,9 +340,10 @@ Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
         const core::Vec2 trial = core::rotate_deg(vel, angle);
         rescans.fetch_add(1, std::memory_order_relaxed);
         ++scans;
-        const reference::DetectOutcome check = reference::scan_against_all(
-            db_, i, trial.x, trial.y, params, local_work,
-            /*stop_at_critical=*/true, index);
+        const reference::DetectOutcome check = reference::scan_candidates(
+            view, /*ids=*/nullptr, static_cast<std::int32_t>(i), db_.x[i],
+            db_.y[i], db_.alt[i], trial.x, trial.y, params, kernel,
+            local_work, /*stop_at_critical=*/true, index, scratch);
         if (!check.critical) {
           locks_.with_lock(i, [&] {
             db_.batx[i] = trial.x;
@@ -344,6 +369,8 @@ Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
     pair_candidates.fetch_add(local_work.pair_candidates,
                               std::memory_order_relaxed);
     inner_ops.fetch_add(local_ops, std::memory_order_relaxed);
+    lanes_masked.fetch_add(local_work.lanes_masked,
+                           std::memory_order_relaxed);
   });
   ++work.parallel_regions;
 
@@ -365,6 +392,7 @@ Task23Result MimdBackend::do_run_task23(const Task23Params& params) {
   result.stats.critical = critical.load();
   result.stats.resolved = resolved_count.load();
   result.stats.unresolved = unresolved.load();
+  result.stats.lanes_masked = lanes_masked.load();
 
   work.inner_ops = inner_ops.load();
   work.locked_ops = work.inner_ops + locks_.acquisitions();

@@ -22,6 +22,7 @@
 
 #include "src/atm/backend.hpp"
 #include "src/atm/sharded.hpp"
+#include "src/core/kern/soa_snapshot.hpp"
 #include "src/core/spatial/swept_index.hpp"
 #include "src/core/spatial/uniform_grid.hpp"
 #include "src/mimd/thread_pool.hpp"
@@ -77,8 +78,9 @@ class MimdBackend final : public Backend {
   airfield::FlightDb db_;
   mimd::WorkCounters last_work_;
 
-  // Shared working arrays (the "dynamic database" of [13]).
-  std::vector<double> ex_, ey_;
+  // Shared working arrays (the "dynamic database" of [13]); the batch
+  // kernels read ex_/ey_ and the Tasks 2+3 snapshot, so those are aligned.
+  core::kern::AlignedVector<double> ex_, ey_;
   std::vector<std::int32_t> nhits_, hit_id_, nradars_, amatch_;
   std::vector<std::uint8_t> resolved_;
 
@@ -87,6 +89,10 @@ class MimdBackend final : public Backend {
   std::vector<std::uint8_t> eligible_;
   core::spatial::UniformGrid2D grid_;
   core::spatial::SweptIndex swept_;
+
+  // Tasks 2+3 snapshot: gathered serially once per run, then scanned
+  // read-only by every worker through the batch kernels.
+  core::kern::SoaSnapshot snap_;
 
   // Sector-sharded executive (ShardMode::kSectors): per-sector snapshot
   // buffers, reused across periods. The gather copies replace the [13]

@@ -1,59 +1,129 @@
 #include "src/atm/reference/collision.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
-#include "src/atm/batcher.hpp"
 #include "src/core/vec2.hpp"
 
 namespace atm::tasks::reference {
+
+namespace {
+
+/// Candidates are fed to the band kernel in blocks of this many lanes,
+/// and the per-lane decision loop runs after each block: under
+/// stop_at_critical at most one block of kernel work past the stopping
+/// lane is wasted, while full blocks keep the SIMD lanes saturated.
+constexpr std::size_t kScanBlock = 512;
+
+}  // namespace
+
+DetectOutcome scan_candidates(const core::kern::SoaView& view,
+                              const std::int32_t* ids, std::int32_t self,
+                              double xi, double yi, double alti, double vx,
+                              double vy, const Task23Params& params,
+                              core::kern::Kernel kernel, ScanWork& work,
+                              bool stop_at_critical,
+                              const core::spatial::SweptIndex* index,
+                              ScanScratch& scratch) {
+  DetectOutcome out;
+  double soonest = params.horizon_periods + 1.0;
+
+  // Candidate slots: every view slot (brute force) or the broadphase
+  // enumeration gathered into scratch.cand. Collection order is the
+  // index's enumeration order, so the consumed-lane prefix under
+  // stop_at_critical matches the historical one-at-a-time visit.
+  const std::int32_t* idx = nullptr;
+  std::size_t m = view.n;
+  if (index != nullptr) {
+    scratch.cand.clear();
+    index->for_each_candidate(xi, yi, alti, std::sqrt(vx * vx + vy * vy),
+                              [&](std::size_t slot) {
+                                scratch.cand.push_back(
+                                    static_cast<std::int32_t>(slot));
+                                return false;
+                              });
+    idx = scratch.cand.data();
+    m = scratch.cand.size();
+  }
+  if (scratch.tmin.size() < kScanBlock) {
+    scratch.tmin.resize(kScanBlock);
+    scratch.flags.resize(kScanBlock);
+  }
+
+  const core::kern::BandParams band{params.band_nm, params.horizon_periods,
+                                    params.altitude_gate_feet};
+  bool stopped = false;
+  for (std::size_t base = 0; base < m && !stopped; base += kScanBlock) {
+    const std::size_t count = std::min(kScanBlock, m - base);
+    core::kern::SoaView block = view;
+    const std::int32_t* block_idx = nullptr;
+    if (idx != nullptr) {
+      block_idx = idx + base;
+    } else {
+      block.x += base;
+      block.y += base;
+      block.dx += base;
+      block.dy += base;
+      block.alt += base;
+      block.n = count;
+    }
+    core::kern::band_intersect_batch(kernel, block, block_idx, count, xi,
+                                     yi, alti, vx, vy, band,
+                                     scratch.tmin.data(),
+                                     scratch.flags.data(),
+                                     &work.lanes_masked);
+
+    // The per-lane decision loop: all outcome logic (self skip, work
+    // counters, soonest-partner tie-break, critical early exit) lives
+    // here, consuming lanes in candidate order. The soonest-conflict min
+    // uses a (time_min, partner id) lexicographic tie-break: for the
+    // ascending brute-force scan this is exactly the historical
+    // first-writer-wins behaviour, and it makes the outcome independent
+    // of the order an index enumerates candidates in.
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t slot = block_idx != nullptr
+                                   ? static_cast<std::size_t>(block_idx[k])
+                                   : base + k;
+      const std::int32_t j =
+          ids != nullptr ? ids[slot] : static_cast<std::int32_t>(slot);
+      if (j == self) continue;
+      ++work.pair_candidates;
+      if ((scratch.flags[k] & core::kern::kBandGatePass) == 0) continue;
+      ++work.pair_tests;
+      if ((scratch.flags[k] & core::kern::kBandConflict) == 0) continue;
+      out.conflict = true;
+      const double tmin = scratch.tmin[k];
+      if (tmin < soonest || (tmin == soonest && j < out.partner)) {
+        soonest = tmin;
+        out.partner = j;
+        out.time_min = tmin;
+      }
+      if (tmin < params.critical_periods) {
+        out.critical = true;
+        if (stop_at_critical) {
+          stopped = true;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
 
 DetectOutcome scan_against_all(const airfield::FlightDb& db, std::size_t i,
                                double vx, double vy,
                                const Task23Params& params, ScanWork& work,
                                bool stop_at_critical,
                                const core::spatial::SweptIndex* index) {
-  DetectOutcome out;
-  double soonest = params.horizon_periods + 1.0;
-  // The per-candidate body; returns true to stop the enumeration. The
-  // soonest-conflict min uses a (time_min, partner id) lexicographic
-  // tie-break: for the ascending brute-force scan below this is exactly
-  // the historical first-writer-wins behaviour, and it makes the outcome
-  // independent of the order an index enumerates candidates in.
-  const auto visit = [&](std::size_t j) -> bool {
-    if (j == i) return false;
-    ++work.pair_candidates;
-    if (!altitude_gate(db.alt[i], db.alt[j], params.altitude_gate_feet)) {
-      return false;
-    }
-    ++work.pair_tests;
-    const PairConflict pc = batcher_pair_test(
-        db.x[j] - db.x[i], db.y[j] - db.y[i], db.dx[j] - vx,
-        db.dy[j] - vy, params.band_nm, params.horizon_periods);
-    if (!pc.conflict) return false;
-    out.conflict = true;
-    if (pc.time_min < soonest ||
-        (pc.time_min == soonest &&
-         static_cast<std::int32_t>(j) < out.partner)) {
-      soonest = pc.time_min;
-      out.partner = static_cast<std::int32_t>(j);
-      out.time_min = pc.time_min;
-    }
-    if (pc.time_min < params.critical_periods) {
-      out.critical = true;
-      if (stop_at_critical) return true;
-    }
-    return false;
-  };
-  if (index != nullptr) {
-    const double speed = std::sqrt(vx * vx + vy * vy);
-    index->for_each_candidate(db.x[i], db.y[i], db.alt[i], speed, visit);
-  } else {
-    for (std::size_t j = 0; j < db.size(); ++j) {
-      if (visit(j)) break;
-    }
-  }
-  return out;
+  core::kern::SoaSnapshot snap;
+  snap.gather(db);
+  ScanScratch scratch;
+  return scan_candidates(snap.view(), /*ids=*/nullptr,
+                         static_cast<std::int32_t>(i), db.x[i], db.y[i],
+                         db.alt[i], vx, vy, params,
+                         core::kern::resolve(params.kernel), work,
+                         stop_at_critical, index, scratch);
 }
 
 void build_swept_index(const airfield::FlightDb& db,
@@ -85,13 +155,19 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
   const std::size_t n = db.size();
   Task23Stats stats;
   stats.aircraft = n;
+  const core::kern::Kernel kernel = core::kern::resolve(params.kernel);
+  stats.kernel = static_cast<int>(kernel);
 
   db.reset_collision_state();
   std::vector<std::uint8_t> resolved_flag(n, 0);
 
-  // kGrid: one swept index serves every scan of the run. Positions,
-  // velocities, and altitudes are only mutated by the commit phase below,
-  // after all scanning is done.
+  // One gathered snapshot (and, under kGrid, one swept index over the
+  // same slots) serves every scan of the run. Positions, velocities, and
+  // altitudes are only mutated by the commit phase below, after all
+  // scanning is done.
+  core::kern::SoaSnapshot snap;
+  snap.gather(db);
+  const core::kern::SoaView view = snap.view();
   core::spatial::SweptIndex swept;
   const core::spatial::SweptIndex* index = nullptr;
   if (params.broadphase == core::spatial::BroadphaseMode::kGrid) {
@@ -100,13 +176,15 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
   }
 
   ScanWork work;
+  ScanScratch scratch;
   const int attempts = max_trial_attempts(params);
 
   for (std::size_t i = 0; i < n; ++i) {
     // Task 2: detection on the current path.
-    DetectOutcome det = scan_against_all(db, i, db.dx[i], db.dy[i], params,
-                                         work,
-                                         /*stop_at_critical=*/false, index);
+    DetectOutcome det = scan_candidates(
+        view, /*ids=*/nullptr, static_cast<std::int32_t>(i), db.x[i],
+        db.y[i], db.alt[i], db.dx[i], db.dy[i], params, kernel, work,
+        /*stop_at_critical=*/false, index, scratch);
     if (det.conflict) {
       ++stats.conflicts;
       db.col[i] = 1;
@@ -122,9 +200,10 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
       const double angle = trial_angle_deg(attempt, params.turn_step_deg);
       const core::Vec2 trial = core::rotate_deg(vel, angle);
       ++stats.rescans;
-      const DetectOutcome check = scan_against_all(
-          db, i, trial.x, trial.y, params, work,
-          /*stop_at_critical=*/true, index);
+      const DetectOutcome check = scan_candidates(
+          view, /*ids=*/nullptr, static_cast<std::int32_t>(i), db.x[i],
+          db.y[i], db.alt[i], trial.x, trial.y, params, kernel, work,
+          /*stop_at_critical=*/true, index, scratch);
       if (!check.critical) {
         db.batx[i] = trial.x;
         db.baty[i] = trial.y;
@@ -151,6 +230,7 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
   }
   stats.pair_tests = work.pair_tests;
   stats.pair_candidates = work.pair_candidates;
+  stats.lanes_masked = work.lanes_masked;
   return stats;
 }
 

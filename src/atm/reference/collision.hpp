@@ -25,6 +25,8 @@
 
 #include "src/airfield/flight_db.hpp"
 #include "src/atm/task_types.hpp"
+#include "src/core/kern/kernels.hpp"
+#include "src/core/kern/soa_snapshot.hpp"
 #include "src/core/spatial/swept_index.hpp"
 
 namespace atm::tasks::reference {
@@ -44,19 +46,51 @@ struct DetectOutcome {
 struct ScanWork {
   std::uint64_t pair_candidates = 0;  ///< Pairs enumerated (pre-gate).
   std::uint64_t pair_tests = 0;       ///< Batcher tests (post-gate).
+  std::uint64_t lanes_masked = 0;     ///< SIMD tail lanes masked off.
 };
 
-/// Scan aircraft i's path (vx, vy from position db.x/y[i]) against all
-/// other aircraft on their current paths. When `stop_at_critical` is set
-/// the scan returns at the first critical conflict (the trial-path check
-/// in Task 3 only needs existence, and the CUDA kernel breaks there too).
+/// Reusable per-scan buffers: the broadphase candidate gather plus one
+/// block of kernel output. Thread-confined — every concurrent scanner
+/// (MIMD worker, sector task) owns its own.
+struct ScanScratch {
+  std::vector<std::int32_t> cand;          ///< Broadphase candidates.
+  core::kern::AlignedVector<double> tmin;  ///< Kernel block output.
+  std::vector<std::uint8_t> flags;         ///< Kernel block output.
+};
+
+/// Scan one track (position (xi, yi, alti), velocity (vx, vy)) against
+/// every aircraft slot in `view` through the band-intersection batch
+/// kernel. This is the single detection scan every host path runs:
 ///
-/// `index`, when non-null, must be a SweptIndex built over db's current
-/// positions/velocities/altitudes with this params bundle; the scan then
-/// enumerates only the index's candidates instead of every aircraft. The
-/// soonest conflict is selected with an explicit (time_min, partner id)
-/// tie-break, so the outcome is independent of enumeration order and
-/// identical with and without an index.
+///  * `view` is a gathered snapshot (the whole FlightDb, or one sector's
+///    owned + halo buffers);
+///  * `ids[slot]` maps a view slot to its aircraft id (nullptr = slots
+///    are the ids); `self` is excluded by id, and DetectOutcome.partner
+///    is reported as an id;
+///  * `index`, when non-null, must be built over the same slots as
+///    `view`; the scan then feeds only its candidates to the kernel;
+///  * when `stop_at_critical` is set the scan consumes candidates (in
+///    enumeration order, blockwise) only up to the first critical
+///    conflict — the work counters tally exactly the consumed lanes, so
+///    they match the historical one-at-a-time early exit.
+///
+/// The soonest conflict is selected with an explicit (time_min, partner
+/// id) tie-break, so the outcome is independent of enumeration order and
+/// identical with and without an index — and bit-identical across
+/// kernels (docs/PERF.md).
+DetectOutcome scan_candidates(const core::kern::SoaView& view,
+                              const std::int32_t* ids, std::int32_t self,
+                              double xi, double yi, double alti, double vx,
+                              double vy, const Task23Params& params,
+                              core::kern::Kernel kernel, ScanWork& work,
+                              bool stop_at_critical,
+                              const core::spatial::SweptIndex* index,
+                              ScanScratch& scratch);
+
+/// Convenience oracle form over a FlightDb: gathers a throwaway snapshot
+/// and runs scan_candidates for aircraft i with path (vx, vy). Tests use
+/// this as the single-scan semantic oracle; the task drivers gather once
+/// and call scan_candidates directly.
 DetectOutcome scan_against_all(const airfield::FlightDb& db, std::size_t i,
                                double vx, double vy,
                                const Task23Params& params, ScanWork& work,

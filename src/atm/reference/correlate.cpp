@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/core/check.hpp"
+#include "src/core/kern/kernels.hpp"
 
 namespace atm::tasks::reference {
 
@@ -19,6 +20,7 @@ void Task1Scratch::resize(std::size_t aircraft, std::size_t radars) {
   nradars.resize(aircraft);
   amatch.resize(aircraft);
   eligible.resize(aircraft);
+  hits.resize(aircraft);
 }
 
 Task1Stats correlate_and_track(airfield::FlightDb& db,
@@ -28,6 +30,8 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
   const std::size_t n = db.size();
   Task1Stats stats;
   stats.radars = frame.size();
+  const core::kern::Kernel kernel = core::kern::resolve(params.kernel);
+  stats.kernel = static_cast<int>(kernel);
   ATM_CHECK_MSG(params.box_half_nm > 0.0 && params.retries >= 0,
                 "degenerate correlation params: box_half_nm="
                     << params.box_half_nm << " retries=" << params.retries);
@@ -66,17 +70,20 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
     // only read when nhits[r] == 1, i.e. when it had a single writer), so
     // candidates may come from a full eligible scan (brute force) or from
     // the grid cells overlapping the radar's box — the exact |dx|,|dy| <
-    // half test decides membership either way and outcomes are identical;
-    // only the box_tests work counter differs.
+    // half test (a batch box kernel either way) decides membership and
+    // outcomes are identical; only the box_tests work counter differs.
+    // db.rmatch is read-only during this phase (dispositions run after),
+    // so the eligibility mask is hoisted out of the radar loop.
     const bool use_grid =
         params.broadphase == core::spatial::BroadphaseMode::kGrid;
+    std::size_t eligible_count = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      const bool e =
+          db.rmatch[a] == static_cast<std::int8_t>(MatchState::kUnmatched);
+      scratch.eligible[a] = e ? 1 : 0;
+      eligible_count += e ? 1u : 0u;
+    }
     if (use_grid) {
-      for (std::size_t a = 0; a < n; ++a) {
-        scratch.eligible[a] =
-            db.rmatch[a] == static_cast<std::int8_t>(MatchState::kUnmatched)
-                ? 1
-                : 0;
-      }
       scratch.grid.build(scratch.ex, scratch.ey, scratch.eligible,
                          /*cell_hint_nm=*/2.0 * half);
     }
@@ -84,27 +91,34 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
     for (std::size_t r = 0; r < frame.size(); ++r) {
       if (frame.rmatch_with[r] != kNone) continue;
       any_active = true;
-      const auto test = [&](std::size_t a) {
-        ++stats.box_tests;
-        if (std::fabs(scratch.ex[a] - frame.rx[r]) < half &&
-            std::fabs(scratch.ey[a] - frame.ry[r]) < half) {
-          ++scratch.nhits[r];
-          scratch.hit_id[r] = static_cast<std::int32_t>(a);
-          ++scratch.nradars[a];
-        }
-      };
+      std::size_t hit_count = 0;
       if (use_grid) {
-        scratch.grid.for_each_in_box(frame.rx[r] - half, frame.rx[r] + half,
-                                     frame.ry[r] - half, frame.ry[r] + half,
-                                     test);
+        scratch.cand.clear();
+        scratch.grid.for_each_in_box(
+            frame.rx[r] - half, frame.rx[r] + half, frame.ry[r] - half,
+            frame.ry[r] + half, [&](std::size_t a) {
+              scratch.cand.push_back(static_cast<std::int32_t>(a));
+            });
+        stats.box_tests += scratch.cand.size();
+        hit_count = core::kern::box_test_batch_indexed(
+            kernel, scratch.ex.data(), scratch.ey.data(),
+            scratch.cand.data(), scratch.cand.size(), frame.rx[r],
+            frame.ry[r], half, scratch.hits.data(), &stats.lanes_masked);
       } else {
-        for (std::size_t a = 0; a < n; ++a) {
-          if (db.rmatch[a] !=
-              static_cast<std::int8_t>(MatchState::kUnmatched)) {
-            continue;
-          }
-          test(a);
-        }
+        // Brute force tests exactly the eligible aircraft (the kernel
+        // masks the rest off at emission), so the work counter is the
+        // eligible count — identical to the pre-kernel per-test tally.
+        stats.box_tests += eligible_count;
+        hit_count = core::kern::box_test_batch(
+            kernel, scratch.ex.data(), scratch.ey.data(), n,
+            scratch.eligible.data(), frame.rx[r], frame.ry[r], half,
+            scratch.hits.data(), &stats.lanes_masked);
+      }
+      for (std::size_t k = 0; k < hit_count; ++k) {
+        const std::int32_t a = scratch.hits[k];
+        ++scratch.nhits[r];
+        scratch.hit_id[r] = a;
+        ++scratch.nradars[static_cast<std::size_t>(a)];
       }
     }
     if (!any_active) {

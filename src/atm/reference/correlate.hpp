@@ -30,6 +30,7 @@
 #include "src/airfield/flight_db.hpp"
 #include "src/airfield/radar.hpp"
 #include "src/atm/task_types.hpp"
+#include "src/core/kern/soa_snapshot.hpp"
 #include "src/core/spatial/uniform_grid.hpp"
 
 namespace atm::tasks::reference {
@@ -37,12 +38,15 @@ namespace atm::tasks::reference {
 /// Scratch space for one Task 1 run; reusable across periods to avoid
 /// re-allocating (the paper's program allocates once up front).
 struct Task1Scratch {
-  std::vector<double> ex, ey;            ///< Expected positions.
+  /// Expected positions, aligned for the batch box kernels.
+  core::kern::AlignedVector<double> ex, ey;
   std::vector<std::int32_t> nhits;       ///< Eligible aircraft per radar.
   std::vector<std::int32_t> hit_id;      ///< Sole hit of a radar.
   std::vector<std::int32_t> nradars;     ///< Active radars per aircraft.
   std::vector<std::int32_t> amatch;      ///< Radar committed to aircraft.
   std::vector<std::uint8_t> eligible;    ///< Mask: rmatch == kUnmatched.
+  std::vector<std::int32_t> cand;        ///< Grid-mode candidate gather.
+  std::vector<std::int32_t> hits;        ///< Kernel hit output (<= n).
   core::spatial::UniformGrid2D grid;     ///< Broadphase bins (kGrid mode).
   /// nhits/hit_id are per-radar; everything else is per-aircraft. The
   /// counts can differ (dropouts, multi-return frames).

@@ -35,6 +35,9 @@ struct ScenarioPolicy {
   /// value yields identical task outcomes (src/core/spatial/sectors.hpp).
   core::spatial::ShardMode shard = core::spatial::ShardMode::kNone;
   int sectors_per_axis = 4;
+  /// Host-path batch-kernel selection for both Task 1 and Tasks 2+3.
+  /// Any value yields bit-identical task outcomes (src/core/kern/).
+  core::kern::KernelMode kernel = core::kern::KernelMode::kAuto;
   /// Deadline-aware overload governor (disabled by default); see
   /// src/rt/governor.hpp and src/atm/degrade.hpp for the ladder it walks.
   rt::GovernorConfig governor;
@@ -109,6 +112,8 @@ void apply(const Scenario& scenario, Config& cfg, int major_cycles,
   cfg.task23.shard = scenario.policy.shard;
   cfg.task1.sectors_per_axis = scenario.policy.sectors_per_axis;
   cfg.task23.sectors_per_axis = scenario.policy.sectors_per_axis;
+  cfg.task1.kernel = scenario.policy.kernel;
+  cfg.task23.kernel = scenario.policy.kernel;
   cfg.governor = scenario.policy.governor;
   cfg.faults = scenario.policy.faults;
 }

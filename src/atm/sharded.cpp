@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cmath>
 
-#include "src/atm/batcher.hpp"
 #include "src/atm/reference/collision.hpp"
 #include "src/core/check.hpp"
+#include "src/core/kern/kernels.hpp"
 #include "src/core/vec2.hpp"
 
 namespace atm::tasks::sharded {
@@ -29,54 +29,6 @@ void reset_telemetry(ShardTelemetry& t, std::size_t sectors) {
   t.sector_candidates.assign(sectors, 0);
 }
 
-/// Detection scan over one sector's gathered snapshot — the sharded twin
-/// of reference::scan_against_all. Same exact tests, same lexicographic
-/// (time_min, global partner id) tie-break, so the outcome is identical
-/// to the monolithic scan as long as the snapshot is a superset of every
-/// conflicting partner (the halo-reach guarantee).
-reference::DetectOutcome scan_sector(
-    const ShardScratch::SectorBuffers& buf, std::int32_t self,
-    double xi, double yi, double alti, double vx, double vy,
-    const Task23Params& params, reference::ScanWork& work,
-    bool stop_at_critical, bool use_index) {
-  reference::DetectOutcome out;
-  double soonest = params.horizon_periods + 1.0;
-  const auto visit = [&](std::size_t k) -> bool {
-    const std::int32_t j = buf.id[k];
-    if (j == self) return false;
-    ++work.pair_candidates;
-    if (!altitude_gate(alti, buf.alt[k], params.altitude_gate_feet)) {
-      return false;
-    }
-    ++work.pair_tests;
-    const PairConflict pc = batcher_pair_test(
-        buf.x[k] - xi, buf.y[k] - yi, buf.dx[k] - vx, buf.dy[k] - vy,
-        params.band_nm, params.horizon_periods);
-    if (!pc.conflict) return false;
-    out.conflict = true;
-    if (pc.time_min < soonest ||
-        (pc.time_min == soonest && j < out.partner)) {
-      soonest = pc.time_min;
-      out.partner = j;
-      out.time_min = pc.time_min;
-    }
-    if (pc.time_min < params.critical_periods) {
-      out.critical = true;
-      if (stop_at_critical) return true;
-    }
-    return false;
-  };
-  if (use_index) {
-    const double speed = std::sqrt(vx * vx + vy * vy);
-    buf.swept.for_each_candidate(xi, yi, alti, speed, visit);
-  } else {
-    for (std::size_t k = 0; k < buf.id.size(); ++k) {
-      if (visit(k)) break;
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 Task1Stats correlate_and_track(airfield::FlightDb& db,
@@ -87,6 +39,8 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
   const std::size_t n = db.size();
   Task1Stats stats;
   stats.radars = frame.size();
+  const core::kern::Kernel kernel = core::kern::resolve(params.kernel);
+  stats.kernel = static_cast<int>(kernel);
   ATM_CHECK_MSG(params.box_half_nm > 0.0 && params.retries >= 0 &&
                     params.sectors_per_axis >= 1,
                 "degenerate sharded correlation params: box_half_nm="
@@ -119,6 +73,7 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
   // summed after the join (deterministic, no shared accumulators).
   std::vector<std::uint64_t> sector_tests(sectors, 0);
   std::vector<std::uint64_t> sector_inner(sectors, 0);
+  std::vector<std::uint64_t> sector_lanes(sectors, 0);
 
   const bool use_grid =
       params.broadphase == core::spatial::BroadphaseMode::kGrid;
@@ -208,35 +163,48 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
 
       std::uint64_t local_tests = 0;
       std::uint64_t local_ops = 0;
+      std::uint64_t local_lanes = 0;
+      buf.hits.resize(cand.size());
       for (const std::int32_t radar : radars) {
         const auto r = static_cast<std::size_t>(radar);
-        const auto test = [&](std::size_t k) {
-          ++local_tests;
-          if (std::fabs(buf.ex[k] - frame.rx[r]) < half &&
-              std::fabs(buf.ey[k] - frame.ry[r]) < half) {
-            ++t1.nhits[r];
-            t1.hit_id[r] = buf.id[k];
-            std::atomic_ref<std::int32_t> coverage(
-                t1.nradars[static_cast<std::size_t>(buf.id[k])]);
-            coverage.fetch_add(1, std::memory_order_relaxed);
-          }
-        };
+        // The partition was built over eligible aircraft only, so every
+        // snapshot slot is a test candidate (eligible = nullptr). Hit
+        // slots come back in enumeration order; the coverage adds stay
+        // relaxed-atomic (commutative) exactly as before.
+        std::size_t hit_count = 0;
         if (use_grid) {
-          buf.grid.for_each_in_box(frame.rx[r] - half, frame.rx[r] + half,
-                                   frame.ry[r] - half, frame.ry[r] + half,
-                                   [&](std::size_t k) {
-                                     ++local_ops;
-                                     test(k);
-                                   });
+          buf.cand.clear();
+          buf.grid.for_each_in_box(
+              frame.rx[r] - half, frame.rx[r] + half, frame.ry[r] - half,
+              frame.ry[r] + half, [&](std::size_t k) {
+                buf.cand.push_back(static_cast<std::int32_t>(k));
+              });
+          local_ops += buf.cand.size();
+          local_tests += buf.cand.size();
+          hit_count = core::kern::box_test_batch_indexed(
+              kernel, buf.ex.data(), buf.ey.data(), buf.cand.data(),
+              buf.cand.size(), frame.rx[r], frame.ry[r], half,
+              buf.hits.data(), &local_lanes);
         } else {
-          for (std::size_t k = 0; k < cand.size(); ++k) {
-            ++local_ops;
-            test(k);
-          }
+          local_ops += cand.size();
+          local_tests += cand.size();
+          hit_count = core::kern::box_test_batch(
+              kernel, buf.ex.data(), buf.ey.data(), cand.size(),
+              /*eligible=*/nullptr, frame.rx[r], frame.ry[r], half,
+              buf.hits.data(), &local_lanes);
+        }
+        for (std::size_t h = 0; h < hit_count; ++h) {
+          const auto k = static_cast<std::size_t>(buf.hits[h]);
+          ++t1.nhits[r];
+          t1.hit_id[r] = buf.id[k];
+          std::atomic_ref<std::int32_t> coverage(
+              t1.nradars[static_cast<std::size_t>(buf.id[k])]);
+          coverage.fetch_add(1, std::memory_order_relaxed);
         }
       }
       sector_tests[s] += local_tests;
       sector_inner[s] += local_ops;
+      sector_lanes[s] += local_lanes;
     });
     ++tele.parallel_regions;
 
@@ -304,6 +272,7 @@ Task1Stats correlate_and_track(airfield::FlightDb& db,
 
   for (std::size_t s = 0; s < sectors; ++s) {
     stats.box_tests += sector_tests[s];
+    stats.lanes_masked += sector_lanes[s];
     tele.inner_ops += sector_inner[s];
     tele.gather_ops += tele.sector_candidates[s];
   }
@@ -317,6 +286,8 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
   const std::size_t n = db.size();
   Task23Stats stats;
   stats.aircraft = n;
+  const core::kern::Kernel kernel = core::kern::resolve(params.kernel);
+  stats.kernel = static_cast<int>(kernel);
   ATM_CHECK_MSG(params.sectors_per_axis >= 1,
                 "degenerate shard params: sectors_per_axis="
                     << params.sectors_per_axis);
@@ -400,13 +371,20 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
       buf.swept.build(buf.x, buf.y, buf.dx, buf.dy, buf.alt, ip);
     }
 
+    // Detection through the shared scan: the sector's snapshot view with
+    // buf.id as the slot -> aircraft map, so self-exclusion, the
+    // (time_min, id) tie-break, and the reported partner all use global
+    // ids — identical to the monolithic scan over a candidate superset.
+    const core::kern::SoaView view = buf.view();
+    const core::spatial::SweptIndex* index = use_index ? &buf.swept : nullptr;
     SectorTally& t = tally[s];
     for (const std::int32_t id : owned) {
       const auto i = static_cast<std::size_t>(id);
       std::uint64_t scans = 1;
-      const reference::DetectOutcome det = scan_sector(
-          buf, id, db.x[i], db.y[i], db.alt[i], db.dx[i], db.dy[i], params,
-          t.work, /*stop_at_critical=*/false, use_index);
+      const reference::DetectOutcome det = reference::scan_candidates(
+          view, buf.id.data(), id, db.x[i], db.y[i], db.alt[i], db.dx[i],
+          db.dy[i], params, kernel, t.work, /*stop_at_critical=*/false,
+          index, buf.scan);
       if (det.conflict) {
         ++t.conflicts;
         db.col[i] = 1;
@@ -423,9 +401,10 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
           const core::Vec2 trial = core::rotate_deg(vel, angle);
           ++t.rescans;
           ++scans;
-          const reference::DetectOutcome check = scan_sector(
-              buf, id, db.x[i], db.y[i], db.alt[i], trial.x, trial.y,
-              params, t.work, /*stop_at_critical=*/true, use_index);
+          const reference::DetectOutcome check = reference::scan_candidates(
+              view, buf.id.data(), id, db.x[i], db.y[i], db.alt[i],
+              trial.x, trial.y, params, kernel, t.work,
+              /*stop_at_critical=*/true, index, buf.scan);
           if (!check.critical) {
             db.batx[i] = trial.x;
             db.baty[i] = trial.y;
@@ -466,6 +445,7 @@ Task23Stats detect_and_resolve(airfield::FlightDb& db,
     stats.rescans += t.rescans;
     stats.pair_tests += t.work.pair_tests;
     stats.pair_candidates += t.work.pair_candidates;
+    stats.lanes_masked += t.work.lanes_masked;
     tele.inner_ops += t.inner_ops;
     tele.gather_ops += tele.sector_candidates[s];
   }

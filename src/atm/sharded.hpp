@@ -38,8 +38,10 @@
 
 #include "src/airfield/flight_db.hpp"
 #include "src/airfield/radar.hpp"
+#include "src/atm/reference/collision.hpp"
 #include "src/atm/reference/correlate.hpp"
 #include "src/atm/task_types.hpp"
+#include "src/core/kern/soa_snapshot.hpp"
 #include "src/core/spatial/sectors.hpp"
 #include "src/core/spatial/swept_index.hpp"
 #include "src/core/spatial/uniform_grid.hpp"
@@ -67,12 +69,22 @@ struct ShardScratch {
   core::spatial::SectorPartition partition;
 
   /// One sector task's gathered snapshot plus its optional broadphase.
+  /// The snapshot arrays are aligned for the batch kernels; `view()`
+  /// exposes the Tasks 2+3 snapshot in kernel form.
   struct SectorBuffers {
-    std::vector<double> x, y, dx, dy, alt;  ///< Tasks 2+3 snapshot.
-    std::vector<double> ex, ey;             ///< Task 1 snapshot.
+    core::kern::AlignedVector<double> x, y, dx, dy, alt;  ///< Tasks 2+3.
+    core::kern::AlignedVector<double> ex, ey;  ///< Task 1 snapshot.
     std::vector<std::int32_t> id;           ///< Global ids of the snapshot.
+    std::vector<std::int32_t> cand;         ///< Task 1 grid candidates.
+    std::vector<std::int32_t> hits;         ///< Task 1 kernel hit output.
+    reference::ScanScratch scan;            ///< Tasks 2+3 scan buffers.
     core::spatial::SweptIndex swept;
     core::spatial::UniformGrid2D grid;
+
+    [[nodiscard]] core::kern::SoaView view() const {
+      return {x.data(), y.data(), dx.data(), dy.data(), alt.data(),
+              x.size()};
+    }
   };
   std::vector<SectorBuffers> sectors;
 

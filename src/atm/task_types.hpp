@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "src/core/kern/kernels.hpp"
 #include "src/core/spatial/broadphase.hpp"
 #include "src/core/spatial/sectors.hpp"
 #include "src/core/units.hpp"
@@ -33,6 +34,11 @@ struct Task1Params {
   /// backends modeling fixed all-pairs hardware ignore this field.
   core::spatial::ShardMode shard = core::spatial::ShardMode::kNone;
   int sectors_per_axis = 4;
+  /// Batch-kernel selection for the host paths' box tests: kAuto picks
+  /// AVX2 when the build and the CPU provide it, scalar otherwise.
+  /// Outcomes are bit-identical either way (docs/PERF.md). Platform
+  /// backends ignore this field.
+  core::kern::KernelMode kernel = core::kern::KernelMode::kAuto;
 };
 
 /// Tasks 2+3 (collision detection & resolution) parameters.
@@ -58,6 +64,11 @@ struct Task23Params {
   /// backends modeling all-pairs hardware ignore this field.
   core::spatial::ShardMode shard = core::spatial::ShardMode::kNone;
   int sectors_per_axis = 4;
+  /// Batch-kernel selection for the host paths' band-intersection scans:
+  /// kAuto picks AVX2 when the build and the CPU provide it, scalar
+  /// otherwise. Outcomes are bit-identical either way (docs/PERF.md).
+  /// Platform backends ignore this field.
+  core::kern::KernelMode kernel = core::kern::KernelMode::kAuto;
 };
 
 /// Outcome counters of one Task 1 run.
@@ -75,6 +86,11 @@ struct Task1Stats {
                                  ///< (0 = unsharded).
   std::uint64_t halo_candidates = 0;  ///< Work: ghost entries the sector
                                       ///< halos added across all passes.
+  int kernel = -1;  ///< Work: dispatched kern::Kernel as int (-1 = the
+                    ///< run did not use the batch kernels, e.g. a
+                    ///< platform backend).
+  std::uint64_t lanes_masked = 0;  ///< Work: SIMD tail lanes masked off
+                                   ///< (0 under the scalar kernel).
 
   friend bool operator==(const Task1Stats&, const Task1Stats&) = default;
 };
@@ -95,6 +111,11 @@ struct Task23Stats {
                                  ///< (0 = unsharded).
   std::uint64_t halo_candidates = 0;  ///< Work: ghost entries the sector
                                       ///< halos added.
+  int kernel = -1;  ///< Work: dispatched kern::Kernel as int (-1 = the
+                    ///< run did not use the batch kernels, e.g. a
+                    ///< platform backend).
+  std::uint64_t lanes_masked = 0;  ///< Work: SIMD tail lanes masked off
+                                   ///< (0 under the scalar kernel).
 
   friend bool operator==(const Task23Stats&, const Task23Stats&) = default;
 };

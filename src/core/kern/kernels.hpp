@@ -1,0 +1,135 @@
+// Unified batch-kernel API for the host hot paths.
+//
+// One narrow seam replaces the four copies of inner-loop math that used
+// to live in reference/MIMD/sharded Task 1 and Tasks 2+3:
+//
+//  * box_test_batch / box_test_batch_indexed — Task 1 correlation: which
+//    candidates fall inside a radar's retry-doubled box. Hits are written
+//    as candidate ids in enumeration order, so callers replay the exact
+//    per-hit updates (nhits/hit_id/coverage) the scalar loop performed.
+//  * band_intersect_batch — Tasks 2+3: the altitude gate plus Batcher's
+//    time-x/time-y band intersection (Equations 1-6, band_math.hpp) over
+//    a candidate list. Pure per-lane predicates (gate-pass flag, conflict
+//    flag, conflict entry time); all decision logic (soonest-partner
+//    tie-breaks, critical early exit, every work counter) stays with the
+//    caller, consuming lanes in candidate order.
+//
+// Each kernel has a portable scalar implementation and an AVX2 one
+// (4-wide double lanes, masked tails), selected at runtime: the scalar
+// path delegates per element to the canonical band_math.hpp functions,
+// and the AVX2 path replicates those operations bit-exactly (IEEE ops
+// with matched rounding and min/max operand order), so outcomes are
+// bit-identical across {scalar, avx2} on every input — including NaN and
+// denormal radar noise — and identical to the pre-kernel scalar loops.
+//
+// Dispatch: the AVX2 translation unit exists only when the build enables
+// ATM_HOST_SIMD on x86-64 (CMake compiles kernels_avx2.cpp with -mavx2
+// and defines ATM_HOST_SIMD_AVX2); at runtime resolve() additionally
+// cpuid-gates on AVX2 support, so a binary built with the option runs
+// correctly on any host. This header is also the plug point for future
+// lane widths (ISPC/NEON/AVX-512): add a Kernel enumerator and an
+// implementation TU, nothing above this seam changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/core/kern/soa_snapshot.hpp"
+
+namespace atm::core::kern {
+
+/// Double lanes per AVX2 register; the tail-masking granularity.
+inline constexpr std::size_t kLanes = 4;
+
+/// A concrete kernel implementation.
+enum class Kernel : std::uint8_t {
+  kScalar = 0,  ///< Portable, delegates to band_math.hpp per element.
+  kAvx2 = 1,    ///< 4-wide double AVX2, bit-identical to kScalar.
+};
+
+/// Config-surface request: what the caller wants dispatched.
+enum class KernelMode : std::uint8_t {
+  kAuto = 0,    ///< Best available: AVX2 when compiled in + cpuid says so.
+  kScalar = 1,  ///< Force the portable path.
+  kAvx2 = 2,    ///< Request AVX2; falls back to scalar when unavailable.
+};
+
+/// True when the AVX2 kernels are compiled into this binary AND the CPU
+/// we are running on reports AVX2 (cpuid, cached after the first call).
+[[nodiscard]] bool avx2_available();
+
+/// Resolve a request to the kernel that will actually run. kAvx2 without
+/// AVX2 availability degrades to kScalar (outcomes are identical by
+/// contract, so the fallback is silent by design).
+[[nodiscard]] Kernel resolve(KernelMode mode);
+
+[[nodiscard]] std::string_view to_string(Kernel kernel);
+[[nodiscard]] std::string_view to_string(KernelMode mode);
+
+/// Parse "auto" | "scalar" | "avx2" into a mode. Returns false (leaving
+/// `out` untouched) for anything else.
+[[nodiscard]] bool kernel_mode_from_string(std::string_view name,
+                                           KernelMode& out);
+
+// ---------------------------------------------------------------------------
+// Task 1: bounding-box membership.
+
+/// Contiguous box test over candidates [0, n): a hit is a candidate with
+/// |ex[i] - cx| < half_nm and |ey[i] - cy| < half_nm whose `eligible`
+/// byte is non-zero (a null `eligible` means everyone is eligible). Hit
+/// ids are written to `out_hits` (capacity >= n) in ascending order —
+/// exactly the order the scalar loop visited them. Returns the hit
+/// count. `lanes_masked`, when non-null, accumulates the number of
+/// masked-off tail lanes this call processed (0 for the scalar kernel).
+std::size_t box_test_batch(Kernel kernel, const double* ex,
+                           const double* ey, std::size_t n,
+                           const std::uint8_t* eligible, double cx,
+                           double cy, double half_nm,
+                           std::int32_t* out_hits,
+                           std::uint64_t* lanes_masked);
+
+/// Indexed variant for broadphase candidate lists: tests ex[idx[k]],
+/// ey[idx[k]] for k in [0, m) and writes the *idx values* of the hits to
+/// `out_hits` (capacity >= m) in list order. The candidate list is
+/// assumed pre-filtered for eligibility (grids are built over eligible
+/// entries), matching the scalar grid path.
+std::size_t box_test_batch_indexed(Kernel kernel, const double* ex,
+                                   const double* ey,
+                                   const std::int32_t* idx, std::size_t m,
+                                   double cx, double cy, double half_nm,
+                                   std::int32_t* out_hits,
+                                   std::uint64_t* lanes_masked);
+
+// ---------------------------------------------------------------------------
+// Tasks 2+3: altitude gate + Batcher band intersection.
+
+/// Per-lane result flags of band_intersect_batch.
+inline constexpr std::uint8_t kBandGatePass = 1u;  ///< Altitude gate passed.
+inline constexpr std::uint8_t kBandConflict = 2u;  ///< Conflict in horizon.
+
+/// The parameter bundle the band kernel needs (a subset of Task23Params,
+/// kept free of src/atm types to preserve the core -> atm layering).
+struct BandParams {
+  double band_nm = 0.0;
+  double horizon_periods = 0.0;
+  double altitude_gate_feet = 0.0;
+};
+
+/// Batch pair test of one focus aircraft (position xi/yi, altitude alti,
+/// velocity vxi/vyi) against m candidates from `view`: candidate k is
+/// slot idx[k] when `idx` is non-null, else slot k. For each k writes
+///   out_flags[k] — kBandGatePass / kBandConflict bits;
+///   out_tmin[k]  — the conflict entry time when kBandConflict is set,
+///                  +0.0 otherwise.
+/// Both output buffers need capacity >= m. The kernel never excludes the
+/// focus aircraft itself — self-skip (like every counter) is caller
+/// decision logic. `lanes_masked` as in box_test_batch.
+void band_intersect_batch(Kernel kernel, const SoaView& view,
+                          const std::int32_t* idx, std::size_t m,
+                          double xi, double yi, double alti, double vxi,
+                          double vyi, const BandParams& params,
+                          double* out_tmin, std::uint8_t* out_flags,
+                          std::uint64_t* lanes_masked);
+
+}  // namespace atm::core::kern

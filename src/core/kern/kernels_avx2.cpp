@@ -1,0 +1,315 @@
+// AVX2 kernel implementations: 4-wide double lanes, masked tails.
+//
+// Bit-exactness contract (the kern_equivalence tests enforce this on
+// every scenario and on adversarial NaN/denormal inputs): every lane
+// computes exactly the operations of the scalar path in band_math.hpp,
+// in the same order, with the same IEEE-754 rounding —
+//
+//  * add/sub/div/compare are correctly-rounded in both scalar and vector
+//    form, so (-band - p) / v etc. produce identical bits;
+//  * fabs is the sign-bit mask (identical to std::fabs bit behaviour);
+//  * std::min(a, b)/std::max(a, b) return `a` when the lanes compare
+//    unordered (NaN) or equal (signed zeros); VMINPD/VMAXPD return their
+//    *second* operand in those cases, so every emulation below swaps the
+//    operands: std::min(a, b) == _mm256_min_pd(b, a);
+//  * no FMA contraction: the kernels contain no mul+add chains, and this
+//    TU is compiled with -mavx2 only (no -mfma).
+//
+// Parallel-track lanes (|v| < kParallelEps) blend their axis window to
+// (-inf, +inf), which drops out of the entry/exit max/min exactly like
+// the scalar "always" skip; parallel-and-apart lanes force the conflict
+// flag off, like the scalar "never" early return. Division by a tiny v
+// may produce inf/NaN in such lanes — those values are fully blended or
+// masked away and never reach an output.
+//
+// Tail handling: the last n % 4 candidates load through maskload (or a
+// first-index-padded gather for the indexed variants); result bits are
+// masked to the live lanes before any hit is emitted or flag stored, and
+// the number of dead lanes is reported through `lanes_masked`.
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "src/core/check.hpp"
+#include "src/core/kern/band_math.hpp"
+#include "src/core/kern/kernels_detail.hpp"
+
+namespace atm::core::kern::detail {
+
+namespace {
+
+/// Load masks for 1..4 live lanes: tail_mask(rem) has the top bit set in
+/// the first `rem` 64-bit elements.
+alignas(32) constexpr std::int64_t kTailMaskTable[8] = {-1, -1, -1, -1,
+                                                        0,  0,  0,  0};
+
+inline __m256i tail_mask(std::size_t rem) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+      kTailMaskTable + (kLanes - rem)));
+}
+
+inline __m256d abs_pd(__m256d v) {
+  const __m256d sign_clear = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7fffffffffffffffLL));
+  return _mm256_and_pd(v, sign_clear);
+}
+
+/// Lane bits (movemask) restricted to the first `rem` lanes.
+inline unsigned live_bits(int movemask, std::size_t rem) {
+  return static_cast<unsigned>(movemask) & ((1u << rem) - 1u);
+}
+
+}  // namespace
+
+std::size_t box_test_batch_avx2(const double* ex, const double* ey,
+                                std::size_t n,
+                                const std::uint8_t* eligible, double cx,
+                                double cy, double half_nm,
+                                std::int32_t* out_hits,
+                                std::uint64_t* lanes_masked) {
+  const __m256d vcx = _mm256_set1_pd(cx);
+  const __m256d vcy = _mm256_set1_pd(cy);
+  const __m256d vhalf = _mm256_set1_pd(half_nm);
+  std::size_t hits = 0;
+
+  // The vector test is the pure box predicate; eligibility filters at
+  // emission (hit sets are identical — the predicate is a conjunction).
+  const auto emit = [&](unsigned bits, std::size_t base) {
+    while (bits != 0) {
+      const auto lane = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1u;
+      const std::size_t id = base + lane;
+      if (eligible == nullptr || eligible[id] != 0) {
+        out_hits[hits++] = static_cast<std::int32_t>(id);
+      }
+    }
+  };
+
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(ex + i), vcx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ey + i), vcy);
+    const __m256d in =
+        _mm256_and_pd(_mm256_cmp_pd(abs_pd(dx), vhalf, _CMP_LT_OQ),
+                      _mm256_cmp_pd(abs_pd(dy), vhalf, _CMP_LT_OQ));
+    emit(static_cast<unsigned>(_mm256_movemask_pd(in)), i);
+  }
+  if (i < n) {
+    const std::size_t rem = n - i;
+    const __m256i mask = tail_mask(rem);
+    const __m256d dx =
+        _mm256_sub_pd(_mm256_maskload_pd(ex + i, mask), vcx);
+    const __m256d dy =
+        _mm256_sub_pd(_mm256_maskload_pd(ey + i, mask), vcy);
+    const __m256d in =
+        _mm256_and_pd(_mm256_cmp_pd(abs_pd(dx), vhalf, _CMP_LT_OQ),
+                      _mm256_cmp_pd(abs_pd(dy), vhalf, _CMP_LT_OQ));
+    emit(live_bits(_mm256_movemask_pd(in), rem), i);
+    if (lanes_masked != nullptr) *lanes_masked += kLanes - rem;
+  }
+  return hits;
+}
+
+std::size_t box_test_batch_indexed_avx2(const double* ex, const double* ey,
+                                        const std::int32_t* idx,
+                                        std::size_t m, double cx, double cy,
+                                        double half_nm,
+                                        std::int32_t* out_hits,
+                                        std::uint64_t* lanes_masked) {
+  const __m256d vcx = _mm256_set1_pd(cx);
+  const __m256d vcy = _mm256_set1_pd(cy);
+  const __m256d vhalf = _mm256_set1_pd(half_nm);
+  std::size_t hits = 0;
+
+  const auto emit = [&](unsigned bits, std::size_t base) {
+    while (bits != 0) {
+      const auto lane = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1u;
+      out_hits[hits++] = idx[base + lane];
+    }
+  };
+
+  std::size_t k = 0;
+  for (; k + kLanes <= m; k += kLanes) {
+    const __m128i vidx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(idx + k));
+    const __m256d dx =
+        _mm256_sub_pd(_mm256_i32gather_pd(ex, vidx, 8), vcx);
+    const __m256d dy =
+        _mm256_sub_pd(_mm256_i32gather_pd(ey, vidx, 8), vcy);
+    const __m256d in =
+        _mm256_and_pd(_mm256_cmp_pd(abs_pd(dx), vhalf, _CMP_LT_OQ),
+                      _mm256_cmp_pd(abs_pd(dy), vhalf, _CMP_LT_OQ));
+    emit(static_cast<unsigned>(_mm256_movemask_pd(in)), k);
+  }
+  if (k < m) {
+    const std::size_t rem = m - k;
+    // Dead lanes gather idx[k] again — a valid address whose result is
+    // masked off below.
+    std::int32_t padded[kLanes];
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      padded[j] = idx[k + (j < rem ? j : 0)];
+    }
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(padded));
+    const __m256d dx =
+        _mm256_sub_pd(_mm256_i32gather_pd(ex, vidx, 8), vcx);
+    const __m256d dy =
+        _mm256_sub_pd(_mm256_i32gather_pd(ey, vidx, 8), vcy);
+    const __m256d in =
+        _mm256_and_pd(_mm256_cmp_pd(abs_pd(dx), vhalf, _CMP_LT_OQ),
+                      _mm256_cmp_pd(abs_pd(dy), vhalf, _CMP_LT_OQ));
+    emit(live_bits(_mm256_movemask_pd(in), rem), k);
+    if (lanes_masked != nullptr) *lanes_masked += kLanes - rem;
+  }
+  return hits;
+}
+
+void band_intersect_batch_avx2(const SoaView& view, const std::int32_t* idx,
+                               std::size_t m, double xi, double yi,
+                               double alti, double vxi, double vyi,
+                               const BandParams& params, double* out_tmin,
+                               std::uint8_t* out_flags,
+                               std::uint64_t* lanes_masked) {
+  ATM_CHECK_MSG(params.band_nm > 0.0 && params.horizon_periods > 0.0,
+                "degenerate Batcher params: band_nm="
+                    << params.band_nm
+                    << " horizon_periods=" << params.horizon_periods);
+
+  const __m256d vxi4 = _mm256_set1_pd(xi);
+  const __m256d vyi4 = _mm256_set1_pd(yi);
+  const __m256d valti = _mm256_set1_pd(alti);
+  const __m256d vvxi = _mm256_set1_pd(vxi);
+  const __m256d vvyi = _mm256_set1_pd(vyi);
+  const __m256d vband = _mm256_set1_pd(params.band_nm);
+  const __m256d vnegband = _mm256_set1_pd(-params.band_nm);
+  const __m256d vhorizon = _mm256_set1_pd(params.horizon_periods);
+  const __m256d vgate = _mm256_set1_pd(params.altitude_gate_feet);
+  const __m256d veps = _mm256_set1_pd(kParallelEps);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vneginf =
+      _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  const __m256d vposinf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+
+  // One axis of Equations 1-4: window of |p + v t| <= band. Returns the
+  // (entry, exit) lanes with parallel lanes blended to (-inf, +inf), and
+  // fills `never` (parallel and outside the band).
+  const auto axis_window = [&](__m256d p, __m256d v, __m256d& entry,
+                               __m256d& exit, __m256d& never) {
+    const __m256d t1 = _mm256_div_pd(_mm256_sub_pd(vnegband, p), v);
+    const __m256d t2 = _mm256_div_pd(_mm256_sub_pd(vband, p), v);
+    entry = _mm256_min_pd(t2, t1);  // == std::min(t1, t2)
+    exit = _mm256_max_pd(t2, t1);   // == std::max(t1, t2)
+    const __m256d parallel = _mm256_cmp_pd(abs_pd(v), veps, _CMP_LT_OQ);
+    const __m256d inband = _mm256_cmp_pd(abs_pd(p), vband, _CMP_LE_OQ);
+    never = _mm256_andnot_pd(inband, parallel);
+    entry = _mm256_blendv_pd(entry, vneginf, parallel);
+    exit = _mm256_blendv_pd(exit, vposinf, parallel);
+  };
+
+  // Compute 4 candidate lanes; writes tmin lanes and returns the
+  // (gate, conflict) movemasks packed as low/high nibbles of one int.
+  const auto process = [&](__m256d x4, __m256d y4, __m256d dx4, __m256d dy4,
+                           __m256d alt4, __m256d& tmin) -> unsigned {
+    const __m256d dalt = abs_pd(_mm256_sub_pd(valti, alt4));
+    const __m256d gate = _mm256_cmp_pd(dalt, vgate, _CMP_LT_OQ);
+
+    const __m256d px = _mm256_sub_pd(x4, vxi4);
+    const __m256d py = _mm256_sub_pd(y4, vyi4);
+    const __m256d vx = _mm256_sub_pd(dx4, vvxi);
+    const __m256d vy = _mm256_sub_pd(dy4, vvyi);
+
+    __m256d entry_x, exit_x, never_x, entry_y, exit_y, never_y;
+    axis_window(px, vx, entry_x, exit_x, never_x);
+    axis_window(py, vy, entry_y, exit_y, never_y);
+
+    // Equations 5-6 accumulation; operand order emulates
+    // std::max(acc, w) == _mm256_max_pd(w, acc) (NaN/tie -> acc).
+    __m256d entry = _mm256_max_pd(entry_x, vzero);
+    entry = _mm256_max_pd(entry_y, entry);
+    __m256d exit = _mm256_min_pd(exit_x, vhorizon);
+    exit = _mm256_min_pd(exit_y, exit);
+
+    __m256d conflict = _mm256_cmp_pd(entry, exit, _CMP_LT_OQ);
+    conflict = _mm256_andnot_pd(never_x, conflict);
+    conflict = _mm256_andnot_pd(never_y, conflict);
+    conflict = _mm256_and_pd(conflict, gate);
+
+    tmin = _mm256_and_pd(entry, conflict);  // +0.0 in non-conflict lanes
+    const auto gate_bits = static_cast<unsigned>(_mm256_movemask_pd(gate));
+    const auto conf_bits =
+        static_cast<unsigned>(_mm256_movemask_pd(conflict));
+    return gate_bits | (conf_bits << kLanes);
+  };
+
+  const auto flags_of = [](unsigned packed, unsigned lane) -> std::uint8_t {
+    std::uint8_t f = 0;
+    if ((packed >> lane) & 1u) f |= kBandGatePass;
+    if ((packed >> (lane + kLanes)) & 1u) f |= kBandConflict;
+    return f;
+  };
+
+  std::size_t k = 0;
+  for (; k + kLanes <= m; k += kLanes) {
+    __m256d x4, y4, dx4, dy4, alt4;
+    if (idx != nullptr) {
+      const __m128i vidx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+      x4 = _mm256_i32gather_pd(view.x, vidx, 8);
+      y4 = _mm256_i32gather_pd(view.y, vidx, 8);
+      dx4 = _mm256_i32gather_pd(view.dx, vidx, 8);
+      dy4 = _mm256_i32gather_pd(view.dy, vidx, 8);
+      alt4 = _mm256_i32gather_pd(view.alt, vidx, 8);
+    } else {
+      x4 = _mm256_loadu_pd(view.x + k);
+      y4 = _mm256_loadu_pd(view.y + k);
+      dx4 = _mm256_loadu_pd(view.dx + k);
+      dy4 = _mm256_loadu_pd(view.dy + k);
+      alt4 = _mm256_loadu_pd(view.alt + k);
+    }
+    __m256d tmin;
+    const unsigned packed = process(x4, y4, dx4, dy4, alt4, tmin);
+    _mm256_storeu_pd(out_tmin + k, tmin);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      out_flags[k + lane] = flags_of(packed, lane);
+    }
+  }
+  if (k < m) {
+    const std::size_t rem = m - k;
+    __m256d x4, y4, dx4, dy4, alt4;
+    if (idx != nullptr) {
+      std::int32_t padded[kLanes];
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        padded[j] = idx[k + (j < rem ? j : 0)];
+      }
+      const __m128i vidx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(padded));
+      x4 = _mm256_i32gather_pd(view.x, vidx, 8);
+      y4 = _mm256_i32gather_pd(view.y, vidx, 8);
+      dx4 = _mm256_i32gather_pd(view.dx, vidx, 8);
+      dy4 = _mm256_i32gather_pd(view.dy, vidx, 8);
+      alt4 = _mm256_i32gather_pd(view.alt, vidx, 8);
+    } else {
+      const __m256i mask = tail_mask(rem);
+      x4 = _mm256_maskload_pd(view.x + k, mask);
+      y4 = _mm256_maskload_pd(view.y + k, mask);
+      dx4 = _mm256_maskload_pd(view.dx + k, mask);
+      dy4 = _mm256_maskload_pd(view.dy + k, mask);
+      alt4 = _mm256_maskload_pd(view.alt + k, mask);
+    }
+    __m256d tmin;
+    const unsigned packed = process(x4, y4, dx4, dy4, alt4, tmin);
+    alignas(32) double tmp[kLanes];
+    _mm256_store_pd(tmp, tmin);
+    for (std::size_t lane = 0; lane < rem; ++lane) {
+      out_tmin[k + lane] = tmp[lane];
+      out_flags[k + lane] = flags_of(packed, static_cast<unsigned>(lane));
+    }
+    if (lanes_masked != nullptr) *lanes_masked += kLanes - rem;
+  }
+}
+
+}  // namespace atm::core::kern::detail

@@ -1,0 +1,56 @@
+// Internal declarations of the per-implementation kernel entry points.
+// Only kernels.cpp (the dispatcher) and the implementation TUs include
+// this; everyone else goes through src/core/kern/kernels.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/kern/kernels.hpp"
+
+namespace atm::core::kern::detail {
+
+std::size_t box_test_batch_scalar(const double* ex, const double* ey,
+                                  std::size_t n,
+                                  const std::uint8_t* eligible, double cx,
+                                  double cy, double half_nm,
+                                  std::int32_t* out_hits);
+
+std::size_t box_test_batch_indexed_scalar(const double* ex,
+                                          const double* ey,
+                                          const std::int32_t* idx,
+                                          std::size_t m, double cx,
+                                          double cy, double half_nm,
+                                          std::int32_t* out_hits);
+
+void band_intersect_batch_scalar(const SoaView& view,
+                                 const std::int32_t* idx, std::size_t m,
+                                 double xi, double yi, double alti,
+                                 double vxi, double vyi,
+                                 const BandParams& params, double* out_tmin,
+                                 std::uint8_t* out_flags);
+
+#if defined(ATM_HOST_SIMD_AVX2)
+std::size_t box_test_batch_avx2(const double* ex, const double* ey,
+                                std::size_t n,
+                                const std::uint8_t* eligible, double cx,
+                                double cy, double half_nm,
+                                std::int32_t* out_hits,
+                                std::uint64_t* lanes_masked);
+
+std::size_t box_test_batch_indexed_avx2(const double* ex, const double* ey,
+                                        const std::int32_t* idx,
+                                        std::size_t m, double cx, double cy,
+                                        double half_nm,
+                                        std::int32_t* out_hits,
+                                        std::uint64_t* lanes_masked);
+
+void band_intersect_batch_avx2(const SoaView& view, const std::int32_t* idx,
+                               std::size_t m, double xi, double yi,
+                               double alti, double vxi, double vyi,
+                               const BandParams& params, double* out_tmin,
+                               std::uint8_t* out_flags,
+                               std::uint64_t* lanes_masked);
+#endif  // ATM_HOST_SIMD_AVX2
+
+}  // namespace atm::core::kern::detail

@@ -1,0 +1,70 @@
+// Portable scalar kernel implementations. Each function is the straight-
+// line form of the loop it replaced in the host paths, delegating the
+// math to the canonical band_math.hpp functions — so the scalar kernel
+// is bit-identical to the pre-kernel code by construction, and serves as
+// the oracle the AVX2 implementation is tested against.
+#include <cmath>
+
+#include "src/core/kern/band_math.hpp"
+#include "src/core/kern/kernels_detail.hpp"
+
+namespace atm::core::kern::detail {
+
+std::size_t box_test_batch_scalar(const double* ex, const double* ey,
+                                  std::size_t n,
+                                  const std::uint8_t* eligible, double cx,
+                                  double cy, double half_nm,
+                                  std::int32_t* out_hits) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (eligible != nullptr && eligible[i] == 0) continue;
+    if (std::fabs(ex[i] - cx) < half_nm && std::fabs(ey[i] - cy) < half_nm) {
+      out_hits[hits++] = static_cast<std::int32_t>(i);
+    }
+  }
+  return hits;
+}
+
+std::size_t box_test_batch_indexed_scalar(const double* ex,
+                                          const double* ey,
+                                          const std::int32_t* idx,
+                                          std::size_t m, double cx,
+                                          double cy, double half_nm,
+                                          std::int32_t* out_hits) {
+  std::size_t hits = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto i = static_cast<std::size_t>(idx[k]);
+    if (std::fabs(ex[i] - cx) < half_nm && std::fabs(ey[i] - cy) < half_nm) {
+      out_hits[hits++] = idx[k];
+    }
+  }
+  return hits;
+}
+
+void band_intersect_batch_scalar(const SoaView& view,
+                                 const std::int32_t* idx, std::size_t m,
+                                 double xi, double yi, double alti,
+                                 double vxi, double vyi,
+                                 const BandParams& params, double* out_tmin,
+                                 std::uint8_t* out_flags) {
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t j =
+        idx != nullptr ? static_cast<std::size_t>(idx[k]) : k;
+    double tmin = 0.0;
+    std::uint8_t flags = 0;
+    if (altitude_gate_pass(alti, view.alt[j], params.altitude_gate_feet)) {
+      flags |= kBandGatePass;
+      const PairWindow pw = pair_band_test(
+          view.x[j] - xi, view.y[j] - yi, view.dx[j] - vxi,
+          view.dy[j] - vyi, params.band_nm, params.horizon_periods);
+      if (pw.conflict) {
+        flags |= kBandConflict;
+        tmin = pw.time_min;
+      }
+    }
+    out_tmin[k] = tmin;
+    out_flags[k] = flags;
+  }
+}
+
+}  // namespace atm::core::kern::detail

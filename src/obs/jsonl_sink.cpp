@@ -106,6 +106,10 @@ std::string JsonlTraceSink::to_json(const TraceEvent& ev) {
   if (ev.pair_tests >= 0) {
     field_int(line, "pair_tests", static_cast<long long>(ev.pair_tests));
   }
+  if (!ev.kernel.empty()) field_str(line, "kernel", ev.kernel);
+  if (ev.lanes_masked >= 0) {
+    field_int(line, "lanes_masked", static_cast<long long>(ev.lanes_masked));
+  }
   if (ev.kind == EventKind::kCounter) {
     field_int(line, "value", static_cast<long long>(ev.value));
   }

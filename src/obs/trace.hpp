@@ -62,6 +62,11 @@ struct TraceEvent {
                                      ///< (pre-altitude-gate).
   std::int64_t pair_tests = -1;      ///< Tasks 2+3 Batcher tests
                                      ///< (post-altitude-gate).
+  std::string kernel;           ///< Dispatched host batch kernel
+                                ///< ("scalar" | "avx2"; "" = the run did
+                                ///< not use the kernel layer).
+  std::int64_t lanes_masked = -1;    ///< SIMD tail lanes masked off
+                                     ///< (-1 = not applicable).
   std::uint64_t value = 0;      ///< Counter value (kCounter).
   int governor_level = -1;      ///< Ladder level entered (kGovernor).
   int governor_from_level = -1; ///< Ladder level left (kGovernor).

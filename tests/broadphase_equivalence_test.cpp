@@ -23,12 +23,16 @@ using core::spatial::BroadphaseMode;
 
 Task1Stats outcome_only(Task1Stats s) {
   s.box_tests = 0;
+  s.kernel = -1;
+  s.lanes_masked = 0;
   return s;
 }
 Task23Stats outcome_only(Task23Stats s) {
   s.pair_tests = 0;
   s.pair_candidates = 0;
   s.rescans = 0;
+  s.kernel = -1;
+  s.lanes_masked = 0;
   return s;
 }
 

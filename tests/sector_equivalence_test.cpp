@@ -29,6 +29,8 @@ Task1Stats outcome_only(Task1Stats s) {
   s.box_tests = 0;
   s.sectors = 0;
   s.halo_candidates = 0;
+  s.kernel = -1;
+  s.lanes_masked = 0;
   return s;
 }
 Task23Stats outcome_only(Task23Stats s) {
@@ -37,6 +39,8 @@ Task23Stats outcome_only(Task23Stats s) {
   s.rescans = 0;
   s.sectors = 0;
   s.halo_candidates = 0;
+  s.kernel = -1;
+  s.lanes_masked = 0;
   return s;
 }
 

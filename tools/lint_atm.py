@@ -54,6 +54,16 @@ followed by a reason):
                         guards can be touched lock-free without any
                         build breaking. Lock through atm::sync::Mutex /
                         MutexLock instead.
+  intrinsics-containment
+                        raw vector intrinsics (<immintrin.h> and
+                        friends, _mm*_* calls, __m128/__m256 types) are
+                        forbidden outside src/core/kern/: the batch
+                        kernels are the one seam where lane-level code
+                        lives, with a scalar twin and bit-exactness
+                        tests. An intrinsic sprinkled elsewhere has
+                        neither, and silently breaks non-x86 or
+                        ATM_HOST_SIMD=OFF builds. Call the kernel API
+                        (src/core/kern/kernels.hpp) instead.
 
 Usage:
   lint_atm.py [ROOT]    lint ROOT (default: repo root containing tools/)
@@ -80,6 +90,7 @@ RULES = (
     "nolint-reason",
     "scenario-configs",
     "sync-wrapper",
+    "intrinsics-containment",
 )
 
 # --- units-suffix vocabulary -------------------------------------------------
@@ -96,7 +107,8 @@ UNIT_TOKENS = {
 #: repo-wide convention; generic math helpers take unitless scalars).
 ALLOWED_NAMES = {
     "x", "y", "z", "dx", "dy", "dz", "xi", "yi", "x0", "x1", "y0", "y1",
-    "rx", "ry", "px", "py", "vx", "vy", "alt", "alti", "alt_a", "alt_b",
+    "rx", "ry", "px", "py", "cx", "cy", "vx", "vy", "vxi", "vyi",
+    "alt", "alti", "alt_a", "alt_b",
     "speed", "v", "p", "c", "r", "d", "lo", "hi", "tol", "value", "w",
     "weight", "mean", "sse", "rmse", "r2", "adj_r2", "a", "b", "n", "t",
 }
@@ -124,6 +136,13 @@ TASK_PARAM_POKE = re.compile(r"\.(task1|task23)(?:\.\w+)+\s*=(?!=)")
 RAW_SYNC_TYPE = re.compile(
     r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
     r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+#: Raw x86 vector intrinsics (intrinsics-containment). Matched on code
+#: with line comments stripped, so prose mentioning _mm256_min_pd stays
+#: legal. Covers the intrinsic headers, _mm*_* calls, and __m### types.
+SIMD_INTRINSIC = re.compile(
+    r"#\s*include\s*<\w*intrin\.h>"
+    r"|\b_mm\d{0,3}_\w+"
+    r"|\b__m\d{2,3}[di]?\b")
 
 
 class Violation:
@@ -204,6 +223,12 @@ def check_units_suffix(path: Path, text: str) -> list[Violation]:
         if UNIT_TOKENS.intersection(name.lower().split("_")):
             continue
         line_no = text.count("\n", 0, m.start()) + 1
+        # Prose like "4-wide double lanes" in a comment is not a
+        # parameter: skip matches at or past a line comment marker.
+        line_start = text.rfind("\n", 0, m.start()) + 1
+        comment_col = lines[line_no - 1].find("//")
+        if comment_col != -1 and m.start() - line_start >= comment_col:
+            continue
         if _waived(lines, line_no - 1, "units-suffix"):
             continue
         out.append(Violation(
@@ -294,6 +319,25 @@ def check_sync_wrapper(path: Path, text: str) -> list[Violation]:
     return out
 
 
+def check_intrinsics_containment(path: Path, text: str) -> list[Violation]:
+    # src/core/kern/ is the SIMD kernel layer itself — the one place
+    # allowed to name raw vector intrinsics.
+    if "core/kern" in path.as_posix():
+        return []
+    out: list[Violation] = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        code = line.split("//", 1)[0]
+        m = SIMD_INTRINSIC.search(code)
+        if m and not _waived(lines, i, "intrinsics-containment"):
+            out.append(Violation(
+                "intrinsics-containment", path, i + 1,
+                f"raw SIMD intrinsic '{m.group(0).strip()}' outside "
+                "src/core/kern/: route lane-level code through the "
+                "batch-kernel API (src/core/kern/kernels.hpp)"))
+    return out
+
+
 def check_backend_registration(src: Path) -> list[Violation]:
     platforms = src / "atm" / "platforms.cpp"
     if not platforms.is_file():
@@ -333,19 +377,23 @@ def lint(root: Path) -> list[Violation]:
         violations += check_no_nondeterminism(path, text)
         violations += check_nolint_reason(path, text)
         violations += check_sync_wrapper(path, text)
+        violations += check_intrinsics_containment(path, text)
     violations += check_backend_registration(src)
     examples = root / "examples"
     if examples.is_dir():
         for path in sorted(examples.rglob("*.cpp")):
-            violations += check_scenario_configs(
-                path, path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+            violations += check_scenario_configs(path, text)
+            violations += check_intrinsics_containment(path, text)
     bench = root / "bench"
     if bench.is_dir():
         # Benches may hand-assemble configs (they sweep axes on purpose)
         # but must not poke task-parameter bundles past the scenario.
         for path in sorted(bench.rglob("*.cpp")):
-            violations += check_scenario_configs(
-                path, path.read_text(encoding="utf-8"), handrolled=False)
+            text = path.read_text(encoding="utf-8")
+            violations += check_scenario_configs(path, text,
+                                                 handrolled=False)
+            violations += check_intrinsics_containment(path, text)
     return violations
 
 
@@ -402,6 +450,19 @@ void pump(App& app) {
   app.drain();
 }
 """,
+    # The kernel layer itself may (must) use raw intrinsics...
+    "src/core/kern/good_kernels.cpp": """
+#include <immintrin.h>
+__m256d splat(double v) { return _mm256_set1_pd(v); }
+""",
+    # ...elsewhere a comment mention is fine, and a waiver silences a use.
+    "src/rt/good_pause.cpp": """
+// spin hint comparable to _mm_pause on x86
+void spin() {
+  // atm-lint: allow(intrinsics-containment): pause hint, no lane math
+  _mm_pause();
+}
+""",
 }
 
 _FIXTURE_VIOLATIONS = {
@@ -440,6 +501,13 @@ class BadSink {
   std::mutex m_;
 };
 """,
+    "src/atm/bad_simd.cpp": """
+#include <immintrin.h>
+double sum4(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  return v[0] + v[1] + v[2] + v[3];
+}
+""",
 }
 
 
@@ -463,6 +531,8 @@ def self_test() -> int:
             # hand-rolled PipelineConfig + bench task-param poke
             "scenario-configs": 2,
             "sync-wrapper": 1,        # raw std::mutex outside core/sync
+            # immintrin.h include + __m256d use, outside core/kern
+            "intrinsics-containment": 2,
         }
         ok = by_rule == want
         if not ok:

@@ -14,10 +14,11 @@ schema). The summary prints, per backend:
   * a per-task deadline table (met / missed / skipped, worst slack),
   * a per-period miss table — one row per (cycle, period) that had at
     least one missed or skipped deadline, so a clean run prints none, and
-  * a broadphase pruning table — per (task, broadphase mode), the mean
-    candidate pairs enumerated per period and the mean exact tests that
-    survived, so grid vs brute effectiveness is visible from one trace,
-    and
+  * a broadphase pruning table — per (task, broadphase mode, dispatched
+    host kernel), the mean candidate pairs enumerated per period, the
+    mean exact tests that survived, the mean host wall time, and the
+    mean SIMD tail lanes masked, so grid vs brute effectiveness and
+    scalar vs avx2 kernel time are visible from one trace, and
   * a per-sector rollup — for sharded runs (--shard sectors), one row
     per (counter, sector) over the per-sector counter events the host
     backends emit (task1.sector_owned, task23.sector_candidates, ...),
@@ -48,12 +49,14 @@ def fmt_ms(value):
 
 
 class PruneStats:
-    """Candidate/test counts for one (task, broadphase) combination."""
+    """Candidate/test counts for one (task, broadphase, kernel) combo."""
 
     def __init__(self):
         self.events = 0
         self.candidates = 0
         self.tests = 0
+        self.lanes_masked = 0
+        self.measured = []
 
     def add(self, ev):
         self.events += 1
@@ -65,6 +68,9 @@ class PruneStats:
         else:
             self.candidates += ev.get("box_tests", 0)
             self.tests += ev.get("box_tests", 0)
+        self.lanes_masked += ev.get("lanes_masked", 0)
+        if "measured_ms" in ev:
+            self.measured.append(ev["measured_ms"])
 
 
 class TaskStats:
@@ -94,7 +100,7 @@ def summarize(path):
     # backend -> (cycle, period) -> outcome counter
     periods = collections.defaultdict(
         lambda: collections.defaultdict(collections.Counter))
-    # backend -> (task, broadphase) -> PruneStats
+    # backend -> (task, broadphase, kernel) -> PruneStats
     pruning = collections.defaultdict(
         lambda: collections.defaultdict(PruneStats))
     # backend -> (counter, sector) -> [count, total]
@@ -126,7 +132,11 @@ def summarize(path):
             elif kind == "task":
                 tasks[backend][name].add_task(ev)
                 if "broadphase" in ev:
-                    pruning[backend][(name, ev["broadphase"])].add(ev)
+                    # "kernel" is only present for host runs that went
+                    # through the batch-kernel layer; "-" keeps the
+                    # platform backends in the same table.
+                    key = (name, ev["broadphase"], ev.get("kernel", "-"))
+                    pruning[backend][key].add(ev)
             elif kind == "counter" and "sector" in ev:
                 cell = sectors[backend][(name, ev["sector"])]
                 cell[0] += 1
@@ -153,16 +163,22 @@ def summarize(path):
                   f"{fmt_ms(st.worst_slack):>17} {fmt_ms(mean):>18}")
 
         if pruning[backend]:
-            print("\nbroadphase pruning (mean per task execution):")
-            print(f"{'task':<10} {'mode':<6} {'runs':>5} "
-                  f"{'candidates':>12} {'exact tests':>12} {'kept':>7}")
-            for (name, mode) in sorted(pruning[backend]):
-                ps = pruning[backend][(name, mode)]
+            print("\nbroadphase pruning (mean per task execution, by "
+                  "dispatched kernel):")
+            print(f"{'task':<10} {'mode':<6} {'kernel':<7} {'runs':>5} "
+                  f"{'candidates':>12} {'exact tests':>12} {'kept':>7} "
+                  f"{'wall [ms]':>10} {'lanes masked':>13}")
+            for (name, mode, kernel) in sorted(pruning[backend]):
+                ps = pruning[backend][(name, mode, kernel)]
                 cand = ps.candidates / ps.events
                 test = ps.tests / ps.events
                 kept = f"{test / cand:6.1%}" if cand else "     -"
-                print(f"{name:<10} {mode:<6} {ps.events:>5} "
-                      f"{cand:>12.1f} {test:>12.1f} {kept:>7}")
+                wall = (sum(ps.measured) / len(ps.measured)) \
+                    if ps.measured else None
+                lanes = ps.lanes_masked / ps.events
+                print(f"{name:<10} {mode:<6} {kernel:<7} {ps.events:>5} "
+                      f"{cand:>12.1f} {test:>12.1f} {kept:>7} "
+                      f"{fmt_ms(wall):>10} {lanes:>13.1f}")
 
         if sectors[backend]:
             print("\nper-sector rollup (sharded host runs):")
@@ -218,7 +234,8 @@ _FIXTURE_TRACE = """\
 {"kind":"deadline","backend":"xeon","name":"task1","cycle":0,"period":3,"outcome":"met","slack_ms":6.5}
 {"kind":"deadline","backend":"xeon","name":"task23","cycle":0,"period":15,"outcome":"met","slack_ms":10.0}
 {"kind":"governor","backend":"xeon","name":"raise-sectors","cycle":1,"period":3,"outcome":"recover","level":1,"from_level":2,"utilization":0.4100}
-{"kind":"task","backend":"xeon","name":"task1","cycle":0,"period":2,"measured_ms":3.2,"broadphase":"grid","pair_candidates":120,"pair_tests":40}
+{"kind":"task","backend":"xeon","name":"task1","cycle":0,"period":2,"measured_ms":3.2,"broadphase":"grid","kernel":"avx2","lanes_masked":6,"pair_candidates":120,"pair_tests":40}
+{"kind":"task","backend":"xeon","name":"task1","cycle":0,"period":3,"measured_ms":5.4,"broadphase":"grid","kernel":"scalar","lanes_masked":0,"pair_candidates":120,"pair_tests":40}
 """
 
 #: Golden transcript for the fixture above. Regenerate by running the
@@ -231,9 +248,10 @@ task          met  missed  skipped  worst slack [ms]  mean modeled [ms]
 task1           2       2        0          -12.5000                  -
 task23          1       0        0           10.0000                  -
 
-broadphase pruning (mean per task execution):
-task       mode    runs   candidates  exact tests    kept
-task1      grid       1        120.0         40.0   33.3%
+broadphase pruning (mean per task execution, by dispatched kernel):
+task       mode   kernel   runs   candidates  exact tests    kept  wall [ms]  lanes masked
+task1      grid   avx2        1        120.0         40.0   33.3%     3.2000           6.0
+task1      grid   scalar      1        120.0         40.0   33.3%     5.4000           0.0
 
 governor transitions (3):
  cycle  period action   from  to rung                utilization
