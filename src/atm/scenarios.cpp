@@ -2,7 +2,26 @@
 
 #include <utility>
 
+#include "src/core/sync/mutex.hpp"
+
 namespace atm::tasks {
+
+namespace {
+
+/// Runtime-registered scenarios (corpus repros, tool-defined workloads).
+/// Guarded: registration can race with a concurrent all_scenarios() sweep
+/// (e.g. a bench thread listing names while a corpus loads).
+struct ScenarioRegistry {
+  sync::Mutex mu;
+  std::vector<Scenario> extra ATM_GUARDED_BY(mu);
+};
+
+ScenarioRegistry& registry() {
+  static ScenarioRegistry r;
+  return r;
+}
+
+}  // namespace
 
 Scenario paper_airfield() {
   Scenario s;
@@ -87,8 +106,25 @@ Scenario drone_swarm() {
 }
 
 std::vector<Scenario> all_scenarios() {
-  return {paper_airfield(), dulles_1972(), dense_en_route(),
-          terminal_area(), drone_swarm()};
+  std::vector<Scenario> scenarios = {paper_airfield(), dulles_1972(),
+                                     dense_en_route(), terminal_area(),
+                                     drone_swarm()};
+  ScenarioRegistry& reg = registry();
+  sync::MutexLock lock(reg.mu);
+  for (const Scenario& s : reg.extra) scenarios.push_back(s);
+  return scenarios;
+}
+
+void register_scenario(Scenario scenario) {
+  ScenarioRegistry& reg = registry();
+  sync::MutexLock lock(reg.mu);
+  for (Scenario& s : reg.extra) {
+    if (s.name == scenario.name) {
+      s = std::move(scenario);
+      return;
+    }
+  }
+  reg.extra.push_back(std::move(scenario));
 }
 
 std::vector<std::string> scenario_names() {
@@ -121,6 +157,7 @@ extended::FullSystemConfig make_full_config(const Scenario& scenario,
   apply(scenario, cfg, major_cycles, seed);
   cfg.terrain = scenario.terrain;
   cfg.advisory = scenario.advisory;
+  cfg.sporadic = scenario.sporadic;
   return cfg;
 }
 

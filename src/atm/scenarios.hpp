@@ -55,6 +55,10 @@ struct Scenario {
   Task23Params task23;
   TerrainTaskParams terrain;
   AdvisoryParams advisory;
+  /// Sporadic controller-query mix for the full-system executive
+  /// (queries_per_batch = 0 disables the task); ignored by the core
+  /// pipeline, fanned out by make_full_config.
+  SporadicParams sporadic;
   /// How the scenario executes (broadphase, sharding, governor, faults).
   ScenarioPolicy policy;
 };
@@ -79,8 +83,17 @@ struct Scenario {
 /// GPS-grade reports, hard turns.
 [[nodiscard]] Scenario drone_swarm();
 
-/// Every scenario above, for sweep-style tests and demos.
+/// Every scenario above plus any registered extras, for sweep-style tests
+/// and demos.
 [[nodiscard]] std::vector<Scenario> all_scenarios();
+
+/// Add a scenario to the registry at runtime (a scenario with the same
+/// name replaces the earlier registration). This is how generated repro
+/// scenarios — e.g. fuzzer corpus entries loaded by
+/// testkit::register_corpus_scenario — surface through all_scenarios(),
+/// scenario_names(), and scenario_by_name() next to the built-ins.
+/// Thread-safe; registrations last for the process lifetime.
+void register_scenario(Scenario scenario);
 
 /// Registry: the names of every scenario, in all_scenarios() order. For
 /// `--scenario <name>` listings in CLIs and benches.

@@ -1,0 +1,231 @@
+#include "src/testkit/corpus.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace atm::testkit {
+
+namespace {
+
+constexpr const char* kFormatLine = "atm-testkit-corpus-v1";
+
+void put(std::ostringstream& out, const char* key, std::uint64_t value) {
+  out << key << " = " << value << '\n';
+}
+
+void put_flag(std::ostringstream& out, const char* key, bool value) {
+  // Only non-default flags are written, keeping entries minimal; the
+  // parser accepts 0 explicitly all the same.
+  if (value) out << key << " = 1\n";
+}
+
+bool parse_u64(const std::string& value, std::uint64_t& out) {
+  std::istringstream in(value);
+  in >> out;
+  return static_cast<bool>(in) && in.eof();
+}
+
+bool parse_bool(const std::string& value, bool& out) {
+  if (value == "0") {
+    out = false;
+    return true;
+  }
+  if (value == "1") {
+    out = true;
+    return true;
+  }
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return {};
+  const std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+}  // namespace
+
+std::string serialize(const CorpusEntry& entry) {
+  std::ostringstream out;
+  out << "format = " << kFormatLine << '\n';
+  out << "name = " << entry.name << '\n';
+  if (!entry.note.empty()) out << "note = " << entry.note << '\n';
+  put(out, "seed", entry.seed);
+  put(out, "forge.min_aircraft", entry.forge.min_aircraft);
+  put(out, "forge.max_aircraft", entry.forge.max_aircraft);
+  put(out, "forge.min_major_cycles",
+      static_cast<std::uint64_t>(entry.forge.min_major_cycles));
+  put(out, "forge.max_major_cycles",
+      static_cast<std::uint64_t>(entry.forge.max_major_cycles));
+  out << "forge.fuzz_policy = " << (entry.forge.fuzz_policy ? 1 : 0) << '\n';
+  out << "forge.fuzz_sensor_faults = "
+      << (entry.forge.fuzz_sensor_faults ? 1 : 0) << '\n';
+  out << "forge.fuzz_sporadic = " << (entry.forge.fuzz_sporadic ? 1 : 0)
+      << '\n';
+  if (entry.overrides.major_cycles > 0) {
+    put(out, "major_cycles",
+        static_cast<std::uint64_t>(entry.overrides.major_cycles));
+  }
+  put_flag(out, "zero.faults", entry.overrides.zero_faults);
+  put_flag(out, "zero.radar_noise", entry.overrides.zero_radar_noise);
+  put_flag(out, "zero.dropout", entry.overrides.zero_dropout);
+  put_flag(out, "zero.sporadic", entry.overrides.zero_sporadic);
+  put_flag(out, "zero.policy", entry.overrides.plain_policy);
+  if (!entry.overrides.keep.empty()) {
+    out << "keep = ";
+    for (std::size_t i = 0; i < entry.overrides.keep.size(); ++i) {
+      if (i > 0) out << ',';
+      out << entry.overrides.keep[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+CorpusEntry make_entry(std::string name, const ForgedCase& c,
+                       std::string note) {
+  CorpusEntry entry;
+  entry.name = std::move(name);
+  entry.note = std::move(note);
+  entry.seed = c.seed;
+  entry.forge = c.forge;
+  entry.overrides = c.overrides;
+  return entry;
+}
+
+bool parse(std::istream& in, CorpusEntry& out, std::string& error) {
+  CorpusEntry entry;
+  bool saw_format = false;
+  bool saw_seed = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      error = "line " + std::to_string(line_no) + ": expected key = value";
+      return false;
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+
+    std::uint64_t u64 = 0;
+    bool flag = false;
+    bool ok = true;
+    if (key == "format") {
+      saw_format = value == kFormatLine;
+      ok = saw_format;
+    } else if (key == "name") {
+      entry.name = value;
+    } else if (key == "note") {
+      entry.note = value;
+    } else if (key == "seed") {
+      ok = parse_u64(value, entry.seed);
+      saw_seed = ok;
+    } else if (key == "forge.min_aircraft") {
+      ok = parse_u64(value, u64);
+      entry.forge.min_aircraft = static_cast<std::size_t>(u64);
+    } else if (key == "forge.max_aircraft") {
+      ok = parse_u64(value, u64);
+      entry.forge.max_aircraft = static_cast<std::size_t>(u64);
+    } else if (key == "forge.min_major_cycles") {
+      ok = parse_u64(value, u64);
+      entry.forge.min_major_cycles = static_cast<int>(u64);
+    } else if (key == "forge.max_major_cycles") {
+      ok = parse_u64(value, u64);
+      entry.forge.max_major_cycles = static_cast<int>(u64);
+    } else if (key == "forge.fuzz_policy") {
+      ok = parse_bool(value, entry.forge.fuzz_policy);
+    } else if (key == "forge.fuzz_sensor_faults") {
+      ok = parse_bool(value, entry.forge.fuzz_sensor_faults);
+    } else if (key == "forge.fuzz_sporadic") {
+      ok = parse_bool(value, entry.forge.fuzz_sporadic);
+    } else if (key == "major_cycles") {
+      ok = parse_u64(value, u64);
+      entry.overrides.major_cycles = static_cast<int>(u64);
+    } else if (key == "zero.faults") {
+      ok = parse_bool(value, flag);
+      entry.overrides.zero_faults = flag;
+    } else if (key == "zero.radar_noise") {
+      ok = parse_bool(value, flag);
+      entry.overrides.zero_radar_noise = flag;
+    } else if (key == "zero.dropout") {
+      ok = parse_bool(value, flag);
+      entry.overrides.zero_dropout = flag;
+    } else if (key == "zero.sporadic") {
+      ok = parse_bool(value, flag);
+      entry.overrides.zero_sporadic = flag;
+    } else if (key == "zero.policy") {
+      ok = parse_bool(value, flag);
+      entry.overrides.plain_policy = flag;
+    } else if (key == "keep") {
+      entry.overrides.keep.clear();
+      std::istringstream list(value);
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        std::uint64_t index = 0;
+        if (!parse_u64(trim(item), index)) {
+          ok = false;
+          break;
+        }
+        entry.overrides.keep.push_back(static_cast<std::uint32_t>(index));
+      }
+    } else {
+      error = "line " + std::to_string(line_no) + ": unknown key '" + key +
+              "'";
+      return false;
+    }
+    if (!ok) {
+      error = "line " + std::to_string(line_no) + ": bad value for '" +
+              key + "'";
+      return false;
+    }
+  }
+  if (!saw_format) {
+    error = "missing or wrong 'format = " + std::string(kFormatLine) + "'";
+    return false;
+  }
+  if (!saw_seed) {
+    error = "missing 'seed'";
+    return false;
+  }
+  if (entry.name.empty()) {
+    error = "missing 'name'";
+    return false;
+  }
+  out = std::move(entry);
+  return true;
+}
+
+bool load(const std::string& path, CorpusEntry& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  return parse(in, out, error);
+}
+
+bool save(const std::string& path, const CorpusEntry& entry) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize(entry);
+  return static_cast<bool>(out);
+}
+
+void register_corpus_scenario(const CorpusEntry& entry) {
+  ForgedCase c = entry.materialize();
+  tasks::Scenario scenario = std::move(c.scenario);
+  scenario.name = "corpus-" + entry.name;
+  scenario.description =
+      "testkit corpus repro '" + entry.name + "' (seed " +
+      std::to_string(entry.seed) +
+      (entry.note.empty() ? std::string{} : "; " + entry.note) + ")";
+  tasks::register_scenario(std::move(scenario));
+}
+
+}  // namespace atm::testkit

@@ -1,0 +1,58 @@
+// Regression-corpus entries: self-contained text files (tests/corpus/
+// *.seed) that replay one forged case exactly.
+//
+// An entry is (name, seed, ForgeParams, CaseOverrides) in a flat
+// `key = value` format — everything materialize() needs, nothing more.
+// The fleet itself is never serialized: it is re-forged from the seed,
+// which keeps entries tiny, diffable, and immune to FlightDb layout
+// changes. Each checked-in entry runs as its own tier-1 ctest entry via
+// `atm_fuzz --replay` (see tests/CMakeLists.txt), and the shrinker's
+// minimal repros are emitted in this format so promoting a failure into
+// the corpus is a file copy (docs/TESTING.md walks through it).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/testkit/forge.hpp"
+
+namespace atm::testkit {
+
+struct CorpusEntry {
+  std::string name;  ///< Registry/ctest identifier (kebab-case).
+  std::string note;  ///< Free-form provenance line (optional).
+  std::uint64_t seed = 0;
+  ForgeParams forge;
+  CaseOverrides overrides;
+
+  [[nodiscard]] ForgedCase materialize() const {
+    return testkit::materialize(seed, forge, overrides);
+  }
+};
+
+/// Serialize in the canonical `key = value` form (stable key order, so
+/// golden-fixture comparisons are byte-exact).
+[[nodiscard]] std::string serialize(const CorpusEntry& entry);
+
+/// Build the entry describing an already-shrunk (or hand-picked) case.
+[[nodiscard]] CorpusEntry make_entry(std::string name, const ForgedCase& c,
+                                     std::string note = {});
+
+/// Parse one entry. Returns false and fills `error` on malformed input
+/// (unknown key, bad number, missing seed/format line).
+[[nodiscard]] bool parse(std::istream& in, CorpusEntry& out,
+                         std::string& error);
+
+/// Load from a .seed file; false + `error` when unreadable or malformed.
+[[nodiscard]] bool load(const std::string& path, CorpusEntry& out,
+                        std::string& error);
+
+/// Write serialize(entry) to `path`; false on I/O failure.
+[[nodiscard]] bool save(const std::string& path, const CorpusEntry& entry);
+
+/// Register the entry's scenario under "corpus-<name>" so scenario-driven
+/// CLIs and benches (`--scenario corpus-<name>`) can run the repro's
+/// parameter bundle by name (tasks::register_scenario).
+void register_corpus_scenario(const CorpusEntry& entry);
+
+}  // namespace atm::testkit

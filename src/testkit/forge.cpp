@@ -1,0 +1,377 @@
+#include "src/testkit/forge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/core/check.hpp"
+#include "src/core/units.hpp"
+
+namespace atm::testkit {
+
+namespace {
+
+/// Salt separating the forge's stream from every other consumer of a
+/// user-visible seed (the pipeline radar stream, the fault injector, ...).
+constexpr std::uint64_t kForgeSalt = 0xF0E6E5C3A1B2D4E8ULL;
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Speed draw in nm/period from the scenario's traffic envelope.
+double draw_speed(core::Rng& rng, const airfield::SetupParams& setup) {
+  return core::knots_to_nm_per_period(
+      rng.uniform(setup.min_speed_knots, setup.max_speed_knots));
+}
+
+double clamp_alt(double alt_feet, const airfield::SetupParams& setup) {
+  return std::clamp(alt_feet, setup.min_altitude_feet,
+                    setup.max_altitude_feet);
+}
+
+/// Altitude with at least one gate of headroom on both sides where the
+/// envelope allows, so stacked groups can straddle the gate upward.
+double draw_base_alt(core::Rng& rng, const airfield::SetupParams& setup,
+                     double gate_feet) {
+  const double lo = setup.min_altitude_feet + gate_feet;
+  const double hi = setup.max_altitude_feet - gate_feet;
+  if (lo >= hi) {
+    return rng.uniform(setup.min_altitude_feet, setup.max_altitude_feet);
+  }
+  return rng.uniform(lo, hi);
+}
+
+struct FleetBuilder {
+  airfield::FlightDb& db;
+  std::vector<std::uint8_t>& family;
+  std::size_t target;
+
+  [[nodiscard]] bool full() const { return db.size() >= target; }
+
+  void add(Family f, double x, double y, double dx, double dy, double alt) {
+    if (full()) return;
+    const std::size_t i = db.size();
+    db.resize(i + 1);
+    db.x[i] = x;
+    db.y[i] = y;
+    db.dx[i] = dx;
+    db.dy[i] = dy;
+    db.alt[i] = alt;
+    family.push_back(static_cast<std::uint8_t>(f));
+  }
+};
+
+/// A pair of tracks timed to pass through one point. The meeting time is
+/// drawn around the conflict horizon (0.05x .. 1.15x), so some pairs
+/// conflict early, some near the horizon edge (the geometry that catches
+/// off-by-one horizon bugs), and some just outside it.
+void emit_crossing(core::Rng& rng, FleetBuilder& out,
+                   const tasks::Scenario& s) {
+  const double field = s.setup.position_max_nm;
+  const double px = rng.uniform(-0.6 * field, 0.6 * field);
+  const double py = rng.uniform(-0.6 * field, 0.6 * field);
+  const double alt = clamp_alt(draw_base_alt(rng, s.setup,
+                                             s.task23.altitude_gate_feet),
+                               s.setup);
+  // Second aircraft: sometimes inside the altitude gate (a real conflict),
+  // sometimes just outside (exercises the gate exactly).
+  const double gate = s.task23.altitude_gate_feet;
+  const double alt_b = clamp_alt(
+      alt + rng.uniform(0.0, 1.6 * gate) * (rng.uniform() < 0.5 ? -1.0 : 1.0),
+      s.setup);
+  const double eta_wanted =
+      s.task23.horizon_periods * rng.uniform(0.05, 1.15);
+  for (int k = 0; k < 2; ++k) {
+    const double heading = rng.uniform(0.0, kTwoPi);
+    const double speed = draw_speed(rng, s.setup);
+    // Keep the start position on the grid: cap the lead distance by the
+    // room between the meeting point and the re-entry boundary.
+    const double room =
+        0.92 * core::kGridHalfExtentNm - std::max(std::fabs(px),
+                                                  std::fabs(py));
+    const double eta = std::min(eta_wanted, std::max(room, 1.0) / speed);
+    const double dx = speed * std::cos(heading);
+    const double dy = speed * std::sin(heading);
+    out.add(Family::kCrossing, px - dx * eta, py - dy * eta, dx, dy,
+            k == 0 ? alt : alt_b);
+  }
+}
+
+/// A lane of co-heading aircraft offset laterally by a fraction of the
+/// Batcher band (some pairs inside the band, some outside).
+void emit_parallel(core::Rng& rng, FleetBuilder& out,
+                   const tasks::Scenario& s) {
+  const double field = s.setup.position_max_nm;
+  const int lane = rng.uniform_int(2, 4);
+  const double heading = rng.uniform(0.0, kTwoPi);
+  const double speed = draw_speed(rng, s.setup);
+  const double bx = rng.uniform(-0.5 * field, 0.5 * field);
+  const double by = rng.uniform(-0.5 * field, 0.5 * field);
+  const double alt = clamp_alt(draw_base_alt(rng, s.setup,
+                                             s.task23.altitude_gate_feet),
+                               s.setup);
+  // Perpendicular to the heading.
+  const double nx = -std::sin(heading);
+  const double ny = std::cos(heading);
+  double offset = 0.0;
+  for (int k = 0; k < lane; ++k) {
+    out.add(Family::kParallel, bx + nx * offset, by + ny * offset,
+            speed * std::cos(heading), speed * std::sin(heading), alt);
+    offset += s.task23.band_nm * rng.uniform(0.3, 1.2);
+  }
+}
+
+/// A vertical stack: same ground track at altitudes spaced around the
+/// altitude gate (0.6x .. 1.4x), so adjacent pairs flip between gated
+/// and un-gated.
+void emit_stacked(core::Rng& rng, FleetBuilder& out,
+                  const tasks::Scenario& s) {
+  const double field = s.setup.position_max_nm;
+  const int levels = rng.uniform_int(2, 4);
+  const double x = rng.uniform(-0.6 * field, 0.6 * field);
+  const double y = rng.uniform(-0.6 * field, 0.6 * field);
+  const double heading = rng.uniform(0.0, kTwoPi);
+  const double speed = draw_speed(rng, s.setup);
+  double alt = clamp_alt(rng.uniform(s.setup.min_altitude_feet,
+                                     s.setup.max_altitude_feet),
+                         s.setup);
+  for (int k = 0; k < levels; ++k) {
+    const double jitter = s.task1.box_half_nm * rng.uniform(0.0, 0.4);
+    out.add(Family::kStacked, x + jitter, y - jitter,
+            speed * std::cos(heading), speed * std::sin(heading), alt);
+    alt = clamp_alt(
+        alt + s.task23.altitude_gate_feet * rng.uniform(0.6, 1.4),
+        s.setup);
+  }
+}
+
+/// Tracks hugging the sector seams (x or y = 0, +-half the grid) and the
+/// re-entry boundary, moving across the line — the halo-set and wrap
+/// edge cases.
+void emit_seam(core::Rng& rng, FleetBuilder& out, const tasks::Scenario& s) {
+  const int count = rng.uniform_int(2, 4);
+  const double half = core::kGridHalfExtentNm;
+  for (int k = 0; k < count; ++k) {
+    // Seam coordinates at the 2x2 and 4x4 sector boundaries plus the
+    // re-entry edge.
+    constexpr double kSeamFractions[] = {0.0, 0.5, -0.5, 0.98, -0.98};
+    const double seam =
+        half * kSeamFractions[rng.uniform_u64(0, 4)];
+    const double along = rng.uniform(-0.9 * half, 0.9 * half);
+    const double hug = rng.uniform(-1.5, 1.5);
+    const double speed = draw_speed(rng, s.setup);
+    const double heading = rng.uniform(0.0, kTwoPi);
+    const double dx = speed * std::cos(heading);
+    const double dy = speed * std::sin(heading);
+    const double alt = clamp_alt(rng.uniform(s.setup.min_altitude_feet,
+                                             s.setup.max_altitude_feet),
+                                 s.setup);
+    if (rng.uniform() < 0.5) {
+      out.add(Family::kSeamHugging, seam + hug, along, dx, dy, alt);
+    } else {
+      out.add(Family::kSeamHugging, along, seam + hug, dx, dy, alt);
+    }
+  }
+}
+
+/// A dense cluster in a small disc: the broadphase stress geometry.
+void emit_hotspot(core::Rng& rng, FleetBuilder& out,
+                  const tasks::Scenario& s) {
+  const double field = s.setup.position_max_nm;
+  const int count = rng.uniform_int(3, 6);
+  const double cx = rng.uniform(-0.7 * field, 0.7 * field);
+  const double cy = rng.uniform(-0.7 * field, 0.7 * field);
+  const double radius = s.task23.band_nm * rng.uniform(0.5, 3.0);
+  const double alt = clamp_alt(draw_base_alt(rng, s.setup,
+                                             s.task23.altitude_gate_feet),
+                               s.setup);
+  for (int k = 0; k < count; ++k) {
+    const double ang = rng.uniform(0.0, kTwoPi);
+    const double r = radius * std::sqrt(rng.uniform());
+    const double heading = rng.uniform(0.0, kTwoPi);
+    const double speed = draw_speed(rng, s.setup);
+    const double spread = s.task23.altitude_gate_feet * rng.uniform(0.0, 0.8);
+    out.add(Family::kHotspot, cx + r * std::cos(ang), cy + r * std::sin(ang),
+            speed * std::cos(heading), speed * std::sin(heading),
+            clamp_alt(alt + spread, s.setup));
+  }
+}
+
+void emit_cruise(core::Rng& rng, FleetBuilder& out,
+                 const tasks::Scenario& s) {
+  const airfield::FlightInit f = airfield::draw_flight(rng, s.setup);
+  out.add(Family::kCruise, f.x, f.y, f.dx, f.dy, f.alt);
+}
+
+tasks::Scenario sample_scenario(core::Rng& rng, const ForgeParams& params,
+                                std::uint64_t seed) {
+  tasks::Scenario s;
+  s.name = "forge-" + std::to_string(seed);
+  s.description = "testkit-forged scenario (seed " + std::to_string(seed) +
+                  "; see src/testkit/forge.hpp)";
+
+  // Traffic envelope. The field stays inside the re-entry grid so the
+  // full-system load (which generates from setup) matches the forge.
+  s.setup.position_max_nm = rng.uniform(24.0, core::kGridHalfExtentNm);
+  s.setup.min_speed_knots = rng.uniform(30.0, 200.0);
+  s.setup.max_speed_knots =
+      s.setup.min_speed_knots + rng.uniform(60.0, 400.0);
+  s.setup.min_altitude_feet = rng.uniform(1000.0, 15000.0);
+  s.setup.max_altitude_feet =
+      s.setup.min_altitude_feet + rng.uniform(4000.0, 25000.0);
+
+  // Task 1: correlation box and radar quality, kept coherent (noise
+  // below the half-box so a clean return correlates on the first pass).
+  s.task1.box_half_nm = rng.uniform(0.1, 1.0);
+  s.task1.retries = rng.uniform_int(0, 3);
+  s.radar.noise_nm = s.task1.box_half_nm * rng.uniform(0.0, 0.45);
+  s.radar.dropout_probability =
+      rng.uniform() < 0.35 ? rng.uniform(0.0, 0.05) : 0.0;
+
+  // Tasks 2+3: conflict geometry.
+  s.task23.band_nm = rng.uniform(0.5, 4.0);
+  s.task23.altitude_gate_feet = rng.uniform(300.0, 1500.0);
+  s.task23.horizon_periods = rng.uniform(400.0, 3600.0);
+  s.task23.critical_periods =
+      rng.uniform(60.0, 0.5 * s.task23.horizon_periods);
+  s.task23.turn_step_deg = rng.uniform(2.5, 15.0);
+  s.task23.turn_max_deg = std::min(
+      s.task23.turn_step_deg * static_cast<double>(rng.uniform_int(2, 6)),
+      90.0);
+
+  if (params.fuzz_policy) {
+    s.policy.broadphase = rng.uniform() < 0.5
+                              ? core::spatial::BroadphaseMode::kBruteForce
+                              : core::spatial::BroadphaseMode::kGrid;
+    s.policy.shard = rng.uniform() < 0.5 ? core::spatial::ShardMode::kNone
+                                         : core::spatial::ShardMode::kSectors;
+    constexpr int kAxes[] = {2, 3, 4, 6, 8};
+    s.policy.sectors_per_axis = kAxes[rng.uniform_u64(0, 4)];
+    constexpr core::kern::KernelMode kKernels[] = {
+        core::kern::KernelMode::kAuto, core::kern::KernelMode::kScalar,
+        core::kern::KernelMode::kAvx2};
+    s.policy.kernel = kKernels[rng.uniform_u64(0, 2)];
+  }
+
+  // Deterministic sensor faults only; governor and stolen time stay off
+  // (see the header comment).
+  if (params.fuzz_sensor_faults && rng.uniform() < 0.5) {
+    s.policy.faults.enabled = true;
+    s.policy.faults.dropout_burst_probability = rng.uniform(0.0, 0.25);
+    s.policy.faults.dropout_fraction = rng.uniform(0.1, 0.5);
+    s.policy.faults.ghost_probability = rng.uniform(0.0, 0.2);
+    s.policy.faults.noise_burst_probability = rng.uniform(0.0, 0.25);
+    s.policy.faults.noise_burst_nm = rng.uniform(0.3, 1.5);
+  }
+
+  if (params.fuzz_sporadic) {
+    s.sporadic.queries_per_batch = rng.uniform_int(0, 8);
+    s.sporadic.near_radius_nm = rng.uniform(5.0, 40.0);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view to_string(Family family) {
+  switch (family) {
+    case Family::kCruise: return "cruise";
+    case Family::kCrossing: return "crossing";
+    case Family::kParallel: return "parallel";
+    case Family::kStacked: return "stacked";
+    case Family::kSeamHugging: return "seam";
+    case Family::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+ForgedCase forge_case(std::uint64_t seed, const ForgeParams& params) {
+  ATM_CHECK_MSG(params.min_aircraft >= 2 &&
+                    params.min_aircraft <= params.max_aircraft,
+                "forge aircraft bounds [" << params.min_aircraft << ", "
+                                          << params.max_aircraft
+                                          << "] are not a valid range");
+  ATM_CHECK_MSG(params.min_major_cycles >= 1 &&
+                    params.min_major_cycles <= params.max_major_cycles,
+                "forge major-cycle bounds are not a valid range");
+
+  core::Rng root(seed ^ kForgeSalt);
+  core::Rng param_rng = root.fork();
+  core::Rng fleet_rng = root.fork();
+
+  ForgedCase c;
+  c.seed = seed;
+  c.forge = params;
+  c.scenario = sample_scenario(param_rng, params, seed);
+  c.major_cycles = param_rng.uniform_int(params.min_major_cycles,
+                                         params.max_major_cycles);
+
+  const std::size_t n =
+      param_rng.uniform_u64(params.min_aircraft, params.max_aircraft);
+  FleetBuilder out{c.db, c.family, n};
+  while (!out.full()) {
+    switch (fleet_rng.uniform_u64(0, 5)) {
+      case 0: emit_cruise(fleet_rng, out, c.scenario); break;
+      case 1: emit_crossing(fleet_rng, out, c.scenario); break;
+      case 2: emit_parallel(fleet_rng, out, c.scenario); break;
+      case 3: emit_stacked(fleet_rng, out, c.scenario); break;
+      case 4: emit_seam(fleet_rng, out, c.scenario); break;
+      default: emit_hotspot(fleet_rng, out, c.scenario); break;
+    }
+  }
+  c.scenario.default_aircraft = c.db.size();
+  return c;
+}
+
+airfield::FlightDb select_rows(const airfield::FlightDb& db,
+                               const std::vector<std::uint32_t>& keep) {
+  airfield::FlightDb out(keep.size());
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    const std::size_t i = keep[k];
+    ATM_CHECK_MSG(i < db.size(), "select_rows index " << i
+                                     << " outside fleet of " << db.size());
+    out.x[k] = db.x[i];
+    out.y[k] = db.y[i];
+    out.dx[k] = db.dx[i];
+    out.dy[k] = db.dy[i];
+    out.alt[k] = db.alt[i];
+  }
+  return out;
+}
+
+ForgedCase materialize(std::uint64_t seed, const ForgeParams& params,
+                       const CaseOverrides& overrides) {
+  ForgedCase c = forge_case(seed, params);
+  c.overrides = overrides;
+  if (overrides.major_cycles > 0) c.major_cycles = overrides.major_cycles;
+  if (overrides.zero_faults) c.scenario.policy.faults = rt::FaultConfig{};
+  if (overrides.zero_radar_noise) c.scenario.radar.noise_nm = 0.0;
+  if (overrides.zero_dropout) c.scenario.radar.dropout_probability = 0.0;
+  if (overrides.zero_sporadic) c.scenario.sporadic.queries_per_batch = 0;
+  if (overrides.plain_policy) {
+    c.scenario.policy.broadphase = core::spatial::BroadphaseMode::kBruteForce;
+    c.scenario.policy.shard = core::spatial::ShardMode::kNone;
+    c.scenario.policy.sectors_per_axis = 4;
+    c.scenario.policy.kernel = core::kern::KernelMode::kAuto;
+  }
+  if (!overrides.keep.empty()) {
+    c.db = select_rows(c.db, overrides.keep);
+    std::vector<std::uint8_t> kept_family;
+    kept_family.reserve(overrides.keep.size());
+    for (const std::uint32_t i : overrides.keep) {
+      kept_family.push_back(c.family[i]);
+    }
+    c.family = std::move(kept_family);
+    c.scenario.default_aircraft = c.db.size();
+  }
+  return c;
+}
+
+tasks::PipelineConfig pipeline_config(const ForgedCase& c) {
+  tasks::PipelineConfig cfg =
+      tasks::make_pipeline_config(c.scenario, c.major_cycles, c.seed);
+  cfg.aircraft = c.db.size();
+  cfg.preloaded = true;
+  return cfg;
+}
+
+}  // namespace atm::testkit

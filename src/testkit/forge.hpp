@@ -1,0 +1,120 @@
+// ScenarioForge: seeded sampling of randomized-but-valid ATM scenarios.
+//
+// Every case is a replayable (seed, ForgeParams) pair: the forge draws the
+// scenario parameters, the execution policy, and a structured traffic
+// fleet from a single core::Rng stream (forked per concern, the repo's
+// stream discipline), so two calls with the same inputs produce
+// bit-identical cases on every host. The fleet mixes trajectory families
+// the random SetupFlight draw essentially never produces — head-on
+// crossings timed to converge, parallel lanes a fraction of the Batcher
+// band apart, altitude stacks straddling the altitude gate, tracks
+// hugging sector seams and the re-entry boundary, and dense hotspots —
+// exactly the adversarial geometry the differential oracle
+// (src/testkit/oracle.hpp) wants to push through the backend x kernel x
+// broadphase x shard matrix.
+//
+// Determinism notes (why two knobs are deliberately NOT fuzzed): the
+// reference and MIMD backends report *measured host wall time* as their
+// modeled time, so anything that feeds timing back into control flow —
+// the overload governor's level walk, stolen-time fault injection —
+// makes a run schedule-dependent. The forge therefore never enables the
+// governor or stolen time; sensor faults (dropout bursts, ghosts, noise
+// bursts) depend only on (seed, period) and stay fully deterministic, so
+// they are fair game.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/airfield/flight_db.hpp"
+#include "src/atm/pipeline.hpp"
+#include "src/atm/scenarios.hpp"
+
+namespace atm::testkit {
+
+/// Trajectory families the forge mixes into a fleet.
+enum class Family : std::uint8_t {
+  kCruise = 0,       ///< Plain SetupFlight-style random track.
+  kCrossing = 1,     ///< Pair timed to converge on one point.
+  kParallel = 2,     ///< Lane of co-heading tracks ~a band apart.
+  kStacked = 3,      ///< Vertical stack straddling the altitude gate.
+  kSeamHugging = 4,  ///< Tracks on sector seams / the re-entry boundary.
+  kHotspot = 5,      ///< Dense cluster in a small disc.
+};
+inline constexpr int kFamilyCount = 6;
+
+[[nodiscard]] std::string_view to_string(Family family);
+
+/// Knobs of the forge itself (what the sampler may reach for). Replay
+/// requires the exact ForgeParams alongside the seed; corpus entries
+/// serialize every field (src/testkit/corpus.hpp).
+struct ForgeParams {
+  std::size_t min_aircraft = 24;
+  std::size_t max_aircraft = 96;
+  int min_major_cycles = 1;
+  int max_major_cycles = 2;
+  /// Randomize Scenario::policy (broadphase / shard / kernel). The
+  /// differential oracle overrides these axes anyway; the forged policy
+  /// is what single replays and registered corpus scenarios run with.
+  bool fuzz_policy = true;
+  /// Randomize deterministic sensor faults (dropout bursts, ghosts,
+  /// noise bursts). Never stolen time — see the header comment.
+  bool fuzz_sensor_faults = true;
+  /// Randomize the sporadic controller-query mix (full system only).
+  bool fuzz_sporadic = true;
+
+  friend bool operator==(const ForgeParams&, const ForgeParams&) = default;
+};
+
+/// Deterministic edits applied on top of a forged case — the shrinker's
+/// entire move set, so a minimized repro is just (seed, ForgeParams,
+/// CaseOverrides) and replays exactly.
+struct CaseOverrides {
+  int major_cycles = 0;       ///< > 0 replaces the forged cycle count.
+  bool zero_faults = false;   ///< Disable fault injection.
+  bool zero_radar_noise = false;
+  bool zero_dropout = false;  ///< Clear radar dropout probability.
+  bool zero_sporadic = false;
+  /// Reset the forged policy to brute / unsharded / auto-kernel.
+  bool plain_policy = false;
+  /// Keep only these aircraft (indices into the forged fleet, ascending);
+  /// empty keeps the whole fleet.
+  std::vector<std::uint32_t> keep;
+
+  friend bool operator==(const CaseOverrides&,
+                         const CaseOverrides&) = default;
+};
+
+/// One forged case: the scenario parameter bundle plus the concrete
+/// fleet, ready to preload into any backend.
+struct ForgedCase {
+  std::uint64_t seed = 0;
+  ForgeParams forge;
+  CaseOverrides overrides;
+  tasks::Scenario scenario;  ///< Post-override parameters + policy.
+  airfield::FlightDb db;     ///< The fleet, post-keep filter.
+  int major_cycles = 1;
+  /// Family tag per aircraft (post-keep), for diagnostics and coverage
+  /// assertions.
+  std::vector<std::uint8_t> family;
+};
+
+/// Forge the case for `seed` with no overrides.
+[[nodiscard]] ForgedCase forge_case(std::uint64_t seed,
+                                    const ForgeParams& params = {});
+
+/// Forge, then apply overrides (the replay path for shrunk repros).
+[[nodiscard]] ForgedCase materialize(std::uint64_t seed,
+                                     const ForgeParams& params,
+                                     const CaseOverrides& overrides);
+
+/// Copy of `db` containing only the rows in `keep` (ascending indices).
+[[nodiscard]] airfield::FlightDb select_rows(
+    const airfield::FlightDb& db, const std::vector<std::uint32_t>& keep);
+
+/// Pipeline configuration for running a forged case: the scenario's
+/// parameters with the backend preloaded from the forged fleet.
+[[nodiscard]] tasks::PipelineConfig pipeline_config(const ForgedCase& c);
+
+}  // namespace atm::testkit

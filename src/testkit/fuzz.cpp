@@ -1,0 +1,63 @@
+#include "src/testkit/fuzz.hpp"
+
+#include <chrono>
+#include <ostream>
+
+namespace atm::testkit {
+
+FuzzSummary run_fuzz(const FuzzOptions& options, std::ostream* log) {
+  FuzzSummary summary;
+  // Wall clock for the *budget* only: which seeds run may vary with host
+  // load, what each seed computes never does.
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  for (int i = 0; i < options.cases; ++i) {
+    if (options.budget_ms > 0.0 && elapsed_ms() > options.budget_ms) {
+      if (log) {
+        *log << "fuzz: budget of " << options.budget_ms << " ms reached after "
+             << summary.cases_run << " cases\n";
+      }
+      break;
+    }
+    const std::uint64_t seed =
+        options.first_seed + static_cast<std::uint64_t>(i);
+    const ForgedCase c = forge_case(seed, options.forge);
+
+    OracleOptions oracle = options.oracle;
+    if (options.deep_every > 1 && i % options.deep_every != 0) {
+      oracle.platform_backends = false;
+      oracle.full_system = false;
+    }
+    const OracleReport report = check_case(c, oracle);
+    ++summary.cases_run;
+    summary.runs += report.runs;
+    if (!report.ok()) {
+      summary.failures.push_back(FuzzFailure{seed, report.divergences});
+      if (log) {
+        *log << "fuzz: seed " << seed << " DIVERGED ("
+             << c.db.size() << " aircraft, " << c.major_cycles
+             << " major cycles)\n"
+             << report.to_string();
+      }
+    } else if (log && summary.cases_run % 25 == 0) {
+      *log << "fuzz: " << summary.cases_run << " cases, " << summary.runs
+           << " runs, 0 divergences (" << elapsed_ms() / 1000.0 << " s)\n";
+    }
+  }
+
+  summary.quota_met = summary.cases_run >= options.require_cases;
+  if (log) {
+    *log << "fuzz: done — " << summary.cases_run << " cases, "
+         << summary.runs << " runs, " << summary.failures.size()
+         << " divergent seed(s)"
+         << (summary.quota_met ? "" : " [case quota NOT met]") << '\n';
+  }
+  return summary;
+}
+
+}  // namespace atm::testkit

@@ -1,0 +1,52 @@
+// The budgeted fuzz loop: forge consecutive seeds, push each case
+// through the differential oracle, collect divergences. This is the
+// engine behind `tools/atm_fuzz` (CI's fuzz-smoke step and the `fuzz`
+// ctest label) and tests/fuzz_smoke_test.cpp.
+//
+// Outcomes are fully deterministic per seed; the wall-clock budget only
+// decides how many seeds a run gets through, never what any seed
+// computes, so a failure printed by a budgeted run replays exactly with
+// `atm_fuzz --seeds <seed>:1`.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/testkit/oracle.hpp"
+
+namespace atm::testkit {
+
+struct FuzzOptions {
+  std::uint64_t first_seed = 1;
+  int cases = 32;  ///< Consecutive seeds starting at first_seed.
+  /// Stop starting new cases once this much wall time has elapsed
+  /// (0 = no budget).
+  double budget_ms = 0.0;
+  /// Fail the summary when fewer cases than this complete (guards CI
+  /// budgets against silently fuzzing nothing).
+  int require_cases = 0;
+  ForgeParams forge;
+  OracleOptions oracle;
+  /// Run the expensive probes (platform backends + full system) on every
+  /// Nth case only; 1 = every case.
+  int deep_every = 1;
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  std::vector<Divergence> divergences;
+};
+
+struct FuzzSummary {
+  int cases_run = 0;
+  int runs = 0;  ///< Total oracle executions across all cases.
+  bool quota_met = true;
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty() && quota_met; }
+};
+
+/// Run the loop; progress and failures go to `log` when non-null.
+[[nodiscard]] FuzzSummary run_fuzz(const FuzzOptions& options,
+                                   std::ostream* log = nullptr);
+
+}  // namespace atm::testkit

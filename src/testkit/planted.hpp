@@ -1,0 +1,71 @@
+// A deliberately buggy backend for validating the testkit itself: the
+// shrinker self-test (and any harness smoke test) needs a bug with a
+// deterministic, shrink-friendly footprint to converge on. The shim
+// models the classic fleet-bound off-by-one — a Tasks 2+3 scan loop
+// written `i < n - 1` — by running the reference implementation over the
+// fleet with the final record dropped, while still reporting the full
+// fleet in the headline aircraft counter (a real buggy loop counts the
+// fleet outside the loop, so the counter hides the skipped subject).
+//
+// The bug fires exactly when the final aircraft carries a conflict —
+// either its own detection is skipped, or a partner's soonest conflict
+// disappears with it — so most forged cases agree with the reference,
+// and a failing case shrinks down to the few tracks whose conflict
+// involves the fleet's last record.
+//
+// Test-only: nothing under src/ outside the testkit may reference this
+// class, and it is deliberately NOT registered in platforms.cpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/atm/reference_backend.hpp"
+
+namespace atm::testkit {
+
+class PlantedBugBackend final : public tasks::ReferenceBackend {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "Planted fleet off-by-one (testkit shim)";
+  }
+
+ private:
+  tasks::Task23Result do_run_task23(
+      const tasks::Task23Params& params) final {
+    const airfield::FlightDb full = state();
+    const std::size_t n = full.size();
+    if (n < 2) return ReferenceBackend::do_run_task23(params);
+
+    // Scan the fleet minus its last record (`i < n - 1`). resize()
+    // truncates every column, working state included.
+    airfield::FlightDb short_fleet = full;
+    short_fleet.resize(n - 1);
+    load(short_fleet);
+    tasks::Task23Result result = ReferenceBackend::do_run_task23(params);
+    result.stats.aircraft = n;
+
+    // Splice the untouched last record back on top of the post-task
+    // state: it was never scanned, so it keeps its pre-task fields.
+    airfield::FlightDb merged = state();
+    merged.resize(n);
+    const std::size_t last = n - 1;
+    merged.x[last] = full.x[last];
+    merged.y[last] = full.y[last];
+    merged.dx[last] = full.dx[last];
+    merged.dy[last] = full.dy[last];
+    merged.alt[last] = full.alt[last];
+    merged.batx[last] = full.batx[last];
+    merged.baty[last] = full.baty[last];
+    merged.rmatch[last] = full.rmatch[last];
+    merged.col[last] = full.col[last];
+    merged.time_till[last] = full.time_till[last];
+    merged.col_with[last] = full.col_with[last];
+    merged.terrain_warn[last] = full.terrain_warn[last];
+    merged.sector[last] = full.sector[last];
+    load(merged);
+    return result;
+  }
+};
+
+}  // namespace atm::testkit

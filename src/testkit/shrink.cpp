@@ -1,0 +1,130 @@
+#include "src/testkit/shrink.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <utility>
+
+namespace atm::testkit {
+
+namespace {
+
+struct Shrinker {
+  std::uint64_t seed;
+  const ForgeParams& forge;
+  const std::function<bool(const ForgedCase&)>& fails;
+  int budget;
+  int evaluations = 0;
+
+  [[nodiscard]] bool spent() const { return evaluations >= budget; }
+
+  bool judge(const CaseOverrides& overrides) {
+    if (spent()) return false;
+    ++evaluations;
+    return fails(materialize(seed, forge, overrides));
+  }
+
+  /// Try one candidate; adopt it into `current` when it still fails.
+  bool adopt(CaseOverrides& current, CaseOverrides candidate) {
+    if (!judge(candidate)) return false;
+    current = std::move(candidate);
+    return true;
+  }
+
+  bool shrink_duration(CaseOverrides& current) {
+    if (current.major_cycles == 1) return false;
+    CaseOverrides candidate = current;
+    candidate.major_cycles = 1;
+    return adopt(current, std::move(candidate));
+  }
+
+  /// ddmin over the keep list: try dropping chunks of halving size until
+  /// no single aircraft can be removed.
+  bool shrink_aircraft(CaseOverrides& current) {
+    bool progressed = false;
+    std::size_t chunk = std::max<std::size_t>(1, current.keep.size() / 2);
+    while (chunk >= 1 && current.keep.size() > 1 && !spent()) {
+      bool removed = false;
+      for (std::size_t start = 0;
+           start < current.keep.size() && !spent();) {
+        CaseOverrides candidate = current;
+        const std::size_t end =
+            std::min(start + chunk, candidate.keep.size());
+        candidate.keep.erase(
+            candidate.keep.begin() + static_cast<std::ptrdiff_t>(start),
+            candidate.keep.begin() + static_cast<std::ptrdiff_t>(end));
+        if (!candidate.keep.empty() &&
+            adopt(current, std::move(candidate))) {
+          removed = true;
+          progressed = true;
+          // The window now holds the next chunk; do not advance.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1 && !removed) break;
+      chunk = std::max<std::size_t>(1, chunk / 2);
+      if (removed && chunk * 2 <= current.keep.size()) {
+        chunk = std::max<std::size_t>(1, current.keep.size() / 2);
+      }
+    }
+    return progressed;
+  }
+
+  bool shrink_knobs(CaseOverrides& current) {
+    bool progressed = false;
+    const auto try_flag = [&](bool CaseOverrides::* flag) {
+      if (current.*flag || spent()) return;
+      CaseOverrides candidate = current;
+      candidate.*flag = true;
+      if (adopt(current, std::move(candidate))) progressed = true;
+    };
+    try_flag(&CaseOverrides::zero_faults);
+    try_flag(&CaseOverrides::zero_dropout);
+    try_flag(&CaseOverrides::zero_radar_noise);
+    try_flag(&CaseOverrides::zero_sporadic);
+    try_flag(&CaseOverrides::plain_policy);
+    return progressed;
+  }
+};
+
+}  // namespace
+
+ShrinkResult shrink_case(std::uint64_t seed, const ForgeParams& params,
+                         const CaseOverrides& start,
+                         const std::function<bool(const ForgedCase&)>& fails,
+                         const ShrinkOptions& options) {
+  Shrinker shrinker{seed, params, fails, options.max_evaluations};
+
+  CaseOverrides current = start;
+  if (current.keep.empty()) {
+    // Normalize to an explicit keep list so aircraft removal has a
+    // concrete set to chip at.
+    const ForgedCase forged = forge_case(seed, params);
+    current.keep.resize(forged.db.size());
+    std::iota(current.keep.begin(), current.keep.end(), 0U);
+  }
+
+  ShrinkResult result;
+  if (!shrinker.judge(current)) {
+    result.minimal = materialize(seed, params, start);
+    result.evaluations = shrinker.evaluations;
+    result.failing = false;
+    return result;
+  }
+
+  bool progressed = true;
+  while (progressed && !shrinker.spent()) {
+    progressed = false;
+    progressed |= shrinker.shrink_duration(current);
+    progressed |= shrinker.shrink_aircraft(current);
+    progressed |= shrinker.shrink_knobs(current);
+  }
+
+  result.minimal = materialize(seed, params, current);
+  result.evaluations = shrinker.evaluations;
+  result.failing = true;
+  return result;
+}
+
+}  // namespace atm::testkit

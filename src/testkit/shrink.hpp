@@ -1,0 +1,43 @@
+// Greedy scenario shrinker: minimize a failing forged case to a small,
+// self-contained repro.
+//
+// The move set is exactly CaseOverrides — duration first (major cycles
+// down to one), then ddmin-style aircraft removal over the keep list
+// (halving chunk sizes, the delta-debugging schedule), then policy-knob
+// zeroing (faults, radar noise, dropout, sporadic mix, forged policy) —
+// looped to a fixpoint. Every candidate is re-materialized from (seed,
+// ForgeParams, CaseOverrides) and re-judged by the caller's predicate,
+// so the shrunk repro replays bit-identically from those three values
+// alone; serialize it with src/testkit/corpus.hpp.
+#pragma once
+
+#include <functional>
+
+#include "src/testkit/forge.hpp"
+
+namespace atm::testkit {
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (each one is a full replay).
+  int max_evaluations = 600;
+};
+
+struct ShrinkResult {
+  ForgedCase minimal;
+  int evaluations = 0;
+  /// False when the starting case did not fail the predicate (nothing
+  /// to shrink; `minimal` is then the starting case).
+  bool failing = false;
+};
+
+/// `fails` returns true while the bug still reproduces. The returned
+/// case is 1-minimal over the move set: no single remaining aircraft,
+/// extra major cycle, or zeroable knob can be dropped without losing
+/// the failure (within the evaluation budget).
+[[nodiscard]] ShrinkResult shrink_case(
+    std::uint64_t seed, const ForgeParams& params,
+    const CaseOverrides& start,
+    const std::function<bool(const ForgedCase&)>& fails,
+    const ShrinkOptions& options = {});
+
+}  // namespace atm::testkit

@@ -1,0 +1,314 @@
+// Boundary tests for the degradation ladder (src/atm/degrade.hpp) and
+// the governor thresholds that drive it (src/rt/governor.hpp): exact
+// utilization-threshold edges, the 8x8 sector cap (including the
+// clamp-DOWN when a run already shards finer than the cap), and the
+// shed-sporadic rung under zero sporadic load. The equivalence and
+// fault-harness tests cover the ladder's happy paths; this file pins the
+// edges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/atm/degrade.hpp"
+#include "src/atm/extended/full_pipeline.hpp"
+#include "src/atm/reference_backend.hpp"
+#include "src/atm/scenarios.hpp"
+#include "src/rt/governor.hpp"
+
+namespace atm::tasks {
+namespace {
+
+rt::Governor make_governor(const rt::GovernorConfig& config) {
+  return rt::Governor(config, degradation_ladder());
+}
+
+rt::GovernorConfig enabled_defaults() {
+  rt::GovernorConfig config;
+  config.enabled = true;
+  return config;  // degrade 0.90 / recover 0.60, hold 1 / 4
+}
+
+// --- ladder steps ----------------------------------------------------------
+
+TEST(DegradeLadderTest, LevelZeroIsTheIdentity) {
+  const Task1Params t1_base;
+  const Task23Params t23_base;
+  Task1Params t1 = t1_base;
+  Task23Params t23 = t23_base;
+  apply_degradation(0, t1, t23);
+  EXPECT_EQ(t1.broadphase, t1_base.broadphase);
+  EXPECT_EQ(t1.shard, t1_base.shard);
+  EXPECT_EQ(t1.retries, t1_base.retries);
+  EXPECT_EQ(t23.broadphase, t23_base.broadphase);
+  EXPECT_EQ(t23.turn_step_deg, t23_base.turn_step_deg);
+}
+
+TEST(DegradeLadderTest, LevelOneSwitchesBothBundlesToGrid) {
+  Task1Params t1;
+  Task23Params t23;
+  apply_degradation(1, t1, t23);
+  EXPECT_EQ(t1.broadphase, core::spatial::BroadphaseMode::kGrid);
+  EXPECT_EQ(t23.broadphase, core::spatial::BroadphaseMode::kGrid);
+  // Step 1 alone: sharding and the other knobs untouched.
+  EXPECT_EQ(t1.shard, core::spatial::ShardMode::kNone);
+  EXPECT_EQ(t1.retries, Task1Params{}.retries);
+  EXPECT_EQ(t23.turn_step_deg, Task23Params{}.turn_step_deg);
+}
+
+TEST(DegradeLadderTest, LevelTwoEnablesSectorsAtFourPerAxis) {
+  Task1Params t1;
+  Task23Params t23;
+  t1.shard = core::spatial::ShardMode::kNone;
+  t1.sectors_per_axis = 2;  // below the enable floor
+  t23.shard = core::spatial::ShardMode::kNone;
+  t23.sectors_per_axis = 2;
+  apply_degradation(2, t1, t23);
+  EXPECT_EQ(t1.shard, core::spatial::ShardMode::kSectors);
+  EXPECT_EQ(t1.sectors_per_axis, 4);
+  EXPECT_EQ(t23.shard, core::spatial::ShardMode::kSectors);
+  EXPECT_EQ(t23.sectors_per_axis, 4);
+}
+
+TEST(DegradeLadderTest, LevelTwoKeepsAFinerUnshardedConfiguration) {
+  Task1Params t1;
+  Task23Params t23;
+  t1.sectors_per_axis = 6;  // unsharded but already configured finer
+  t23.sectors_per_axis = 6;
+  apply_degradation(2, t1, t23);
+  EXPECT_EQ(t1.sectors_per_axis, 6);  // max(6, 4): enable, don't coarsen
+  EXPECT_EQ(t23.sectors_per_axis, 6);
+}
+
+TEST(DegradeLadderTest, LevelTwoDoublesSectorsUpToTheCap) {
+  const struct {
+    int start;
+    int expected;
+  } kCases[] = {
+      {2, 4},   // doubles
+      {4, 8},   // doubles to exactly the cap
+      {6, 8},   // doubling would overshoot: clamped at 8
+      {8, 8},   // already at the cap: stays
+      {16, 8},  // finer than the cap: clamped DOWN to 8
+  };
+  for (const auto& c : kCases) {
+    Task1Params t1;
+    Task23Params t23;
+    t1.shard = core::spatial::ShardMode::kSectors;
+    t1.sectors_per_axis = c.start;
+    t23.shard = core::spatial::ShardMode::kSectors;
+    t23.sectors_per_axis = c.start;
+    apply_degradation(2, t1, t23);
+    EXPECT_EQ(t1.sectors_per_axis, c.expected) << "start " << c.start;
+    EXPECT_EQ(t23.sectors_per_axis, c.expected) << "start " << c.start;
+    EXPECT_EQ(t1.shard, core::spatial::ShardMode::kSectors);
+  }
+}
+
+TEST(DegradeLadderTest, LevelThreeCapsRetriesWithoutRaisingThem) {
+  for (const int start : {0, 1, 2, 5}) {
+    Task1Params t1;
+    Task23Params t23;
+    t1.retries = start;
+    apply_degradation(3, t1, t23);
+    EXPECT_EQ(t1.retries, std::min(start, 1)) << "start " << start;
+  }
+}
+
+TEST(DegradeLadderTest, LevelFourCoarsensTheSweepUpToTurnMax) {
+  {
+    Task1Params t1;
+    Task23Params t23;
+    t23.turn_step_deg = 5.0;
+    t23.turn_max_deg = 30.0;
+    apply_degradation(4, t1, t23);
+    EXPECT_DOUBLE_EQ(t23.turn_step_deg, 10.0);
+  }
+  {
+    Task1Params t1;
+    Task23Params t23;
+    t23.turn_step_deg = 20.0;  // doubling would pass turn_max
+    t23.turn_max_deg = 30.0;
+    apply_degradation(4, t1, t23);
+    EXPECT_DOUBLE_EQ(t23.turn_step_deg, 30.0);
+  }
+  {
+    Task1Params t1;
+    Task23Params t23;
+    t23.turn_step_deg = 30.0;  // already at the extreme-angles-only sweep
+    t23.turn_max_deg = 30.0;
+    apply_degradation(4, t1, t23);
+    EXPECT_DOUBLE_EQ(t23.turn_step_deg, 30.0);
+  }
+}
+
+TEST(DegradeLadderTest, OnlyTheTopRungShedsSporadic) {
+  const int top = static_cast<int>(degradation_ladder().size());
+  for (int level = 0; level < top; ++level) {
+    EXPECT_FALSE(degradation_sheds_sporadic(level)) << "level " << level;
+  }
+  EXPECT_TRUE(degradation_sheds_sporadic(top));
+}
+
+TEST(DegradeLadderTest, StepsAreCumulative) {
+  Task1Params t1;
+  Task23Params t23;
+  apply_degradation(static_cast<int>(degradation_ladder().size()), t1, t23);
+  EXPECT_EQ(t1.broadphase, core::spatial::BroadphaseMode::kGrid);
+  EXPECT_EQ(t1.shard, core::spatial::ShardMode::kSectors);
+  EXPECT_EQ(t1.retries, std::min(Task1Params{}.retries, 1));
+  EXPECT_EQ(t23.shard, core::spatial::ShardMode::kSectors);
+  EXPECT_GT(t23.turn_step_deg, Task23Params{}.turn_step_deg);
+}
+
+// --- governor threshold edges ---------------------------------------------
+
+TEST(GovernorBoundaryTest, UtilizationExactlyAtDegradeThresholdHolds) {
+  rt::Governor governor = make_governor(enabled_defaults());
+  // > is strict: 90.0 / 100.0 == 0.90 is NOT hot (it is deadband).
+  EXPECT_EQ(governor.observe(90.0, 100.0, false),
+            rt::GovernorAction::kHold);
+  EXPECT_EQ(governor.level(), 0);
+}
+
+TEST(GovernorBoundaryTest, UtilizationJustAboveDegradeThresholdDegrades) {
+  rt::Governor governor = make_governor(enabled_defaults());
+  EXPECT_EQ(governor.observe(90.0 + 1e-9, 100.0, false),
+            rt::GovernorAction::kDegrade);
+  EXPECT_EQ(governor.level(), 1);
+}
+
+TEST(GovernorBoundaryTest, DeadlineTroubleDegradesRegardlessOfUtilization) {
+  rt::Governor governor = make_governor(enabled_defaults());
+  EXPECT_EQ(governor.observe(1.0, 100.0, true),
+            rt::GovernorAction::kDegrade);
+  EXPECT_EQ(governor.level(), 1);
+}
+
+TEST(GovernorBoundaryTest, UtilizationExactlyAtRecoverThresholdIsDeadband) {
+  rt::Governor governor = make_governor(enabled_defaults());
+  ASSERT_EQ(governor.observe(100.0, 100.0, false),
+            rt::GovernorAction::kDegrade);
+  // < is strict: 60.0 / 100.0 == 0.60 never counts toward the calm
+  // streak, no matter how long it persists.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(governor.observe(60.0, 100.0, false),
+              rt::GovernorAction::kHold)
+        << "period " << i;
+  }
+  EXPECT_EQ(governor.level(), 1);
+}
+
+TEST(GovernorBoundaryTest, RecoveryNeedsTheFullCalmHold) {
+  rt::Governor governor = make_governor(enabled_defaults());
+  ASSERT_EQ(governor.observe(100.0, 100.0, false),
+            rt::GovernorAction::kDegrade);
+  // recover_hold_periods = 4: three calm periods hold, the fourth steps.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(governor.observe(60.0 - 1e-6, 100.0, false),
+              rt::GovernorAction::kHold)
+        << "calm period " << i;
+  }
+  EXPECT_EQ(governor.observe(60.0 - 1e-6, 100.0, false),
+            rt::GovernorAction::kRecover);
+  EXPECT_EQ(governor.level(), 0);
+}
+
+TEST(GovernorBoundaryTest, DeadbandPeriodRestartsTheCalmStreak) {
+  rt::Governor governor = make_governor(enabled_defaults());
+  ASSERT_EQ(governor.observe(100.0, 100.0, false),
+            rt::GovernorAction::kDegrade);
+  // Three calm periods, then one deadband period: the streak restarts,
+  // so three MORE calm periods still only hold.
+  for (int i = 0; i < 3; ++i) {
+    governor.observe(50.0, 100.0, false);
+  }
+  EXPECT_EQ(governor.observe(75.0, 100.0, false),
+            rt::GovernorAction::kHold);  // deadband
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(governor.observe(50.0, 100.0, false),
+              rt::GovernorAction::kHold)
+        << "calm period " << i << " after deadband";
+  }
+  EXPECT_EQ(governor.observe(50.0, 100.0, false),
+            rt::GovernorAction::kRecover);
+}
+
+TEST(GovernorBoundaryTest, LevelNeverLeavesTheLadder) {
+  rt::GovernorConfig config = enabled_defaults();
+  config.recover_hold_periods = 1;
+  rt::Governor governor = make_governor(config);
+  const int top = governor.max_level();
+  ASSERT_EQ(top, static_cast<int>(degradation_ladder().size()));
+  // Hammer hot observations: level saturates at the ladder top.
+  for (int i = 0; i < top + 5; ++i) {
+    governor.observe(200.0, 100.0, false);
+  }
+  EXPECT_EQ(governor.level(), top);
+  // Hammer calm observations: level saturates at 0.
+  for (int i = 0; i < top + 5; ++i) {
+    governor.observe(1.0, 100.0, false);
+  }
+  EXPECT_EQ(governor.level(), 0);
+  EXPECT_EQ(governor.observe(1.0, 100.0, false), rt::GovernorAction::kHold);
+  EXPECT_EQ(governor.level(), 0);
+}
+
+TEST(GovernorBoundaryTest, DisabledGovernorNeverMoves) {
+  rt::GovernorConfig config;  // enabled = false
+  rt::Governor governor = make_governor(config);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(governor.observe(1000.0, 100.0, true),
+              rt::GovernorAction::kHold);
+  }
+  EXPECT_EQ(governor.level(), 0);
+  EXPECT_EQ(governor.degrade_count(), 0u);
+}
+
+// --- shed-sporadic under zero sporadic load --------------------------------
+
+TEST(DegradeLadderTest, SheddingWithZeroSporadicLoadShedsNothing) {
+  // Force the governor to the top rung immediately; with
+  // queries_per_batch = 0 there are no batches to shed, so the shed
+  // counter must stay 0 (shedding "all zero batches" is a no-op, not an
+  // accounting artifact) while the governor itself still bottoms out.
+  Scenario scenario = drone_swarm();
+  extended::FullSystemConfig cfg = make_full_config(scenario, 1, 7);
+  cfg.aircraft = 64;
+  cfg.sporadic.queries_per_batch = 0;
+  cfg.governor.enabled = true;
+  cfg.governor.degrade_utilization = 1e-9;  // any measured work is "hot"
+  cfg.governor.recover_utilization = 0.0;
+  cfg.governor.degrade_hold_periods = 1;
+
+  ReferenceBackend backend;
+  const extended::FullSystemResult result =
+      extended::run_full_system(backend, cfg);
+  EXPECT_EQ(result.final_governor_level,
+            static_cast<int>(degradation_ladder().size()));
+  EXPECT_EQ(result.sporadic_shed, 0u);
+  EXPECT_EQ(result.last_sporadic.queries, 0u);
+  EXPECT_EQ(result.last_sporadic.hits, 0u);
+}
+
+TEST(DegradeLadderTest, SheddingWithSporadicLoadCountsShedBatches) {
+  // Positive control for the zero-load case: same forced-degrade run
+  // with a real query mix does shed batches once the top rung engages.
+  Scenario scenario = drone_swarm();
+  extended::FullSystemConfig cfg = make_full_config(scenario, 1, 7);
+  cfg.aircraft = 64;
+  cfg.sporadic.queries_per_batch = 3;
+  cfg.governor.enabled = true;
+  cfg.governor.degrade_utilization = 1e-9;
+  cfg.governor.recover_utilization = 0.0;
+  cfg.governor.degrade_hold_periods = 1;
+
+  ReferenceBackend backend;
+  const extended::FullSystemResult result =
+      extended::run_full_system(backend, cfg);
+  EXPECT_EQ(result.final_governor_level,
+            static_cast<int>(degradation_ladder().size()));
+  EXPECT_GT(result.sporadic_shed, 0u);
+}
+
+}  // namespace
+}  // namespace atm::tasks

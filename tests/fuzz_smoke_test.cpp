@@ -1,0 +1,65 @@
+// In-process fuzz smoke (src/testkit/fuzz.hpp): a short seeded run of
+// the full differential loop must come back clean, and the budget/quota
+// accounting must behave. CI runs the big sibling of this through
+// tools/atm_fuzz (the fuzz-smoke step and the `fuzz` ctest label); this
+// test keeps the engine itself under the default test tier.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/testkit/fuzz.hpp"
+
+namespace atm::testkit {
+namespace {
+
+TEST(FuzzSmokeTest, ShortRunIsClean) {
+  FuzzOptions options;
+  options.first_seed = 1;
+  options.cases = 6;
+  std::ostringstream log;
+  const FuzzSummary summary = run_fuzz(options, &log);
+  EXPECT_TRUE(summary.ok()) << log.str();
+  EXPECT_EQ(summary.cases_run, 6);
+  EXPECT_TRUE(summary.failures.empty());
+  // Each case runs the baseline + the matrix + platforms + metamorphic +
+  // full system.
+  EXPECT_GE(summary.runs, 6 * 30);
+}
+
+TEST(FuzzSmokeTest, DeepEveryThinsTheExpensiveProbes) {
+  FuzzOptions deep;
+  deep.first_seed = 1;
+  deep.cases = 4;
+  FuzzOptions thinned = deep;
+  thinned.deep_every = 4;  // only case 0 gets platforms + full system
+  const FuzzSummary a = run_fuzz(deep, nullptr);
+  const FuzzSummary b = run_fuzz(thinned, nullptr);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_LT(b.runs, a.runs);
+}
+
+TEST(FuzzSmokeTest, UnmetCaseQuotaFailsTheSummary) {
+  FuzzOptions options;
+  options.first_seed = 1;
+  options.cases = 2;
+  options.require_cases = 5;  // more than the run can possibly complete
+  const FuzzSummary summary = run_fuzz(options, nullptr);
+  EXPECT_TRUE(summary.failures.empty());
+  EXPECT_FALSE(summary.quota_met);
+  EXPECT_FALSE(summary.ok());
+}
+
+TEST(FuzzSmokeTest, SummariesAreDeterministic) {
+  FuzzOptions options;
+  options.first_seed = 3;
+  options.cases = 3;
+  const FuzzSummary a = run_fuzz(options, nullptr);
+  const FuzzSummary b = run_fuzz(options, nullptr);
+  EXPECT_EQ(a.cases_run, b.cases_run);
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+}  // namespace
+}  // namespace atm::testkit

@@ -1,0 +1,127 @@
+// Corpus entry format (src/testkit/corpus.hpp): serialize/parse round
+// trips, malformed-input diagnostics, and the registry hook that turns a
+// checked-in repro into a named scenario.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/atm/scenarios.hpp"
+#include "src/testkit/corpus.hpp"
+
+namespace atm::testkit {
+namespace {
+
+CorpusEntry sample_entry() {
+  CorpusEntry entry;
+  entry.name = "round-trip";
+  entry.note = "hand-built fixture";
+  entry.seed = 42;
+  entry.forge.min_aircraft = 10;
+  entry.forge.max_aircraft = 20;
+  entry.forge.fuzz_sporadic = false;
+  entry.overrides.major_cycles = 1;
+  entry.overrides.zero_faults = true;
+  entry.overrides.keep = {0, 3, 9};
+  return entry;
+}
+
+TEST(CorpusTest, SerializeParseRoundTrips) {
+  const CorpusEntry entry = sample_entry();
+  std::istringstream in(serialize(entry));
+  CorpusEntry parsed;
+  std::string error;
+  ASSERT_TRUE(parse(in, parsed, error)) << error;
+  EXPECT_EQ(parsed.name, entry.name);
+  EXPECT_EQ(parsed.note, entry.note);
+  EXPECT_EQ(parsed.seed, entry.seed);
+  EXPECT_EQ(parsed.forge, entry.forge);
+  EXPECT_EQ(parsed.overrides, entry.overrides);
+}
+
+TEST(CorpusTest, SerializationIsByteStable) {
+  // Goldens (and git diffs) rely on a canonical key order: serializing
+  // twice — or serializing a parsed copy — is byte-identical.
+  const CorpusEntry entry = sample_entry();
+  const std::string first = serialize(entry);
+  std::istringstream in(first);
+  CorpusEntry parsed;
+  std::string error;
+  ASSERT_TRUE(parse(in, parsed, error)) << error;
+  EXPECT_EQ(serialize(parsed), first);
+}
+
+TEST(CorpusTest, ParserSkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "format = atm-testkit-corpus-v1\n"
+      "\n"
+      "name = commented\n"
+      "seed = 7\n"
+      "# trailing comment\n");
+  CorpusEntry parsed;
+  std::string error;
+  ASSERT_TRUE(parse(in, parsed, error)) << error;
+  EXPECT_EQ(parsed.name, "commented");
+  EXPECT_EQ(parsed.seed, 7u);
+}
+
+TEST(CorpusTest, ParserRejectsMalformedInput) {
+  const struct {
+    const char* text;
+    const char* why;
+  } kCases[] = {
+      {"name = x\nseed = 1\n", "missing format line"},
+      {"format = atm-testkit-corpus-v1\nname = x\n", "missing seed"},
+      {"format = atm-testkit-corpus-v1\nseed = 1\n", "missing name"},
+      {"format = atm-testkit-corpus-v1\nname = x\nseed = banana\n",
+       "bad number"},
+      {"format = atm-testkit-corpus-v1\nname = x\nseed = 1\nwat = 1\n",
+       "unknown key"},
+  };
+  for (const auto& c : kCases) {
+    std::istringstream in(c.text);
+    CorpusEntry parsed;
+    std::string error;
+    EXPECT_FALSE(parse(in, parsed, error)) << c.why;
+    EXPECT_FALSE(error.empty()) << c.why;
+  }
+}
+
+TEST(CorpusTest, MakeEntryCapturesTheCaseRecipe) {
+  CaseOverrides overrides;
+  overrides.keep = {2, 4};
+  overrides.plain_policy = true;
+  const ForgedCase c = materialize(13, {}, overrides);
+  const CorpusEntry entry = make_entry("captured", c, "note here");
+  EXPECT_EQ(entry.name, "captured");
+  EXPECT_EQ(entry.note, "note here");
+  EXPECT_EQ(entry.seed, 13u);
+  EXPECT_EQ(entry.overrides, overrides);
+  // Materializing the entry reproduces the case.
+  const ForgedCase again = entry.materialize();
+  ASSERT_EQ(again.db.size(), c.db.size());
+  EXPECT_TRUE(again.db.same_flight_state(c.db));
+}
+
+TEST(CorpusTest, RegisteredEntrySurfacesAsScenario) {
+  CorpusEntry entry;
+  entry.name = "corpus-test-fixture";
+  entry.seed = 9;
+  register_corpus_scenario(entry);
+
+  tasks::Scenario scenario;
+  ASSERT_TRUE(tasks::scenario_by_name("corpus-corpus-test-fixture",
+                                      scenario));
+  const ForgedCase c = entry.materialize();
+  EXPECT_EQ(scenario.default_aircraft, c.db.size());
+  // Registration is idempotent: same name replaces, no duplicate rows.
+  register_corpus_scenario(entry);
+  std::size_t count = 0;
+  for (const std::string& name : tasks::scenario_names()) {
+    if (name == "corpus-corpus-test-fixture") ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace atm::testkit

@@ -1,0 +1,152 @@
+// ScenarioForge (src/testkit/forge.hpp): determinism of the seeded
+// sampler, validity of what it forges, trajectory-family coverage, and
+// the override/keep machinery the shrinker and corpus replay depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/core/units.hpp"
+#include "src/testkit/forge.hpp"
+
+namespace atm::testkit {
+namespace {
+
+TEST(ForgeTest, SameSeedForgesBitIdenticalCases) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ForgedCase a = forge_case(seed);
+    const ForgedCase b = forge_case(seed);
+    ASSERT_EQ(a.db.size(), b.db.size()) << "seed " << seed;
+    EXPECT_TRUE(a.db.same_flight_state(b.db)) << "seed " << seed;
+    EXPECT_EQ(a.family, b.family) << "seed " << seed;
+    EXPECT_EQ(a.major_cycles, b.major_cycles) << "seed " << seed;
+    EXPECT_EQ(a.scenario.task23.horizon_periods,
+              b.scenario.task23.horizon_periods)
+        << "seed " << seed;
+    EXPECT_EQ(a.scenario.task1.box_half_nm, b.scenario.task1.box_half_nm)
+        << "seed " << seed;
+    EXPECT_EQ(a.scenario.radar.noise_nm, b.scenario.radar.noise_nm)
+        << "seed " << seed;
+  }
+}
+
+TEST(ForgeTest, DifferentSeedsForgeDifferentFleets) {
+  const ForgedCase a = forge_case(1);
+  const ForgedCase b = forge_case(2);
+  EXPECT_FALSE(a.db.size() == b.db.size() && a.db.same_flight_state(b.db));
+}
+
+TEST(ForgeTest, ForgedCasesAreValid) {
+  const ForgeParams params;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const ForgedCase c = forge_case(seed, params);
+    ASSERT_GE(c.db.size(), params.min_aircraft) << "seed " << seed;
+    ASSERT_LE(c.db.size(), params.max_aircraft) << "seed " << seed;
+    ASSERT_EQ(c.family.size(), c.db.size()) << "seed " << seed;
+    EXPECT_GE(c.major_cycles, params.min_major_cycles);
+    EXPECT_LE(c.major_cycles, params.max_major_cycles);
+    EXPECT_GT(c.scenario.task23.horizon_periods, 0.0);
+    EXPECT_GT(c.scenario.task23.critical_periods, 0.0);
+    EXPECT_LT(c.scenario.task23.critical_periods,
+              c.scenario.task23.horizon_periods);
+    EXPECT_LE(c.scenario.task23.turn_step_deg,
+              c.scenario.task23.turn_max_deg);
+    for (std::size_t i = 0; i < c.db.size(); ++i) {
+      // Everything starts on the grid (the re-entry rule would otherwise
+      // teleport aircraft on the very first period) and moving.
+      EXPECT_LE(std::abs(c.db.x[i]), core::kGridHalfExtentNm)
+          << "seed " << seed << " aircraft " << i;
+      EXPECT_LE(std::abs(c.db.y[i]), core::kGridHalfExtentNm)
+          << "seed " << seed << " aircraft " << i;
+      EXPECT_GT(std::hypot(c.db.dx[i], c.db.dy[i]), 0.0)
+          << "seed " << seed << " aircraft " << i;
+      EXPECT_GT(c.db.alt[i], 0.0) << "seed " << seed << " aircraft " << i;
+      EXPECT_LT(c.family[i], static_cast<std::uint8_t>(kFamilyCount));
+    }
+  }
+}
+
+TEST(ForgeTest, EveryTrajectoryFamilyAppearsAcrossSeeds) {
+  std::set<std::uint8_t> seen;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const ForgedCase c = forge_case(seed);
+    seen.insert(c.family.begin(), c.family.end());
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kFamilyCount))
+      << "40 seeds should exercise all " << kFamilyCount
+      << " trajectory families";
+}
+
+TEST(ForgeTest, SelectRowsKeepsExactlyTheRequestedRows) {
+  const ForgedCase c = forge_case(7);
+  ASSERT_GE(c.db.size(), 6u);
+  const std::vector<std::uint32_t> keep = {0, 2, 5};
+  const airfield::FlightDb sub = select_rows(c.db, keep);
+  ASSERT_EQ(sub.size(), keep.size());
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    EXPECT_EQ(sub.x[k], c.db.x[keep[k]]);
+    EXPECT_EQ(sub.y[k], c.db.y[keep[k]]);
+    EXPECT_EQ(sub.dx[k], c.db.dx[keep[k]]);
+    EXPECT_EQ(sub.dy[k], c.db.dy[keep[k]]);
+    EXPECT_EQ(sub.alt[k], c.db.alt[keep[k]]);
+  }
+}
+
+TEST(ForgeTest, MaterializeAppliesOverrides) {
+  CaseOverrides overrides;
+  overrides.major_cycles = 1;
+  overrides.zero_faults = true;
+  overrides.zero_radar_noise = true;
+  overrides.zero_dropout = true;
+  overrides.zero_sporadic = true;
+  overrides.plain_policy = true;
+  overrides.keep = {1, 3, 4};
+
+  const ForgedCase base = forge_case(11);
+  const ForgedCase c = materialize(11, {}, overrides);
+  ASSERT_EQ(c.db.size(), overrides.keep.size());
+  EXPECT_EQ(c.major_cycles, 1);
+  EXPECT_EQ(c.scenario.radar.noise_nm, 0.0);
+  EXPECT_EQ(c.scenario.radar.dropout_probability, 0.0);
+  EXPECT_EQ(c.scenario.sporadic.queries_per_batch, 0);
+  EXPECT_EQ(c.scenario.policy.broadphase,
+            core::spatial::BroadphaseMode::kBruteForce);
+  EXPECT_EQ(c.scenario.policy.shard, core::spatial::ShardMode::kNone);
+  EXPECT_EQ(c.scenario.policy.faults.dropout_burst_probability, 0.0);
+  // Kept rows are the forged rows, family tags remapped alongside.
+  for (std::size_t k = 0; k < overrides.keep.size(); ++k) {
+    const std::uint32_t i = overrides.keep[k];
+    EXPECT_EQ(c.db.x[k], base.db.x[i]);
+    EXPECT_EQ(c.db.y[k], base.db.y[i]);
+    EXPECT_EQ(c.family[k], base.family[i]);
+  }
+}
+
+TEST(ForgeTest, MaterializeWithoutOverridesMatchesForgeCase) {
+  const ForgedCase a = forge_case(5);
+  const ForgedCase b = materialize(5, {}, {});
+  ASSERT_EQ(a.db.size(), b.db.size());
+  EXPECT_TRUE(a.db.same_flight_state(b.db));
+  EXPECT_EQ(a.major_cycles, b.major_cycles);
+}
+
+TEST(ForgeTest, PipelineConfigPreloadsTheForgedFleet) {
+  const ForgedCase c = forge_case(3);
+  const tasks::PipelineConfig cfg = pipeline_config(c);
+  EXPECT_TRUE(cfg.preloaded);
+  EXPECT_EQ(cfg.aircraft, c.db.size());
+  EXPECT_EQ(cfg.major_cycles, c.major_cycles);
+  EXPECT_EQ(cfg.seed, c.seed);
+}
+
+TEST(ForgeTest, FamilyNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int f = 0; f < kFamilyCount; ++f) {
+    names.insert(to_string(static_cast<Family>(f)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kFamilyCount));
+}
+
+}  // namespace
+}  // namespace atm::testkit

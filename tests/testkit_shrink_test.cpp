@@ -1,0 +1,127 @@
+// Shrinker self-test (src/testkit/shrink.hpp): plant a known bug — the
+// fleet off-by-one shim — let the fuzzer's oracle comparison catch it at
+// a pinned seed, and require the greedy shrinker to minimize the failure
+// to a tiny fleet, deterministically, with the exact golden corpus entry
+// pinned byte-for-byte. If this breaks, either the shrinker regressed or
+// the forge's sampling changed under an existing seed (which silently
+// invalidates every checked-in corpus entry — bump the forge salt and
+// regenerate tests/corpus/ instead of editing the golden here).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/atm/pipeline.hpp"
+#include "src/atm/reference_backend.hpp"
+#include "src/testkit/corpus.hpp"
+#include "src/testkit/oracle.hpp"
+#include "src/testkit/planted.hpp"
+#include "src/testkit/shrink.hpp"
+
+namespace atm::testkit {
+namespace {
+
+/// The pinned divergent seed for the planted shim (found by scanning
+/// seeds from 1; seed 1 itself diverges).
+constexpr std::uint64_t kPlantedSeed = 1;
+
+/// The golden minimal repro: shrinking kPlantedSeed must land exactly
+/// here. 2 aircraft (a hotspot pair), every knob zeroed.
+constexpr char kGoldenEntry[] =
+    "format = atm-testkit-corpus-v1\n"
+    "name = planted-minimal\n"
+    "note = golden\n"
+    "seed = 1\n"
+    "forge.min_aircraft = 24\n"
+    "forge.max_aircraft = 96\n"
+    "forge.min_major_cycles = 1\n"
+    "forge.max_major_cycles = 2\n"
+    "forge.fuzz_policy = 1\n"
+    "forge.fuzz_sensor_faults = 1\n"
+    "forge.fuzz_sporadic = 1\n"
+    "major_cycles = 1\n"
+    "zero.faults = 1\n"
+    "zero.radar_noise = 1\n"
+    "zero.dropout = 1\n"
+    "zero.sporadic = 1\n"
+    "zero.policy = 1\n"
+    "keep = 72,74\n";
+
+/// True when the planted backend's pipeline run diverges from the
+/// reference on this case — the predicate handed to the shrinker.
+bool planted_diverges(const ForgedCase& c) {
+  tasks::PipelineConfig cfg = pipeline_config(c);
+  cfg.governor = rt::GovernorConfig{};
+  cfg.faults.stolen_time_probability = 0.0;
+  cfg.faults.stolen_time_ms = 0.0;
+
+  tasks::ReferenceBackend ref;
+  PlantedBugBackend buggy;
+  ref.load(c.db);
+  buggy.load(c.db);
+  const tasks::PipelineResult want = tasks::run_pipeline(ref, cfg);
+  const tasks::PipelineResult got = tasks::run_pipeline(buggy, cfg);
+  OracleReport report;
+  return !compare_runs("planted", got, buggy.state(), want, ref.state(),
+                       report);
+}
+
+TEST(ShrinkTest, PinnedSeedStillTripsThePlantedBug) {
+  EXPECT_TRUE(planted_diverges(forge_case(kPlantedSeed)))
+      << "seed " << kPlantedSeed
+      << " no longer reproduces the planted fleet off-by-one — the forge "
+         "sampling changed under existing seeds";
+}
+
+TEST(ShrinkTest, ConvergesToTheGoldenMinimalRepro) {
+  const ShrinkResult result =
+      shrink_case(kPlantedSeed, {}, {}, &planted_diverges);
+
+  ASSERT_TRUE(result.failing);
+  EXPECT_LE(result.minimal.db.size(), 4u)
+      << "shrinker left " << result.minimal.db.size()
+      << " aircraft in the repro";
+  EXPECT_EQ(result.minimal.major_cycles, 1);
+  // The minimal case must still fail — a shrinker that overshoots into a
+  // passing case is worse than no shrinker.
+  EXPECT_TRUE(planted_diverges(result.minimal));
+  EXPECT_LE(result.evaluations, ShrinkOptions{}.max_evaluations);
+
+  const CorpusEntry entry = make_entry("planted-minimal", result.minimal,
+                                       "golden");
+  EXPECT_EQ(serialize(entry), kGoldenEntry);
+}
+
+TEST(ShrinkTest, ShrinkingIsDeterministic) {
+  const ShrinkResult a = shrink_case(kPlantedSeed, {}, {}, &planted_diverges);
+  const ShrinkResult b = shrink_case(kPlantedSeed, {}, {}, &planted_diverges);
+  ASSERT_TRUE(a.failing);
+  ASSERT_TRUE(b.failing);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.minimal.overrides, b.minimal.overrides);
+}
+
+TEST(ShrinkTest, PassingCaseIsReportedNotShrunk) {
+  // A predicate nothing satisfies: shrink_case must notice the starting
+  // case does not fail and say so instead of "minimizing" a pass.
+  const auto never = [](const ForgedCase&) { return false; };
+  const ShrinkResult result = shrink_case(kPlantedSeed, {}, {}, never);
+  EXPECT_FALSE(result.failing);
+  EXPECT_EQ(result.evaluations, 1);
+}
+
+TEST(ShrinkTest, GoldenEntryRoundTripsAndStillFails) {
+  // The golden string is a complete corpus entry: parse it back and the
+  // materialized case must still trip the planted bug. This is the exact
+  // promote-a-repro workflow from docs/TESTING.md.
+  std::istringstream in{std::string(kGoldenEntry)};
+  CorpusEntry entry;
+  std::string error;
+  ASSERT_TRUE(parse(in, entry, error)) << error;
+  EXPECT_EQ(entry.name, "planted-minimal");
+  const ForgedCase c = entry.materialize();
+  EXPECT_EQ(c.db.size(), 2u);
+  EXPECT_TRUE(planted_diverges(c));
+}
+
+}  // namespace
+}  // namespace atm::testkit

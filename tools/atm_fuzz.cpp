@@ -1,0 +1,184 @@
+// atm_fuzz: command-line front end of the testkit (docs/TESTING.md).
+//
+//   atm_fuzz --seeds <first>:<count> [--budget-ms N] [--require N]
+//            [--deep-every N] [--emit-dir DIR]
+//       Fuzz consecutive seeds through the differential oracle. Exit 0
+//       iff every case agreed and the case quota was met. With
+//       --emit-dir, every divergent seed is shrunk and written there as
+//       a corpus entry ready to check in under tests/corpus/.
+//
+//   atm_fuzz --replay <file.seed> [more files...]
+//       Replay corpus entries through the full oracle (the tier-1
+//       corpus ctest entries run exactly this). Exit 0 iff all clean.
+//
+//   atm_fuzz --save-seed <seed> --out <file.seed> [--name NAME]
+//       Write the corpus entry for one forged seed (no overrides) — how
+//       interesting seeds get promoted into tests/corpus/.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/testkit/corpus.hpp"
+#include "src/testkit/fuzz.hpp"
+#include "src/testkit/shrink.hpp"
+
+namespace {
+
+using atm::testkit::CorpusEntry;
+using atm::testkit::ForgedCase;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage:\n"
+      << "  " << argv0
+      << " --seeds <first>:<count> [--budget-ms N] [--require N]\n"
+      << "      [--deep-every N] [--emit-dir DIR]\n"
+      << "  " << argv0 << " --replay <file.seed> [more...]\n"
+      << "  " << argv0
+      << " --save-seed <seed> --out <file.seed> [--name NAME]\n";
+  std::exit(2);
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+int replay(const std::vector<std::string>& paths) {
+  int failures = 0;
+  for (const std::string& path : paths) {
+    CorpusEntry entry;
+    std::string error;
+    if (!atm::testkit::load(path, entry, error)) {
+      std::cerr << path << ": " << error << '\n';
+      ++failures;
+      continue;
+    }
+    const ForgedCase c = entry.materialize();
+    const atm::testkit::OracleReport report = atm::testkit::check_case(c);
+    if (report.ok()) {
+      std::cout << path << ": OK (" << entry.name << ", seed " << entry.seed
+                << ", " << c.db.size() << " aircraft, " << report.runs
+                << " runs)\n";
+    } else {
+      std::cerr << path << ": DIVERGED (" << entry.name << ", seed "
+                << entry.seed << ")\n"
+                << report.to_string();
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+/// Shrink a divergent seed and emit the minimal repro as a corpus entry.
+void emit_repro(std::uint64_t seed, const atm::testkit::ForgeParams& forge,
+                const std::string& dir) {
+  const auto still_fails = [](const ForgedCase& c) {
+    return !atm::testkit::check_case(c).ok();
+  };
+  const atm::testkit::ShrinkResult shrunk =
+      atm::testkit::shrink_case(seed, forge, {}, still_fails);
+  const std::string name = "diverged-seed-" + std::to_string(seed);
+  const CorpusEntry entry = atm::testkit::make_entry(
+      name, shrunk.minimal,
+      "auto-shrunk by atm_fuzz --emit-dir; " +
+          std::to_string(shrunk.minimal.db.size()) + " aircraft");
+  const std::string path = dir + "/" + name + ".seed";
+  if (atm::testkit::save(path, entry)) {
+    std::cout << "emitted " << path << " (" << shrunk.minimal.db.size()
+              << " aircraft after " << shrunk.evaluations
+              << " shrink evaluations)\n";
+  } else {
+    std::cerr << "cannot write " << path << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> replay_paths;
+  std::string emit_dir;
+  std::string out_path;
+  std::string save_name;
+  std::uint64_t save_seed = 0;
+  bool do_save = false;
+  atm::testkit::FuzzOptions options;
+  bool do_fuzz = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      const std::string spec = next();
+      const std::size_t colon = spec.find(':');
+      std::uint64_t count = 0;
+      if (colon == std::string::npos ||
+          !parse_u64(spec.substr(0, colon).c_str(), options.first_seed) ||
+          !parse_u64(spec.substr(colon + 1).c_str(), count) || count == 0) {
+        std::cerr << "--seeds wants <first>:<count>\n";
+        return 2;
+      }
+      options.cases = static_cast<int>(count);
+      do_fuzz = true;
+    } else if (arg == "--budget-ms") {
+      options.budget_ms = std::atof(next());
+    } else if (arg == "--require") {
+      options.require_cases = std::atoi(next());
+    } else if (arg == "--deep-every") {
+      options.deep_every = std::max(1, std::atoi(next()));
+    } else if (arg == "--emit-dir") {
+      emit_dir = next();
+    } else if (arg == "--replay") {
+      replay_paths.emplace_back(next());
+    } else if (arg == "--save-seed") {
+      if (!parse_u64(next(), save_seed)) usage(argv[0]);
+      do_save = true;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--name") {
+      save_name = next();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << '\n';
+      usage(argv[0]);
+    } else {
+      // Bare arguments after --replay are more corpus files.
+      replay_paths.push_back(arg);
+    }
+  }
+
+  if (do_save) {
+    if (out_path.empty()) usage(argv[0]);
+    const ForgedCase c = atm::testkit::forge_case(save_seed, options.forge);
+    if (save_name.empty()) {
+      save_name = "seed-" + std::to_string(save_seed);
+    }
+    const CorpusEntry entry = atm::testkit::make_entry(
+        save_name, c, "promoted by atm_fuzz --save-seed");
+    if (!atm::testkit::save(out_path, entry)) {
+      std::cerr << "cannot write " << out_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << out_path << " (" << c.db.size()
+              << " aircraft)\n";
+    return 0;
+  }
+
+  if (!replay_paths.empty()) return replay(replay_paths);
+  if (!do_fuzz) usage(argv[0]);
+
+  const atm::testkit::FuzzSummary summary =
+      atm::testkit::run_fuzz(options, &std::cout);
+  if (!emit_dir.empty()) {
+    for (const atm::testkit::FuzzFailure& failure : summary.failures) {
+      emit_repro(failure.seed, options.forge, emit_dir);
+    }
+  }
+  return summary.ok() ? 0 : 1;
+}
